@@ -1,0 +1,278 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§VII). Each benchmark regenerates its figure at a reduced
+// scale (bench.Quick) so `go test -bench=.` completes in minutes; run
+// `go run ./cmd/experiments -all` for the full 13-workload matrix, and
+// see EXPERIMENTS.md for recorded paper-vs-measured values.
+//
+// The interesting output is the custom metrics (speedup-x, hit rates),
+// not ns/op: these are macro-benchmarks of whole simulations.
+package ndpext_test
+
+import (
+	"os"
+	"testing"
+
+	"ndpext/internal/bench"
+)
+
+// benchOpts picks the experiment scale: quick by default, the full paper
+// matrix when NDPEXT_BENCH_FULL=1.
+func benchOpts() bench.Options {
+	if os.Getenv("NDPEXT_BENCH_FULL") == "1" {
+		return bench.Default()
+	}
+	o := bench.Quick()
+	o.AccessesPerCore = 6000
+	return o
+}
+
+func BenchmarkFig2LatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig4bMaxflowAssign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, times := bench.Fig4b()
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(float64(times[512].Microseconds()), "us-at-512-streams")
+		}
+	}
+}
+
+func BenchmarkFig5aOverallHBM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, geo, vsNexus, err := bench.Fig5(false, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(vsNexus, "ndpext-vs-nexus-x")
+			b.ReportMetric(geo["NDPExt"], "ndpext-vs-host-x")
+		}
+	}
+}
+
+func BenchmarkFig5bOverallHMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, _, vsNexus, err := bench.Fig5(true, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(vsNexus, "ndpext-vs-nexus-x")
+		}
+	}
+}
+
+func BenchmarkFig6Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, ratio, err := bench.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(ratio, "nexus-over-ndpext-energy-x")
+		}
+	}
+}
+
+func BenchmarkFig7InterconnectMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig8aCoreScaling(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = opt.Workloads[:2] // two workloads x six machines
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := bench.Fig8a(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig8bCXLLatency(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = opt.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		tbl, sp, err := bench.Fig8b(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp[400]/sp[50], "slow-vs-fast-link-gain")
+		}
+	}
+}
+
+func BenchmarkFig9aAssociativity(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"pr"} // graphs benefit the most (paper)
+	for i := 0; i < b.N; i++ {
+		tbl, sp, err := bench.Fig9a(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp[64], "64way-vs-direct-x")
+		}
+	}
+}
+
+func BenchmarkFig9bBlockSize(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"mv", "hotspot"}
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := bench.Fig9b(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig9cAffineCap(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"mv"}
+	for i := 0; i < b.N; i++ {
+		tbl, sp, err := bench.Fig9c(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp[1<<20], "unrestricted-vs-default-x")
+		}
+	}
+}
+
+func BenchmarkFig9dSamplerSets(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"recsys"}
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := bench.Fig9d(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig9eReconfigMethod(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"mv", "pr"} // the paper's highlighted pair
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := bench.Fig9e(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkFig9fReconfigInterval(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"pr"}
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := bench.Fig9f(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkSecVDConsistentHash(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = opt.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		tbl, sp, inv, err := bench.SecVD(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp, "speedup-x")
+			b.ReportMetric(100*inv, "invalidation-reduction-pct")
+		}
+	}
+}
+
+func BenchmarkMetadataHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.MetaHitRates(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// Beyond-paper ablations: the design alternatives the paper discusses but
+// does not evaluate (§III-A attach technologies, §IV-C way prediction).
+
+func BenchmarkAblationExtAttach(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = opt.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		tbl, sp, err := bench.AblationExtAttach(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp["dimm"], "dimm-vs-cxl-x")
+			b.ReportMetric(sp["host-relay"], "hostrelay-vs-cxl-x")
+		}
+	}
+}
+
+func BenchmarkAblationWayPredict(b *testing.B) {
+	opt := benchOpts()
+	opt.Workloads = []string{"pr", "recsys"}
+	for i := 0; i < b.N; i++ {
+		tbl, sp, err := bench.AblationWayPredict(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(sp["4-way way-predicted"], "waypred-vs-direct-x")
+		}
+	}
+}

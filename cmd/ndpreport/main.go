@@ -1,0 +1,81 @@
+// Command ndpreport diffs two experiment result files produced by
+// `experiments -json`, printing per-cell relative changes — the
+// regression-tracking companion to cmd/experiments.
+//
+// Usage:
+//
+//	experiments -json -fig 5a > before.json
+//	... change something ...
+//	experiments -json -fig 5a > after.json
+//	ndpreport before.json after.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"ndpext/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndpreport: ")
+	threshold := flag.Float64("threshold", 0.0, "only print cells changing by at least this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: ndpreport [-threshold 0.05] before.json after.json")
+	}
+
+	before, err := readFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := readFile(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byTitle := map[string]bench.Table{}
+	for _, t := range before {
+		byTitle[t.Title] = t
+	}
+	matched := 0
+	for _, ta := range after {
+		tb, ok := byTitle[ta.Title]
+		if !ok {
+			fmt.Printf("== %s == (only in after)\n", ta.Title)
+			continue
+		}
+		matched++
+		cmp, err := bench.CompareTables(tb, ta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *threshold > 0 {
+			var kept []bench.Delta
+			for _, d := range cmp.Deltas {
+				if math.Abs(d.Rel()) >= *threshold {
+					kept = append(kept, d)
+				}
+			}
+			cmp.Deltas = kept
+		}
+		fmt.Print(cmp.String())
+		fmt.Println()
+	}
+	if matched == 0 {
+		log.Fatal("no experiments in common between the two files")
+	}
+}
+
+func readFile(path string) ([]bench.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.ReadTables(f)
+}

@@ -1,0 +1,146 @@
+// Command ndpsim runs one workload on one simulated machine design and
+// prints the paper's headline metrics: makespan, latency breakdown, hit
+// rates, interconnect latency, and the energy decomposition.
+//
+// Usage:
+//
+//	ndpsim -workload pr -design NDPExt [-mem hbm|hmc] [-seed 1]
+//	       [-accesses 30000] [-scale 1.0] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndpsim: ")
+
+	workload := flag.String("workload", "pr", "workload name (see -list)")
+	design := flag.String("design", "NDPExt", "design: NDPExt, NDPExt-static, Nexus, Whirlpool, Jigsaw, Static, Host")
+	mem := flag.String("mem", "hbm", "NDP stack memory: hbm or hmc")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	accesses := flag.Int("accesses", 30000, "per-core access budget")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	list := flag.Bool("list", false, "list workloads and exit")
+	verbose := flag.Bool("verbose", false, "print per-component detail")
+	reconfig := flag.String("reconfig", "full", "reconfiguration mode: full, partial, static")
+	saveTrace := flag.String("save-trace", "", "write the generated trace to this file and exit")
+	loadTrace := flag.String("load-trace", "", "replay a trace file instead of generating")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+
+	d, err := parseDesign(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg system.Config
+	switch strings.ToLower(*mem) {
+	case "hbm":
+		cfg = system.DefaultConfig(d)
+	case "hmc":
+		cfg = system.HMCConfig(d)
+	default:
+		log.Fatalf("unknown memory type %q", *mem)
+	}
+
+	switch strings.ToLower(*reconfig) {
+	case "full":
+		cfg.Reconfig = system.ReconfigFull
+	case "partial":
+		cfg.Reconfig = system.ReconfigPartial
+	case "static":
+		cfg.Reconfig = system.ReconfigStatic
+	default:
+		log.Fatalf("unknown reconfig mode %q", *reconfig)
+	}
+
+	genStart := time.Now()
+	var tr *workloads.Trace
+	if *loadTrace != "" {
+		var err error
+		tr, err = workloads.LoadFile(*loadTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(tr.PerCore) != cfg.NumUnits() {
+			log.Fatalf("trace %q has %d cores, machine has %d units", *loadTrace, len(tr.PerCore), cfg.NumUnits())
+		}
+	} else {
+		gen, err := workloads.Get(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := workloads.DefaultScale()
+		sc.AccessesPerCore = *accesses
+		sc.Mult = *scale
+		tr, err = gen(cfg.NumUnits(), *seed, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	genDur := time.Since(genStart)
+
+	if *saveTrace != "" {
+		if err := tr.SaveFile(*saveTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %s (%d accesses, %d streams) to %s\n",
+			tr.Name, tr.TotalAccesses(), tr.Table.Len(), *saveTrace)
+		return
+	}
+
+	simStart := time.Now()
+	res, err := system.Run(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simDur := time.Since(simStart)
+
+	fmt.Printf("workload      %s (%d accesses, %d streams; generated in %v)\n",
+		tr.Name, tr.TotalAccesses(), tr.Table.Len(), genDur.Round(time.Millisecond))
+	fmt.Printf("design        %v on %s (%d units; simulated in %v)\n",
+		res.Design, cfg.Mem.Name, cfg.NumUnits(), simDur.Round(time.Millisecond))
+	fmt.Printf("makespan      %v\n", res.Time)
+	fmt.Printf("avg access    %.1f ns\n", res.Breakdown.AvgAccessNS())
+	fmt.Printf("breakdown     %v\n", res.Breakdown)
+	fmt.Printf("cache hits    %.1f%% (interconnect %.1f ns/access)\n",
+		100*res.CacheHitRate(), res.AvgInterconnectNS())
+	fmt.Printf("energy        %v\n", res.Energy)
+	if *verbose {
+		fmt.Printf("L1 hits       %d / %d\n", res.L1Hits, res.Accesses)
+		fmt.Printf("meta hit rate %.2f   slb hit rate %.2f\n", res.MetaHitRate, res.SLBHitRate)
+		fmt.Printf("reconfigs     %d (kept %d, dropped %d)\n", res.Reconfigs, res.ReconfigKept, res.ReconfigDropped)
+		fmt.Printf("exceptions    %d\n", res.Exceptions)
+		fmt.Printf("replicated    %d / %d rows\n", res.ReplicatedRows, res.RowsAllocated)
+		fmt.Printf("sampler cover %d streams\n", res.SamplerCovered)
+		for _, sr := range res.StreamReports() {
+			mr := 0.0
+			if t := sr.Hits + sr.Misses; t > 0 {
+				mr = float64(sr.Misses) / float64(t)
+			}
+			fmt.Printf("  stream %3d %-8s ro=%-5v size=%-8d knee=%-8d rows=%-5d groups=%-2d acc=%-8d missrate=%.2f\n",
+				sr.SID, sr.Type, sr.ReadOnly, sr.Bytes, sr.KneeBytes, sr.Rows, sr.Groups, sr.Hits+sr.Misses, mr)
+		}
+	}
+}
+
+func parseDesign(s string) (system.Design, error) {
+	for _, d := range append(system.NDPDesigns(), system.Host) {
+		if strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}

@@ -1,0 +1,73 @@
+// Custom workload with the stream API: annotate your own kernel's data
+// structures as affine/indirect streams (the paper's configure_stream,
+// Table I) and see how NDPExt manages them -- which streams replicate,
+// which stay shared, and what the write exception does to a stream that
+// turns out not to be read-only.
+//
+// The kernel here is a toy key-value aggregation: every core scans its
+// slice of a request log (affine), gathers values from a shared
+// Zipf-popular table (indirect, read-only -- a replication candidate),
+// and accumulates into a per-core histogram (affine, written).
+//
+// Run from the repository root:
+//
+//	go run ./examples/customstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndpext"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := ndpext.DefaultConfig(ndpext.DesignNDPExt)
+	cores := cfg.NumUnits()
+	const perCore = 12000
+
+	b := ndpext.NewBuilder("kvagg", cores, perCore)
+	requests := b.Affine(cores*perCore/3+1024, 8) // request log, scanned once
+	table := b.Indirect(32768, 64)                // shared hot value table
+	hist := b.Affine(cores*256, 4)                // per-core histograms
+
+	// A deterministic Zipf-ish popularity: key = i^2 mod tableSize gives
+	// a skewed but reproducible mix without importing the RNG.
+	for c := 0; c < cores; c++ {
+		for i := 0; !b.Full(c); i++ {
+			b.Read(c, requests, (c*perCore/3+i/3)%int(requests.NumElements()), 1)
+			key := (i*i + c*7) % 4096 // hot head: 4096 of 32768 entries
+			b.Read(c, table, key, 2)
+			b.Write(c, hist, c*256+key%256, 1)
+		}
+	}
+	tr := b.Build()
+	fmt.Printf("custom workload: %d accesses, %d streams\n\n", tr.TotalAccesses(), tr.Table.Len())
+
+	res, err := ndpext.Simulate(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan        %v\n", res.Time)
+	fmt.Printf("cache hit rate  %.1f%%\n", 100*res.CacheHitRate())
+	fmt.Printf("interconnect    %.1f ns/access\n", res.AvgInterconnectNS())
+	fmt.Printf("reconfigs       %d\n", res.Reconfigs)
+	fmt.Printf("\nper-stream outcome:\n")
+	for _, sr := range res.StreamReports() {
+		kind := "shared"
+		if sr.Groups > 1 {
+			kind = fmt.Sprintf("replicated x%d", sr.Groups)
+		}
+		mr := 0.0
+		if t := sr.Hits + sr.Misses; t > 0 {
+			mr = float64(sr.Misses) / float64(t)
+		}
+		fmt.Printf("  stream %3d %-8s ro=%-5v %8d B in %4d rows  %-14s miss %.1f%%\n",
+			sr.SID, sr.Type, sr.ReadOnly, sr.Bytes, sr.Rows, kind, 100*mr)
+	}
+	fmt.Println("\nNote: the table stream was declared read-only by never being written;")
+	fmt.Println("the histogram stream raised a write exception on its first store and")
+	fmt.Println("was collapsed to a single replication group (paper §IV-B).")
+}

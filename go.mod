@@ -1,0 +1,3 @@
+module ndpext
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package bench implements the paper's experiment matrix: one entry
+// point per evaluation figure/table, shared between the cmd/experiments
+// CLI and the repository's bench_test.go harness. Each function returns
+// printable, structured rows so EXPERIMENTS.md can record
+// paper-vs-measured values.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	Workloads       []string // subset of workloads.Names()
+	AccessesPerCore int
+	Seed            uint64
+}
+
+// Default runs the full paper matrix (all 13 workloads).
+func Default() Options {
+	return Options{Workloads: workloads.Names(), AccessesPerCore: 30000, Seed: 1}
+}
+
+// Quick runs a representative subset for fast iteration and unit tests.
+func Quick() Options {
+	return Options{
+		Workloads:       []string{"recsys", "pr", "hotspot", "mv"},
+		AccessesPerCore: 8000,
+		Seed:            1,
+	}
+}
+
+// traceKey caches generated traces (generation dominates quick runs).
+type traceKey struct {
+	name     string
+	cores    int
+	seed     uint64
+	accesses int
+}
+
+var (
+	traceMu    sync.Mutex
+	traceCache = map[traceKey]*workloads.Trace{}
+)
+
+// trace returns a cached trace for (name, cores); the caller receives a
+// Clone so simulations can mutate stream state safely.
+func trace(name string, cores int, opt Options) (*workloads.Trace, error) {
+	key := traceKey{name, cores, opt.Seed, opt.AccessesPerCore}
+	traceMu.Lock()
+	tr := traceCache[key]
+	traceMu.Unlock()
+	if tr == nil {
+		gen, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		sc := workloads.DefaultScale()
+		sc.AccessesPerCore = opt.AccessesPerCore
+		tr, err = gen(cores, opt.Seed, sc)
+		if err != nil {
+			return nil, err
+		}
+		traceMu.Lock()
+		traceCache[key] = tr
+		traceMu.Unlock()
+	}
+	return tr.Clone(), nil
+}
+
+// run simulates one (workload, config) pair.
+func run(cfg system.Config, name string, opt Options) (*system.Result, error) {
+	cores := cfg.NumUnits()
+	if cfg.Design == system.Host {
+		// Host folds any trace; generate at the NDP core count of the
+		// default machine so all designs replay identical traces.
+		cores = system.DefaultConfig(system.NDPExt).NumUnits()
+	}
+	tr, err := trace(name, cores, opt)
+	if err != nil {
+		return nil, err
+	}
+	return system.Run(cfg, tr)
+}
+
+// Table is a generic printable result table.
+type Table struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON renders the table as indented JSON for machine consumption.
+func (t Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := "== " + t.Title + " ==\n"
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return s + "\n"
+	}
+	out += line(t.Columns)
+	for _, r := range t.Rows {
+		out += line(r)
+	}
+	return out
+}
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweepSubset narrows a sweep to representative workloads (the paper's
+// Figs. 8-9 report averages; sweeping every (workload, point) pair would
+// multiply runtime without changing the reported shape). Workloads not in
+// opt are dropped; if the intersection is empty, opt is returned as is.
+func sweepSubset(opt Options, names ...string) Options {
+	have := map[string]bool{}
+	for _, w := range opt.Workloads {
+		have[w] = true
+	}
+	var keep []string
+	for _, n := range names {
+		if have[n] {
+			keep = append(keep, n)
+		}
+	}
+	if len(keep) == 0 {
+		return opt
+	}
+	out := opt
+	out.Workloads = keep
+	return out
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

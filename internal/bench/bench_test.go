@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"a", "longheader"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatalf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	// Columns align: both data rows start their second column at the
+	// same offset.
+	if strings.Index(lines[2], "1") != strings.Index(lines[3], "2") {
+		t.Fatalf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestOptionsScales(t *testing.T) {
+	d, q := Default(), Quick()
+	if len(d.Workloads) != 13 {
+		t.Fatalf("default covers %d workloads", len(d.Workloads))
+	}
+	if len(q.Workloads) >= len(d.Workloads) || q.AccessesPerCore >= d.AccessesPerCore {
+		t.Fatal("quick scale not smaller")
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tbl, times := Fig4b()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if times[512] <= 0 {
+		t.Fatal("no timing recorded")
+	}
+	// The paper's point: assignment stays fast (sub-10ms even at 512
+	// streams, scaled for a Go implementation).
+	if times[512].Milliseconds() > 100 {
+		t.Fatalf("assignment at 512 streams took %v; far off the paper's sub-ms claim", times[512])
+	}
+}
+
+func TestTraceCachingClones(t *testing.T) {
+	opt := Quick()
+	opt.AccessesPerCore = 500
+	a, err := trace("pr", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace("pr", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("trace() returned the same clone twice")
+	}
+	if a.TotalAccesses() != b.TotalAccesses() {
+		t.Fatal("clones differ")
+	}
+	// Mutating one clone's stream state must not leak into the next.
+	a.Table.All()[0].ReadOnly = false
+	c, err := trace("pr", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Table.All()[0].ReadOnly {
+		t.Fatal("clone leaked mutated stream state")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f2(1.234) != "1.23" || f1(1.26) != "1.3" || pct(0.5) != "50.0%" {
+		t.Fatal("formatters wrong")
+	}
+}
+
+func TestCompareTables(t *testing.T) {
+	before := Table{
+		Title:   "demo",
+		Columns: []string{"workload", "speedup", "hit"},
+		Rows: [][]string{
+			{"pr", "1.00", "50.0%"},
+			{"mv", "2.00", "80.0%"},
+		},
+	}
+	after := Table{
+		Title:   "demo",
+		Columns: []string{"workload", "speedup", "hit"},
+		Rows: [][]string{
+			{"pr", "1.50", "60.0%"},
+			{"mv", "2.00", "80.0%"},
+			{"new", "9.99", "1.0%"},
+		},
+	}
+	cmp, err := CompareTables(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4 (2 rows x 2 numeric cols)", len(cmp.Deltas))
+	}
+	var prSpeedup *Delta
+	for i := range cmp.Deltas {
+		d := &cmp.Deltas[i]
+		if d.Row == "pr" && d.Column == "speedup" {
+			prSpeedup = d
+		}
+	}
+	if prSpeedup == nil || prSpeedup.Before != 1.0 || prSpeedup.After != 1.5 {
+		t.Fatalf("pr speedup delta wrong: %+v", prSpeedup)
+	}
+	if r := prSpeedup.Rel(); r < 0.49 || r > 0.51 {
+		t.Fatalf("relative change = %v, want 0.5", r)
+	}
+	if cmp.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestCompareTablesRejectsMismatch(t *testing.T) {
+	if _, err := CompareTables(Table{Title: "a"}, Table{Title: "b"}); err == nil {
+		t.Fatal("different titles compared")
+	}
+}
+
+func TestReadTablesStream(t *testing.T) {
+	a := Table{Title: "one", Columns: []string{"x"}, Rows: [][]string{{"1"}}}
+	b := Table{Title: "two", Columns: []string{"y"}, Rows: [][]string{{"2"}}}
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	tables, err := ReadTables(strings.NewReader(string(ja) + "\n" + string(jb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].Title != "one" || tables[1].Title != "two" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if _, err := ReadTables(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk decoded")
+	}
+}
+
+func TestDeltaRelEdgeCases(t *testing.T) {
+	if (Delta{Before: 0, After: 0}).Rel() != 0 {
+		t.Fatal("0->0 should be 0")
+	}
+	if (Delta{Before: 0, After: 1}).Rel() < 1e8 {
+		t.Fatal("0->x should be huge")
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Comparison is the result of diffing two runs of the same experiment
+// table (e.g. before/after a change to the policy): per-cell relative
+// deltas for every numeric cell, keyed by (row label, column).
+type Comparison struct {
+	Title  string
+	Deltas []Delta
+}
+
+// Delta is one numeric cell's change.
+type Delta struct {
+	Row, Column string
+	Before      float64
+	After       float64
+}
+
+// Rel returns the relative change (after/before - 1); +Inf when before
+// is zero and after is not.
+func (d Delta) Rel() float64 {
+	if d.Before == 0 {
+		if d.After == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return d.After/d.Before - 1
+}
+
+// CompareTables diffs two tables produced by the same experiment. Rows
+// are matched by their first cell, columns by header name; non-numeric
+// cells are skipped.
+func CompareTables(before, after Table) (Comparison, error) {
+	cmp := Comparison{Title: after.Title}
+	if before.Title != after.Title {
+		return cmp, fmt.Errorf("bench: comparing different experiments: %q vs %q",
+			before.Title, after.Title)
+	}
+	rowsB := indexRows(before)
+	colIdxB := indexCols(before.Columns)
+	for _, rowA := range after.Rows {
+		if len(rowA) == 0 {
+			continue
+		}
+		rowB, ok := rowsB[rowA[0]]
+		if !ok {
+			continue
+		}
+		for ci := 1; ci < len(rowA) && ci < len(after.Columns); ci++ {
+			bi, ok := colIdxB[after.Columns[ci]]
+			if !ok || bi >= len(rowB) {
+				continue
+			}
+			va, okA := parseNumeric(rowA[ci])
+			vb, okB := parseNumeric(rowB[bi])
+			if !okA || !okB {
+				continue
+			}
+			cmp.Deltas = append(cmp.Deltas, Delta{
+				Row: rowA[0], Column: after.Columns[ci], Before: vb, After: va,
+			})
+		}
+	}
+	return cmp, nil
+}
+
+// indexRows maps first-cell labels to rows.
+func indexRows(t Table) map[string][]string {
+	out := make(map[string][]string, len(t.Rows))
+	for _, r := range t.Rows {
+		if len(r) > 0 {
+			out[r[0]] = r
+		}
+	}
+	return out
+}
+
+// indexCols maps column names to indices.
+func indexCols(cols []string) map[string]int {
+	out := make(map[string]int, len(cols))
+	for i, c := range cols {
+		out[c] = i
+	}
+	return out
+}
+
+// parseNumeric extracts a float from a cell, tolerating % suffixes.
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(s, "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// String renders the comparison, most-changed cells first (stable within
+// equal magnitudes).
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (after vs before) ==\n", c.Title)
+	for _, d := range c.Deltas {
+		fmt.Fprintf(&b, "%-24s %-16s %10.3f -> %-10.3f %+7.1f%%\n",
+			d.Row, d.Column, d.Before, d.After, 100*d.Rel())
+	}
+	return b.String()
+}
+
+// ReadTables decodes a stream of JSON tables (the output of
+// `experiments -json`).
+func ReadTables(r io.Reader) ([]Table, error) {
+	dec := json.NewDecoder(r)
+	var out []Table
+	for {
+		var t Table
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("bench: decode tables: %w", err)
+		}
+		out = append(out, t)
+	}
+}

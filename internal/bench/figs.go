@@ -1,0 +1,534 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ndpext/internal/cxl"
+	"ndpext/internal/maxflow"
+	"ndpext/internal/sim"
+	"ndpext/internal/stats"
+	"ndpext/internal/system"
+)
+
+// Fig5 reproduces Fig. 5: overall performance of every NDP design across
+// the workloads, normalized to the non-NDP host. hmc selects the
+// Fig. 5(b) HMC-style machine. The returned summary maps design ->
+// geomean speedup over the host, plus NDPExt's geomean speedup over
+// Nexus (the paper's headline 1.41x/1.48x).
+func Fig5(hmc bool, opt Options) (Table, map[string]float64, float64, error) {
+	mk := func(d system.Design) system.Config {
+		if hmc {
+			return system.HMCConfig(d)
+		}
+		return system.DefaultConfig(d)
+	}
+	designs := []system.Design{system.Jigsaw, system.Whirlpool, system.Nexus, system.NDPExtStatic, system.NDPExt}
+	title := "Fig 5(a): overall performance, HBM-style NDP (speedup over host)"
+	if hmc {
+		title = "Fig 5(b): overall performance, HMC-style NDP (speedup over host)"
+	}
+	tbl := Table{Title: title, Columns: []string{"workload"}}
+	for _, d := range designs {
+		tbl.Columns = append(tbl.Columns, d.String())
+	}
+
+	perDesign := map[string][]float64{}
+	var ndpextVsNexus []float64
+	for _, w := range opt.Workloads {
+		host, err := run(mk(system.Host), w, opt)
+		if err != nil {
+			return tbl, nil, 0, err
+		}
+		row := []string{w}
+		var nexusT, ndpextT sim.Time
+		for _, d := range designs {
+			res, err := run(mk(d), w, opt)
+			if err != nil {
+				return tbl, nil, 0, err
+			}
+			sp := float64(host.Time) / float64(res.Time)
+			perDesign[d.String()] = append(perDesign[d.String()], sp)
+			row = append(row, f2(sp))
+			switch d {
+			case system.Nexus:
+				nexusT = res.Time
+			case system.NDPExt:
+				ndpextT = res.Time
+			}
+		}
+		if nexusT > 0 && ndpextT > 0 {
+			ndpextVsNexus = append(ndpextVsNexus, float64(nexusT)/float64(ndpextT))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+
+	geo := map[string]float64{}
+	row := []string{"geomean"}
+	for _, d := range designs {
+		geo[d.String()] = stats.Geomean(perDesign[d.String()])
+		row = append(row, f2(geo[d.String()]))
+	}
+	tbl.Rows = append(tbl.Rows, row)
+	vsNexus := stats.Geomean(ndpextVsNexus)
+	tbl.Rows = append(tbl.Rows, []string{"NDPExt/Nexus", f2(vsNexus)})
+	return tbl, geo, vsNexus, nil
+}
+
+// Fig2 reproduces Fig. 2(a): the access latency breakdown of a PageRank
+// run under static cacheline interleaving on the NDP system vs the
+// host-style NUCA system, highlighting the NDP system's interconnect
+// share and higher hit rate.
+func Fig2(opt Options) (Table, error) {
+	tbl := Table{
+		Title:   "Fig 2(a): latency breakdown, static interleaving (pr)",
+		Columns: []string{"system", "core", "meta", "intra-noc", "inter-noc", "dram", "extended", "hit-rate"},
+	}
+	ndp, err := run(system.DefaultConfig(system.StaticInterleave), "pr", opt)
+	if err != nil {
+		return tbl, err
+	}
+	host, err := run(system.DefaultConfig(system.Host), "pr", opt)
+	if err != nil {
+		return tbl, err
+	}
+	rowOf := func(name string, r *system.Result) []string {
+		f := r.Breakdown.Fractions()
+		return []string{
+			name, pct(f["core"]), pct(f["meta"]), pct(f["intra-noc"]),
+			pct(f["inter-noc"]), pct(f["dram"]), pct(f["extended"]),
+			pct(r.CacheHitRate()),
+		}
+	}
+	tbl.Rows = append(tbl.Rows, rowOf("NDP", ndp), rowOf("NUCA-host", host))
+	return tbl, nil
+}
+
+// Fig4b reproduces Fig. 4(b): host-side execution time of the max-flow
+// sampler assignment as the stream count grows (paper: <0.5 ms at 512
+// streams). Returns the measured time per stream count.
+func Fig4b() (Table, map[int]time.Duration) {
+	tbl := Table{
+		Title:   "Fig 4(b): sampler assignment time vs stream count",
+		Columns: []string{"streams", "time"},
+	}
+	const units, samplersPerUnit = 128, 4
+	rng := sim.NewRNG(42)
+	out := map[int]time.Duration{}
+	for _, streams := range []int{64, 128, 256, 512} {
+		accessedBy := make([][]int, streams)
+		for s := range accessedBy {
+			k := 1 + rng.Intn(8)
+			seen := map[int]bool{}
+			for i := 0; i < k; i++ {
+				seen[rng.Intn(units)] = true
+			}
+			for u := range seen {
+				accessedBy[s] = append(accessedBy[s], u)
+			}
+		}
+		start := time.Now()
+		const reps = 10
+		for i := 0; i < reps; i++ {
+			maxflow.AssignSamplers(units, accessedBy, samplersPerUnit)
+		}
+		d := time.Since(start) / reps
+		out[streams] = d
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(streams), d.String()})
+	}
+	return tbl, out
+}
+
+// Fig6 reproduces Fig. 6: energy breakdown of NDPExt vs Nexus per
+// workload (paper: NDPExt saves 40.3% on average). Returns the geomean
+// total-energy ratio Nexus/NDPExt.
+func Fig6(opt Options) (Table, float64, error) {
+	tbl := Table{
+		Title:   "Fig 6: energy, NDPExt vs Nexus (uJ; ratio = Nexus/NDPExt)",
+		Columns: []string{"workload", "design", "static", "ndp-dram", "ext-dram", "noc", "cxl", "sram", "total", "ratio"},
+	}
+	var ratios []float64
+	for _, w := range opt.Workloads {
+		nx, err := run(system.DefaultConfig(system.Nexus), w, opt)
+		if err != nil {
+			return tbl, 0, err
+		}
+		nd, err := run(system.DefaultConfig(system.NDPExt), w, opt)
+		if err != nil {
+			return tbl, 0, err
+		}
+		ratio := nx.Energy.Total() / nd.Energy.Total()
+		ratios = append(ratios, ratio)
+		const uJ = 1e6
+		rowOf := func(design string, e, ratio string, r *system.Result) []string {
+			return []string{w, design,
+				f1(r.Energy.StaticPJ / uJ), f1(r.Energy.NDPDramPJ / uJ),
+				f1(r.Energy.ExtDramPJ / uJ), f1(r.Energy.NoCPJ / uJ),
+				f1(r.Energy.CXLLinkPJ / uJ), f1(r.Energy.SRAMPJ / uJ),
+				f1(r.Energy.Total() / uJ), ratio}
+		}
+		tbl.Rows = append(tbl.Rows, rowOf("Nexus", "", "", nx))
+		tbl.Rows = append(tbl.Rows, rowOf("NDPExt", "", f2(ratio), nd))
+	}
+	geo := stats.Geomean(ratios)
+	tbl.Rows = append(tbl.Rows, []string{"geomean", "", "", "", "", "", "", "", "", f2(geo)})
+	return tbl, geo, nil
+}
+
+// Fig7 reproduces Fig. 7: average interconnect latency and miss rate for
+// Nexus vs NDPExt across representative workloads.
+func Fig7(opt Options) (Table, error) {
+	tbl := Table{
+		Title:   "Fig 7: interconnect latency (ns/access) and miss rate",
+		Columns: []string{"workload", "nexus-ns", "ndpext-ns", "nexus-miss", "ndpext-miss"},
+	}
+	for _, w := range opt.Workloads {
+		nx, err := run(system.DefaultConfig(system.Nexus), w, opt)
+		if err != nil {
+			return tbl, err
+		}
+		nd, err := run(system.DefaultConfig(system.NDPExt), w, opt)
+		if err != nil {
+			return tbl, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{w,
+			f1(nx.AvgInterconnectNS()), f1(nd.AvgInterconnectNS()),
+			pct(nx.MissRate()), pct(nd.MissRate())})
+	}
+	return tbl, nil
+}
+
+// fig8aVariant describes one Fig. 8(a) machine shape.
+type fig8aVariant struct {
+	label            string
+	stacksX, stacksY int
+	unitsX, unitsY   int
+}
+
+// Fig8a reproduces Fig. 8(a): NDPExt speedup over Nexus across NDP core
+// counts and stack arrangements.
+func Fig8a(opt Options) (Table, map[string]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr", "mv", "hotspot")
+	variants := []fig8aVariant{
+		{"2x64 (128 cores)", 2, 1, 8, 8},
+		{"8x16 (128 cores)", 4, 2, 4, 4},
+		{"16x8 (128 cores)", 4, 4, 4, 2},
+		{"2x16 (32 cores)", 2, 1, 4, 4},
+		{"4x16 (64 cores)", 2, 2, 4, 4},
+		{"16x16 (256 cores)", 4, 4, 4, 4},
+	}
+	tbl := Table{
+		Title:   "Fig 8(a): NDPExt speedup over Nexus vs core count (stacks x cores/stack)",
+		Columns: []string{"machine", "speedup"},
+	}
+	out := map[string]float64{}
+	for _, v := range variants {
+		var sps []float64
+		for _, w := range opt.Workloads {
+			mk := func(d system.Design) system.Config {
+				cfg := system.DefaultConfig(d)
+				cfg.NoC.StacksX, cfg.NoC.StacksY = v.stacksX, v.stacksY
+				cfg.NoC.UnitsX, cfg.NoC.UnitsY = v.unitsX, v.unitsY
+				return cfg
+			}
+			nx, err := run(mk(system.Nexus), w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			nd, err := run(mk(system.NDPExt), w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			sps = append(sps, float64(nx.Time)/float64(nd.Time))
+		}
+		g := stats.Geomean(sps)
+		out[v.label] = g
+		tbl.Rows = append(tbl.Rows, []string{v.label, f2(g)})
+	}
+	return tbl, out, nil
+}
+
+// Fig8b reproduces Fig. 8(b): NDPExt speedup over Nexus across CXL link
+// latencies (paper: 1.33x at 50 ns to 1.50x at 400 ns).
+func Fig8b(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr", "mv", "hotspot")
+	tbl := Table{
+		Title:   "Fig 8(b): NDPExt speedup over Nexus vs CXL link latency",
+		Columns: []string{"latency-ns", "speedup"},
+	}
+	out := map[int]float64{}
+	for _, ns := range []int{50, 100, 200, 400} {
+		var sps []float64
+		for _, w := range opt.Workloads {
+			mk := func(d system.Design) system.Config {
+				cfg := system.DefaultConfig(d)
+				cfg.CXL.LinkLatency = sim.FromNS(float64(ns))
+				return cfg
+			}
+			nx, err := run(mk(system.Nexus), w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			nd, err := run(mk(system.NDPExt), w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			sps = append(sps, float64(nx.Time)/float64(nd.Time))
+		}
+		g := stats.Geomean(sps)
+		out[ns] = g
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(ns), f2(g)})
+	}
+	return tbl, out, nil
+}
+
+// ndpextSweep runs NDPExt over a config mutation sweep and reports
+// speedups normalized to the reference point.
+func ndpextSweep(title, unit string, points []int, ref int,
+	mutate func(cfg *system.Config, v int), opt Options) (Table, map[int]float64, error) {
+
+	tbl := Table{Title: title, Columns: []string{unit, "speedup-vs-default"}}
+	times := map[int]float64{}
+	for _, v := range points {
+		var total float64
+		for _, w := range opt.Workloads {
+			cfg := system.DefaultConfig(system.NDPExt)
+			mutate(&cfg, v)
+			res, err := run(cfg, w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			total += float64(res.Time)
+		}
+		times[v] = total
+	}
+	out := map[int]float64{}
+	for _, v := range points {
+		out[v] = times[ref] / times[v]
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(v), f2(out[v])})
+	}
+	return tbl, out, nil
+}
+
+// Fig9a: indirect stream cache associativity (paper: direct-mapped is
+// acceptable; graphs gain 10-20% at 64 ways).
+func Fig9a(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "pr", "cc", "recsys") // graphs gain the most (paper)
+	return ndpextSweep("Fig 9(a): indirect cache associativity", "ways",
+		[]int{1, 4, 16, 64}, 1,
+		func(cfg *system.Config, v int) { cfg.Stream.IndirectWays = v }, opt)
+}
+
+// Fig9b: affine stream block size (paper default 1 kB).
+func Fig9b(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "mv", "hotspot", "pathfinder")
+	return ndpextSweep("Fig 9(b): affine block size (bytes)", "block",
+		[]int{256, 512, 1024, 2048}, 1024,
+		func(cfg *system.Config, v int) { cfg.Stream.BlockBytes = v }, opt)
+}
+
+// Fig9c: affine space restriction (scaled; paper 16 MB -> 16 kB here,
+// with a near-unlimited point standing in for the ideal case).
+func Fig9c(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "mv", "gnn") // the paper's affine-heavy pair
+	return ndpextSweep("Fig 9(c): affine space restriction (bytes/unit, scaled)", "cap",
+		[]int{4 << 10, 8 << 10, 16 << 10, 64 << 10, 1 << 20}, 16<<10,
+		func(cfg *system.Config, v int) { cfg.Stream.AffineCapBytes = v }, opt)
+}
+
+// Fig9d: miss-curve sampler sets k (paper: insensitive).
+func Fig9d(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr")
+	return ndpextSweep("Fig 9(d): sampler sets k", "k",
+		[]int{8, 16, 32, 64}, 32,
+		func(cfg *system.Config, v int) { cfg.Sampler.SampleSets = v }, opt)
+}
+
+// Fig9e: reconfiguration method S(tatic)/P(artial)/F(ull).
+func Fig9e(opt Options) (Table, map[string]float64, error) {
+	tbl := Table{
+		Title:   "Fig 9(e): reconfiguration method (speedup vs Full)",
+		Columns: append([]string{"workload"}, "Static", "Partial", "Full"),
+	}
+	opt = sweepSubset(opt, "mv", "pr") // the paper highlights this pair
+	modes := []struct {
+		name string
+		mode system.ReconfigMode
+	}{
+		{"Static", system.ReconfigStatic},
+		{"Partial", system.ReconfigPartial},
+		{"Full", system.ReconfigFull},
+	}
+	out := map[string]float64{}
+	sums := map[string]float64{}
+	for _, w := range opt.Workloads {
+		times := map[string]float64{}
+		for _, m := range modes {
+			cfg := system.DefaultConfig(system.NDPExt)
+			cfg.Reconfig = m.mode
+			res, err := run(cfg, w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			times[m.name] = float64(res.Time)
+			sums[m.name] += float64(res.Time)
+		}
+		tbl.Rows = append(tbl.Rows, []string{w,
+			f2(times["Full"] / times["Static"]),
+			f2(times["Full"] / times["Partial"]),
+			"1.00"})
+	}
+	for _, m := range modes {
+		out[m.name] = sums["Full"] / sums[m.name]
+	}
+	tbl.Rows = append(tbl.Rows, []string{"overall",
+		f2(out["Static"]), f2(out["Partial"]), "1.00"})
+	return tbl, out, nil
+}
+
+// Fig9f: reconfiguration interval (paper: 50 M cycles is enough; 100 M
+// costs 26%).
+func Fig9f(opt Options) (Table, map[int]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr", "mv")
+	base := int(system.DefaultConfig(system.NDPExt).EpochCycles)
+	return ndpextSweep("Fig 9(f): reconfiguration interval (cycles)", "epoch",
+		[]int{base / 4, base / 2, base, base * 2, base * 4}, base,
+		func(cfg *system.Config, v int) { cfg.EpochCycles = int64(v) }, opt)
+}
+
+// SecVD quantifies §V-D: consistent hashing vs bulk invalidation during
+// reconfiguration (paper: 9.4% less invalidation traffic, 3.7% speedup).
+func SecVD(opt Options) (Table, float64, float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr", "mv", "hotspot")
+	tbl := Table{
+		Title:   "SecV-D: consistent hashing vs bulk invalidation",
+		Columns: []string{"workload", "speedup", "invalidation-reduction"},
+	}
+	var sps, invs []float64
+	for _, w := range opt.Workloads {
+		cons := system.DefaultConfig(system.NDPExt)
+		cons.ConsistentHash = true
+		bulk := system.DefaultConfig(system.NDPExt)
+		bulk.ConsistentHash = false
+		rc, err := run(cons, w, opt)
+		if err != nil {
+			return tbl, 0, 0, err
+		}
+		rb, err := run(bulk, w, opt)
+		if err != nil {
+			return tbl, 0, 0, err
+		}
+		sp := float64(rb.Time) / float64(rc.Time)
+		inv := 0.0
+		if rb.ReconfigDropped > 0 {
+			inv = 1 - float64(rc.ReconfigDropped)/float64(rb.ReconfigDropped)
+		}
+		sps = append(sps, sp)
+		invs = append(invs, inv)
+		tbl.Rows = append(tbl.Rows, []string{w, f2(sp), pct(inv)})
+	}
+	sp := stats.Geomean(sps)
+	inv := stats.Mean(invs)
+	tbl.Rows = append(tbl.Rows, []string{"overall", f2(sp), pct(inv)})
+	return tbl, sp, inv, nil
+}
+
+// AblationExtAttach compares the extended-memory attach technologies the
+// paper discusses in SecIII-A: CXL (the proposal), directly-attached
+// DIMMs (lower latency, fewer channels/pins), and relaying through the
+// host processor (highest latency). NDPExt runs on each.
+func AblationExtAttach(opt Options) (Table, map[string]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr", "mv")
+	tbl := Table{
+		Title:   "Ablation (SecIII-A): extended-memory attach technology (speedup vs CXL)",
+		Columns: []string{"attach", "speedup"},
+	}
+	attaches := []struct {
+		name string
+		cfg  cxl.Config
+	}{
+		{"cxl", cxl.DefaultConfig()},
+		{"dimm", cxl.DIMMConfig()},
+		{"host-relay", cxl.HostRelayConfig()},
+	}
+	times := map[string]float64{}
+	for _, at := range attaches {
+		var total float64
+		for _, w := range opt.Workloads {
+			cfg := system.DefaultConfig(system.NDPExt)
+			cfg.CXL = at.cfg
+			res, err := run(cfg, w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			total += float64(res.Time)
+		}
+		times[at.name] = total
+	}
+	out := map[string]float64{}
+	for _, at := range attaches {
+		out[at.name] = times["cxl"] / times[at.name]
+		tbl.Rows = append(tbl.Rows, []string{at.name, f2(out[at.name])})
+	}
+	return tbl, out, nil
+}
+
+// AblationWayPredict compares the indirect-cache organizations of
+// SecIV-C: direct-mapped (the proposal), idealized N-way (Fig. 9a's
+// experiment), and realistic way-predicted N-way (the CAMEO/Unison-style
+// alternative, paying a second DRAM access per misprediction).
+func AblationWayPredict(opt Options) (Table, map[string]float64, error) {
+	opt = sweepSubset(opt, "recsys", "pr")
+	tbl := Table{
+		Title:   "Ablation (SecIV-C): indirect cache organization (speedup vs direct-mapped)",
+		Columns: []string{"organization", "speedup"},
+	}
+	organizations := []struct {
+		name    string
+		ways    int
+		predict bool
+	}{
+		{"direct-mapped", 1, false},
+		{"4-way ideal", 4, false},
+		{"4-way way-predicted", 4, true},
+	}
+	times := map[string]float64{}
+	for _, org := range organizations {
+		var total float64
+		for _, w := range opt.Workloads {
+			cfg := system.DefaultConfig(system.NDPExt)
+			cfg.Stream.IndirectWays = org.ways
+			cfg.Stream.WayPredict = org.predict
+			res, err := run(cfg, w, opt)
+			if err != nil {
+				return tbl, nil, err
+			}
+			total += float64(res.Time)
+		}
+		times[org.name] = total
+	}
+	out := map[string]float64{}
+	for _, org := range organizations {
+		out[org.name] = times["direct-mapped"] / times[org.name]
+		tbl.Rows = append(tbl.Rows, []string{org.name, f2(out[org.name])})
+	}
+	return tbl, out, nil
+}
+
+// MetaHitRates reports the baselines' metadata cache hit rates per
+// workload (§VII-A: >95% for high-locality workloads, 47% for large
+// graphs).
+func MetaHitRates(opt Options) (Table, error) {
+	tbl := Table{
+		Title:   "SecVII-A: baseline metadata cache hit rate (Nexus)",
+		Columns: []string{"workload", "meta-hit-rate"},
+	}
+	for _, w := range opt.Workloads {
+		res, err := run(system.DefaultConfig(system.Nexus), w, opt)
+		if err != nil {
+			return tbl, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{w, pct(res.MetaHitRate)})
+	}
+	return tbl, nil
+}

@@ -1,0 +1,169 @@
+// Package cache implements set-associative SRAM caches with LRU
+// replacement. It backs the per-core L1 caches of the NDP units and the
+// per-unit metadata caches used by the baseline NUCA designs
+// (Jigsaw/Whirlpool/Nexus adapted to a DRAM cache need a metadata lookup
+// before each data access; see paper §VI "Baseline designs").
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache indexed by address. It stores tags
+// only (the simulator never stores data contents). Not safe for
+// concurrent use.
+type Cache struct {
+	lineBytes int
+	assoc     int
+	numSets   int
+	sets      []set
+	tick      uint64
+	stats     Stats
+}
+
+type set struct {
+	ways []way
+}
+
+type way struct {
+	tag   uint64 // full line address; valid flag separate
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an idle cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// New builds a cache of sizeBytes capacity with the given line size and
+// associativity. Size must be a multiple of lineBytes*assoc; the set
+// count need not be a power of two.
+func New(sizeBytes, lineBytes, assoc int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry size=%d line=%d assoc=%d", sizeBytes, lineBytes, assoc))
+	}
+	lines := sizeBytes / lineBytes
+	if lines == 0 || lines%assoc != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d-byte lines x %d ways", sizeBytes, lineBytes, assoc))
+	}
+	numSets := lines / assoc
+	c := &Cache{lineBytes: lineBytes, assoc: assoc, numSets: numSets, sets: make([]set, numSets)}
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, assoc)
+	}
+	return c
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// SizeBytes returns the total capacity.
+func (c *Cache) SizeBytes() int { return c.lineBytes * c.assoc * c.numSets }
+
+// lineAddr converts a byte address to a line address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr / uint64(c.lineBytes) }
+
+// Access looks up addr, allocating on miss (write-allocate) and evicting
+// LRU. It reports whether the access hit, and on an eviction of a dirty
+// line, the victim's byte address and that a writeback is needed.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victimAddr uint64, writeback bool) {
+	la := c.lineAddr(addr)
+	s := &c.sets[la%uint64(c.numSets)]
+	c.tick++
+
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.tag == la {
+			w.lru = c.tick
+			if write {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true, 0, false
+		}
+	}
+	c.stats.Misses++
+
+	// Find a victim: an invalid way, else the LRU way.
+	vi := 0
+	for i := range s.ways {
+		if !s.ways[i].valid {
+			vi = i
+			break
+		}
+		if s.ways[i].lru < s.ways[vi].lru {
+			vi = i
+		}
+	}
+	v := &s.ways[vi]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			victimAddr = v.tag * uint64(c.lineBytes)
+			writeback = true
+		}
+	}
+	*v = way{tag: la, valid: true, dirty: write, lru: c.tick}
+	return false, victimAddr, writeback
+}
+
+// Probe reports whether addr is cached, without updating LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	la := c.lineAddr(addr)
+	s := &c.sets[la%uint64(c.numSets)]
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present, reporting whether
+// it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.lineAddr(addr)
+	s := &c.sets[la%uint64(c.numSets)]
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.tag == la {
+			present, dirty = true, w.dirty
+			*w = way{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll drops every line, returning how many were valid.
+func (c *Cache) InvalidateAll() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			if c.sets[i].ways[j].valid {
+				n++
+			}
+			c.sets[i].ways[j] = way{}
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

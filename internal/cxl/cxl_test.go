@@ -1,0 +1,176 @@
+package cxl
+
+import (
+	"testing"
+
+	"ndpext/internal/sim"
+)
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	c := DefaultConfig()
+	if c.LinkLatency != sim.FromNS(200) {
+		t.Fatalf("link latency = %v, want 200ns", c.LinkLatency)
+	}
+	if c.PJPerBit != 11.4 {
+		t.Fatalf("link energy = %v, want 11.4 pJ/bit", c.PJPerBit)
+	}
+	if c.Channels != 4 || c.BanksPerChannel != 32 {
+		t.Fatalf("channels=%d banks=%d, want 4x32", c.Channels, c.BanksPerChannel)
+	}
+	if c.DRAM.Name != "DDR5-4800" {
+		t.Fatalf("backing DRAM = %s", c.DRAM.Name)
+	}
+}
+
+func TestAccessPaysRoundTripLinkLatency(t *testing.T) {
+	d := New(DefaultConfig())
+	done := d.Access(0, 0, 64, false)
+	if done < 2*sim.FromNS(200) {
+		t.Fatalf("read completed in %v, below the 400ns round-trip link floor", done)
+	}
+	if done != d.MinLatency(64) {
+		t.Fatalf("unloaded access = %v, MinLatency = %v", done, d.MinLatency(64))
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkGBps = 1 // slow link so serialization dominates
+	d := New(cfg)
+	t1 := d.Access(0, 0, 4096, false)
+	t2 := d.Access(0, 1<<20, 4096, false)
+	if t2 <= t1 {
+		t.Fatalf("second access (%v) did not queue behind first (%v)", t2, t1)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	d := New(DefaultConfig())
+	rb := uint64(d.Config().DRAM.RowBytes)
+	seen := map[int]bool{}
+	for i := uint64(0); i < 8; i++ {
+		ch, _ := d.mapAddr(i * rb)
+		seen[ch] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("consecutive rows touched %d channels, want 4", len(seen))
+	}
+}
+
+func TestReadVsWritePayloadDirection(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0, 0, 64, false)
+	d.Access(0, 0, 64, true)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", s.Reads, s.Writes)
+	}
+	// Both carry one payload + two headers, so equal energy.
+	wantBits := float64(2*(2*reqBytes+64)) * 8
+	if got := s.LinkEnergyPJ / 11.4; got != wantBits {
+		t.Fatalf("link bits = %v, want %v", got, wantBits)
+	}
+}
+
+func TestDRAMStatsAggregation(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := uint64(0); i < 16; i++ {
+		d.Access(0, i*8192, 64, false)
+	}
+	ds := d.DRAMStats()
+	if ds.Reads != 16 {
+		t.Fatalf("aggregated reads = %d, want 16", ds.Reads)
+	}
+	if ds.EnergyPJ <= 0 {
+		t.Fatal("no DRAM energy recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0, 0, 64, false)
+	d.Reset()
+	if s := d.Stats(); s.Reads != 0 || s.LinkEnergyPJ != 0 {
+		t.Fatalf("Reset left stats %+v", s)
+	}
+	if ds := d.DRAMStats(); ds.Reads != 0 {
+		t.Fatal("Reset did not clear channel stats")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestHigherLatencyConfig(t *testing.T) {
+	// Fig. 8(b) sweeps CXL latency; verify the knob takes effect.
+	fast := DefaultConfig()
+	fast.LinkLatency = sim.FromNS(50)
+	slow := DefaultConfig()
+	slow.LinkLatency = sim.FromNS(400)
+	tf := New(fast).Access(0, 0, 64, false)
+	ts := New(slow).Access(0, 0, 64, false)
+	if ts-tf != sim.FromNS(700) { // 2 * (400-50)
+		t.Fatalf("latency delta = %v, want 700ns", ts-tf)
+	}
+}
+
+func TestAttachPresets(t *testing.T) {
+	dimm, relay, def := DIMMConfig(), HostRelayConfig(), DefaultConfig()
+	if dimm.LinkLatency >= def.LinkLatency {
+		t.Fatal("DIMM attach should have lower latency than CXL")
+	}
+	if relay.LinkLatency <= def.LinkLatency {
+		t.Fatal("host relay should have higher latency than CXL")
+	}
+	if dimm.Channels >= def.Channels {
+		t.Fatal("DIMM attach should expose fewer channels (pin budget)")
+	}
+	for _, c := range []Config{dimm, relay} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		d := New(c)
+		if done := d.Access(0, 0, 64, false); done <= 0 {
+			t.Fatal("preset device does not work")
+		}
+	}
+}
+
+// Property: completion time is never before the unloaded minimum, and
+// back-to-back accesses to one address complete in nondecreasing order.
+func TestAccessLowerBoundProperty(t *testing.T) {
+	// (Completion order may legitimately invert: gap-filling link
+	// reservation and independent banks let later requests finish
+	// sooner, so only the per-access floor is asserted.)
+	d := New(DefaultConfig())
+	at := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		at += sim.FromNS(float64(i % 7))
+		done := d.Access(at, uint64(i)*64, 64, i%5 == 0)
+		if done < at+2*d.Config().LinkLatency {
+			t.Fatalf("access %d completed at %v, under the link floor", i, done)
+		}
+	}
+}
+
+func TestSaturationRaisesLatency(t *testing.T) {
+	d := New(DefaultConfig())
+	unloaded := d.Access(0, 0, 64, false)
+	// Hammer the device from many virtual requesters at the same instant.
+	var worst sim.Time
+	for i := 0; i < 500; i++ {
+		done := d.Access(0, uint64(i)*8192, 1024, false)
+		if done > worst {
+			worst = done
+		}
+	}
+	if worst <= unloaded*2 {
+		t.Fatalf("500 simultaneous 1 kB fetches finished by %v; no queueing modelled", worst)
+	}
+}

@@ -1,0 +1,216 @@
+package dram
+
+import (
+	"testing"
+
+	"ndpext/internal/sim"
+)
+
+func TestParamsMatchTableII(t *testing.T) {
+	cases := []struct {
+		p                Params
+		rcd, cas, rp     int
+		freq             float64
+		rdwrPJ, actPreNJ float64
+	}{
+		{HBM3(), 24, 24, 24, 1600, 1.7, 0.6},
+		{HMC2(), 14, 14, 14, 1250, 1.7, 0.6},
+		{DDR5(), 40, 40, 40, 2400, 3.2, 3.3},
+	}
+	for _, c := range cases {
+		if c.p.TRCD != c.rcd || c.p.TCAS != c.cas || c.p.TRP != c.rp {
+			t.Errorf("%s timing = %d-%d-%d, want %d-%d-%d",
+				c.p.Name, c.p.TRCD, c.p.TCAS, c.p.TRP, c.rcd, c.cas, c.rp)
+		}
+		if c.p.FreqMHz != c.freq {
+			t.Errorf("%s freq = %v, want %v", c.p.Name, c.p.FreqMHz, c.freq)
+		}
+		if c.p.RDWRPJPerBit != c.rdwrPJ || c.p.ACTPREnJ != c.actPreNJ {
+			t.Errorf("%s energy = %v pJ/bit, %v nJ; want %v, %v",
+				c.p.Name, c.p.RDWRPJPerBit, c.p.ACTPREnJ, c.rdwrPJ, c.actPreNJ)
+		}
+	}
+}
+
+func TestRowBufferStateMachine(t *testing.T) {
+	d := NewDevice(HBM3(), 1) // single bank so every access shares the row buffer
+	p := d.Params()
+	clk := sim.NewClock(p.FreqMHz)
+
+	// Cold access: tRCD + tCAS + burst.
+	done, hit := d.Access(0, 5, 64, false)
+	if hit {
+		t.Fatal("cold access reported a row hit")
+	}
+	want := clk.Cycles(int64(p.TRCD + p.TCAS + p.BurstCyc))
+	if done != want {
+		t.Fatalf("cold access latency = %v, want %v", done, want)
+	}
+
+	// Same-row access: tCAS + burst, and must queue behind the first.
+	done2, hit2 := d.Access(0, 5, 64, false)
+	if !hit2 {
+		t.Fatal("same-row access missed the row buffer")
+	}
+	if wantEnd := done + clk.Cycles(int64(p.TCAS+p.BurstCyc)); done2 != wantEnd {
+		t.Fatalf("row-hit completion = %v, want %v", done2, wantEnd)
+	}
+
+	// Conflicting row: tRP + tRCD + tCAS + burst.
+	start := done2 + sim.Microsecond
+	done3, hit3 := d.Access(start, 6, 64, false)
+	if hit3 {
+		t.Fatal("conflicting access reported a row hit")
+	}
+	if want3 := start + clk.Cycles(int64(p.TRP+p.TRCD+p.TCAS+p.BurstCyc)); done3 != want3 {
+		t.Fatalf("conflict latency end = %v, want %v", done3, want3)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	d := NewDevice(HBM3(), 4)
+	p := d.Params()
+	clk := sim.NewClock(p.FreqMHz)
+	burst := clk.Cycles(int64(p.BurstCyc))
+	full := clk.Cycles(int64(p.TRCD + p.TCAS + p.BurstCyc))
+	// Rows 0..3 map to distinct banks: activations overlap, but the data
+	// bursts serialize on the shared bus, so completions step by the
+	// burst time -- far better than full serialization.
+	var ends []sim.Time
+	for row := int64(0); row < 4; row++ {
+		done, _ := d.Access(0, row, 64, false)
+		ends = append(ends, done)
+	}
+	for i := 1; i < len(ends); i++ {
+		if got, want := ends[i], ends[0]+sim.Time(i)*burst; got != want {
+			t.Fatalf("bank %d ended at %v, want %v (bus-serialized bursts)", i, got, want)
+		}
+	}
+	if ends[3] >= 4*full {
+		t.Fatalf("parallel banks fully serialized: %v >= %v", ends[3], 4*full)
+	}
+	// Row 4 maps back to bank 0 and must queue behind it.
+	done, _ := d.Access(0, 4, 64, false)
+	if done <= ends[0] {
+		t.Fatalf("conflicting bank access finished at %v, not after %v", done, ends[0])
+	}
+}
+
+func TestStatsAndEnergy(t *testing.T) {
+	d := NewDevice(DDR5(), 2)
+	d.Access(0, 0, 64, false)
+	d.Access(0, 0, 64, true) // row hit, write
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", s.Reads, s.Writes)
+	}
+	if s.Activations != 1 || s.RowHits != 1 {
+		t.Fatalf("activations=%d rowhits=%d", s.Activations, s.RowHits)
+	}
+	wantEnergy := 3.3*1000 + 2*64*8*3.2 // one ACT/PRE + two 64B transfers
+	if diff := s.EnergyPJ - wantEnergy; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy = %v pJ, want %v", s.EnergyPJ, wantEnergy)
+	}
+}
+
+func TestLargerTransfersCostMoreBurst(t *testing.T) {
+	d := NewDevice(HBM3(), 1)
+	small, _ := d.Access(0, 0, 64, false)
+	d.Reset()
+	large, _ := d.Access(0, 0, 1024, false)
+	if large <= small {
+		t.Fatalf("1 kB access (%v) not slower than 64 B access (%v)", large, small)
+	}
+}
+
+func TestRawLatency(t *testing.T) {
+	d := NewDevice(HBM3(), 1)
+	hit := d.RawLatency(true, 64)
+	miss := d.RawLatency(false, 64)
+	if miss <= hit {
+		t.Fatalf("row-miss raw latency %v not greater than hit %v", miss, hit)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := NewDevice(HBM3(), 2)
+	d.Access(0, 0, 64, false)
+	d.Reset()
+	if s := d.Stats(); s.Reads != 0 || s.EnergyPJ != 0 {
+		t.Fatalf("Reset left stats %+v", s)
+	}
+	if _, hit := d.Access(0, 0, 64, false); hit {
+		t.Fatal("Reset did not close the row buffer")
+	}
+}
+
+func TestNewDevicePanicsWithoutBanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDevice(0 banks) did not panic")
+		}
+	}()
+	NewDevice(HBM3(), 0)
+}
+
+func TestNegativeRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative row did not panic")
+		}
+	}()
+	NewDevice(HBM3(), 1).Access(0, -1, 64, false)
+}
+
+func TestTRASEnforcedWhenEnabled(t *testing.T) {
+	p := HBM3()
+	p.TRAS = 100 // exaggerated so the effect is unambiguous
+	d := NewDevice(p, 1)
+	clk := sim.NewClock(p.FreqMHz)
+	// Open row 0, then immediately conflict with row 1: the precharge
+	// must wait out tRAS from the activation.
+	d.Access(0, 0, 64, false)
+	done, _ := d.Access(0, 1, 64, false)
+	min := clk.Cycles(int64(p.TRAS + p.TRP + p.TRCD + p.TCAS))
+	if done < min {
+		t.Fatalf("conflict completed at %v, before tRAS allows (%v)", done, min)
+	}
+	// Default parameter sets leave TRAS off: behaviour unchanged.
+	d2 := NewDevice(HBM3(), 1)
+	d2.Access(0, 0, 64, false)
+	done2, _ := d2.Access(0, 1, 64, false)
+	if done2 >= min {
+		t.Fatalf("default (no tRAS) also waited: %v", done2)
+	}
+}
+
+func TestRefreshStallsWhenEnabled(t *testing.T) {
+	p := HBM3()
+	p.RefreshInterval = 1000 * sim.Nanosecond
+	p.RefreshDur = 100 * sim.Nanosecond
+	d := NewDevice(p, 4)
+	// An access arriving inside the refresh window is pushed past it.
+	done, _ := d.Access(10*sim.Nanosecond, 0, 64, false)
+	if done < 100*sim.Nanosecond {
+		t.Fatalf("access inside tRFC completed at %v", done)
+	}
+	if d.Stats().RefreshStalls == 0 {
+		t.Fatal("no refresh stall recorded")
+	}
+	// An access between refreshes is unaffected.
+	d2 := NewDevice(p, 4)
+	done2, _ := d2.Access(500*sim.Nanosecond, 0, 64, false)
+	base := NewDevice(HBM3(), 4)
+	ref, _ := base.Access(500*sim.Nanosecond, 0, 64, false)
+	if done2 != ref {
+		t.Fatalf("mid-interval access disturbed: %v vs %v", done2, ref)
+	}
+}
+
+func TestDefaultsKeepRefinedTimingOff(t *testing.T) {
+	for _, p := range []Params{HBM3(), HMC2(), DDR5()} {
+		if p.TRAS != 0 || p.RefreshInterval != 0 || p.RefreshDur != 0 {
+			t.Fatalf("%s enables refined timing by default", p.Name)
+		}
+	}
+}

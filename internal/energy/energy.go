@@ -1,0 +1,80 @@
+// Package energy accumulates the system energy breakdown reported in the
+// paper's Fig. 6: static energy (follows execution time), NDP DRAM and
+// extended-memory DRAM dynamic energy, interconnect energy, and CXL link
+// energy. All values are in picojoules.
+package energy
+
+import (
+	"fmt"
+
+	"ndpext/internal/sim"
+)
+
+// Breakdown is one run's energy decomposition in picojoules.
+type Breakdown struct {
+	StaticPJ  float64
+	NDPDramPJ float64
+	ExtDramPJ float64
+	NoCPJ     float64
+	CXLLinkPJ float64
+	SRAMPJ    float64 // SLB/ATA/sampler/metadata-cache accesses (§VI SRAM cost)
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.StaticPJ + b.NDPDramPJ + b.ExtDramPJ + b.NoCPJ + b.CXLLinkPJ + b.SRAMPJ
+}
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		StaticPJ:  b.StaticPJ + o.StaticPJ,
+		NDPDramPJ: b.NDPDramPJ + o.NDPDramPJ,
+		ExtDramPJ: b.ExtDramPJ + o.ExtDramPJ,
+		NoCPJ:     b.NoCPJ + o.NoCPJ,
+		CXLLinkPJ: b.CXLLinkPJ + o.CXLLinkPJ,
+		SRAMPJ:    b.SRAMPJ + o.SRAMPJ,
+	}
+}
+
+// Fraction returns each component as a fraction of the total (zero
+// breakdown yields zeros).
+func (b Breakdown) Fraction() Breakdown {
+	t := b.Total()
+	if t == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		StaticPJ:  b.StaticPJ / t,
+		NDPDramPJ: b.NDPDramPJ / t,
+		ExtDramPJ: b.ExtDramPJ / t,
+		NoCPJ:     b.NoCPJ / t,
+		CXLLinkPJ: b.CXLLinkPJ / t,
+		SRAMPJ:    b.SRAMPJ / t,
+	}
+}
+
+// String renders the breakdown in microjoules.
+func (b Breakdown) String() string {
+	const uJ = 1e6
+	return fmt.Sprintf("static=%.1fuJ ndpDram=%.1fuJ extDram=%.1fuJ noc=%.1fuJ cxl=%.1fuJ sram=%.1fuJ (total %.1fuJ)",
+		b.StaticPJ/uJ, b.NDPDramPJ/uJ, b.ExtDramPJ/uJ, b.NoCPJ/uJ, b.CXLLinkPJ/uJ, b.SRAMPJ/uJ, b.Total()/uJ)
+}
+
+// CACTI-7-style per-access SRAM energies (pJ) for the structures the
+// paper sizes in §VI; small structures at ~22 nm cost a few pJ per
+// access.
+const (
+	L1AccessPJ      = 8.0 // per L1 D-cache access
+	SLBAccessPJ     = 2.5 // 32-entry TCAM probe
+	ATAAccessPJ     = 3.0 // 16k-entry set-associative tag read
+	SamplerUpdatePJ = 1.5 // one shadow-set update
+	MetaCachePJ     = 4.0 // baseline metadata cache probe
+)
+
+// Static computes static energy for a run: powerMW milliwatts drawn for
+// the given simulated duration, in picojoules
+// (1 mW x 1 ps = 1e-15 J = 1e-3 pJ).
+func Static(powerMW float64, dur sim.Time) float64 {
+	return powerMW * float64(dur) * 1e-3
+}

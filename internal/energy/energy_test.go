@@ -1,0 +1,56 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ndpext/internal/sim"
+)
+
+func TestTotalAndAdd(t *testing.T) {
+	a := Breakdown{StaticPJ: 1, NDPDramPJ: 2, ExtDramPJ: 3, NoCPJ: 4, CXLLinkPJ: 5}
+	if a.Total() != 15 {
+		t.Fatalf("total = %v", a.Total())
+	}
+	b := a.Add(a)
+	if b.Total() != 30 || b.NoCPJ != 8 {
+		t.Fatalf("add = %+v", b)
+	}
+}
+
+func TestFractionSumsToOne(t *testing.T) {
+	f := func(s, n, e, c, x uint16) bool {
+		b := Breakdown{
+			StaticPJ: float64(s), NDPDramPJ: float64(n), ExtDramPJ: float64(e),
+			NoCPJ: float64(c), CXLLinkPJ: float64(x),
+		}
+		fr := b.Fraction()
+		if b.Total() == 0 {
+			return fr == Breakdown{}
+		}
+		sum := fr.Total()
+		return sum > 0.999999 && sum < 1.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	// 1000 mW for 1 ms = 1 mJ = 1e9 pJ.
+	got := Static(1000, sim.Millisecond)
+	if got != 1e9 {
+		t.Fatalf("Static = %v pJ, want 1e9", got)
+	}
+	if Static(0, sim.Second) != 0 {
+		t.Fatal("zero power nonzero energy")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := Breakdown{StaticPJ: 2e6}
+	if !strings.Contains(b.String(), "static=2.0uJ") {
+		t.Fatalf("String = %q", b.String())
+	}
+}

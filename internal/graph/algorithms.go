@@ -1,0 +1,145 @@
+package graph
+
+// Reference implementations of the kernels the workload generators
+// emulate. The generators emit access traces while computing; these
+// standalone versions give testable ground truth and a reusable graph
+// toolkit.
+
+// BFS returns the parent array of a breadth-first traversal from root
+// (-1 for unreached vertices; the root is its own parent).
+func BFS(g *CSR, root int) []int32 {
+	n := g.NumVertices()
+	par := make([]int32, n)
+	for i := range par {
+		par[i] = -1
+	}
+	if root < 0 || root >= n {
+		return par
+	}
+	par[root] = int32(root)
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, e := range g.Neighbors(u) {
+				if par[e] == -1 {
+					par[e] = int32(u)
+					next = append(next, int(e))
+				}
+			}
+		}
+		frontier = next
+	}
+	return par
+}
+
+// Components labels each vertex with the smallest vertex ID reachable in
+// its weakly-connected component (treating edges as undirected), via
+// label propagation until a fixed point.
+func Components(g *CSR) []uint32 {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			for _, e := range g.Neighbors(v) {
+				switch {
+				case labels[e] < labels[v]:
+					labels[v] = labels[e]
+					changed = true
+				case labels[v] < labels[e]:
+					labels[e] = labels[v]
+					changed = true
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// CountTriangles counts unordered vertex triples (u, v, w), u < v < w,
+// where the directed edges u->v, u->w, and v->w all exist — the
+// ordered-intersection method GAP's tc uses on a symmetrized, sorted
+// graph.
+func CountTriangles(g *CSR) int {
+	total := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		nu := dedupAbove(g.Neighbors(u), uint32(u))
+		for _, v := range nu {
+			nv := dedupAbove(g.Neighbors(int(v)), v)
+			total += intersectCount(nu, nv)
+		}
+	}
+	return total
+}
+
+// dedupAbove returns the sorted unique neighbours strictly greater than
+// lo (adjacency lists may contain duplicates from multigraph edges).
+func dedupAbove(adj []uint32, lo uint32) []uint32 {
+	out := make([]uint32, 0, len(adj))
+	var last uint32
+	have := false
+	for _, e := range adj {
+		if e <= lo || (have && e == last) {
+			continue
+		}
+		out = append(out, e)
+		last, have = e, true
+	}
+	return out
+}
+
+// intersectCount merges two sorted unique lists and counts the overlap.
+func intersectCount(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// PageRank runs iters iterations of damped PageRank (damping d) and
+// returns the final rank vector (sums to ~1 on graphs without sinks).
+func PageRank(g *CSR, iters int, d float64) []float64 {
+	n := g.NumVertices()
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - d) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			deg := g.Degree(u)
+			if deg == 0 {
+				// Sink: redistribute uniformly.
+				share := d * ranks[u] / float64(n)
+				for i := range next {
+					next[i] += share
+				}
+				continue
+			}
+			share := d * ranks[u] / float64(deg)
+			for _, e := range g.Neighbors(u) {
+				next[e] += share
+			}
+		}
+		ranks, next = next, ranks
+	}
+	return ranks
+}

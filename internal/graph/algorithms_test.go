@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ndpext/internal/sim"
+)
+
+// line builds the path graph 0 -> 1 -> ... -> n-1 (directed both ways).
+func line(n int) *CSR {
+	var src, dst []uint32
+	for i := 0; i+1 < n; i++ {
+		src = append(src, uint32(i), uint32(i+1))
+		dst = append(dst, uint32(i+1), uint32(i))
+	}
+	return fromPairs(n, src, dst)
+}
+
+// triangle builds the complete graph K3 plus an isolated vertex.
+func triangleK3() *CSR {
+	src := []uint32{0, 0, 1, 1, 2, 2}
+	dst := []uint32{1, 2, 0, 2, 0, 1}
+	return fromPairs(4, src, dst)
+}
+
+func TestBFSOnLine(t *testing.T) {
+	g := line(6)
+	par := BFS(g, 0)
+	for v := 1; v < 6; v++ {
+		if par[v] != int32(v-1) {
+			t.Fatalf("parent[%d] = %d, want %d", v, par[v], v-1)
+		}
+	}
+	if par[0] != 0 {
+		t.Fatal("root not its own parent")
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := triangleK3() // vertex 3 is isolated
+	par := BFS(g, 0)
+	if par[3] != -1 {
+		t.Fatalf("isolated vertex reached: parent %d", par[3])
+	}
+	if BFS(g, -1)[0] != -1 {
+		t.Fatal("invalid root should reach nothing")
+	}
+}
+
+// Property: every reached vertex's parent chain terminates at the root.
+func TestBFSParentChainsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Uniform(200, 3, seed)
+		root := int(seed % 200)
+		par := BFS(g, root)
+		for v := 0; v < 200; v++ {
+			if par[v] == -1 {
+				continue
+			}
+			u, steps := v, 0
+			for u != root {
+				u = int(par[u])
+				steps++
+				if steps > 200 {
+					return false // cycle in parent chain
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsOnDisjointParts(t *testing.T) {
+	// Two triangles with no edges between them.
+	src := []uint32{0, 1, 2, 3, 4, 5}
+	dst := []uint32{1, 2, 0, 4, 5, 3}
+	g := fromPairs(6, src, dst)
+	labels := Components(g)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("first component split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatalf("second component split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("disjoint components merged: %v", labels)
+	}
+}
+
+// Property: component labels agree with BFS reachability on undirected
+// graphs (every BFS-reachable pair shares a label).
+func TestComponentsMatchBFSProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		// Build an undirected graph (each edge in both directions).
+		rng := sim.NewRNG(seed)
+		n := 50
+		var src, dst []uint32
+		for i := 0; i < 60; i++ {
+			a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			src = append(src, a, b)
+			dst = append(dst, b, a)
+		}
+		g := fromPairs(n, src, dst)
+		labels := Components(g)
+		par := BFS(g, 0)
+		for v := 0; v < n; v++ {
+			if par[v] != -1 && labels[v] != labels[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountTrianglesK3(t *testing.T) {
+	if got := CountTriangles(triangleK3()); got != 1 {
+		t.Fatalf("K3 triangles = %d, want 1", got)
+	}
+	if got := CountTriangles(line(5)); got != 0 {
+		t.Fatalf("path graph triangles = %d, want 0", got)
+	}
+}
+
+// bruteTriangles checks all vertex triples directly.
+func bruteTriangles(g *CSR) int {
+	n := g.NumVertices()
+	has := make(map[uint64]bool)
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(u) {
+			has[uint64(u)<<32|uint64(e)] = true
+		}
+	}
+	edge := func(a, b int) bool {
+		return has[uint64(a)<<32|uint64(b)]
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !edge(u, v) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if edge(u, w) && edge(v, w) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Property: the intersection counter matches brute force on small
+// symmetric graphs.
+func TestCountTrianglesMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := sim.NewRNG(seed)
+		n := 24
+		var src, dst []uint32
+		for i := 0; i < 50; i++ {
+			a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			src = append(src, a, b)
+			dst = append(dst, b, a)
+		}
+		g := fromPairs(n, src, dst)
+		want := bruteTriangles(g)
+		if got := CountTriangles(g); got != want {
+			t.Fatalf("seed %d: triangles = %d, brute force = %d", seed, got, want)
+		}
+	}
+}
+
+func TestPageRankConservation(t *testing.T) {
+	g := RMAT(8, 4, 9)
+	ranks := PageRank(g, 20, 0.85)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("rank mass = %v, want 1", sum)
+	}
+	// Heavy-tailed graph: the max rank should far exceed the mean.
+	maxR := 0.0
+	for _, r := range ranks {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR < 5.0/float64(g.NumVertices()) {
+		t.Fatalf("max rank %v implausibly flat", maxR)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// A directed cycle has the uniform stationary distribution.
+	n := 8
+	var src, dst []uint32
+	for i := 0; i < n; i++ {
+		src = append(src, uint32(i))
+		dst = append(dst, uint32((i+1)%n))
+	}
+	g := fromPairs(n, src, dst)
+	ranks := PageRank(g, 50, 0.85)
+	for v, r := range ranks {
+		if math.Abs(r-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("cycle rank[%d] = %v, want uniform %v", v, r, 1.0/float64(n))
+		}
+	}
+}

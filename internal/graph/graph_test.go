@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestUniformStructure(t *testing.T) {
+	g := Uniform(1000, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 8000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestUniformDegreesRoughlyEven(t *testing.T) {
+	g := Uniform(500, 10, 7)
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Uniform graphs have no heavy tail: max degree stays near the mean.
+	if maxDeg > 40 {
+		t.Fatalf("uniform max degree %d is implausibly skewed", maxDeg)
+	}
+}
+
+func TestRMATHeavyTail(t *testing.T) {
+	g := RMAT(12, 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	mean := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(degs[0]) < 8*mean {
+		t.Fatalf("RMAT max degree %d not heavy-tailed (mean %.1f)", degs[0], mean)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := RMAT(10, 8, 5)
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+			t.Fatalf("adjacency of %d not sorted", v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RMAT(10, 4, 11)
+	b := RMAT(10, 4, 11)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := RMAT(10, 4, 12)
+	same := true
+	for i := range a.Edges {
+		if i < len(c.Edges) && a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Uniform(10, 2, 1)
+	g.Edges[0] = 1000
+	if g.Validate() == nil {
+		t.Fatal("out-of-range edge validated")
+	}
+	g = Uniform(10, 2, 1)
+	g.Offsets[5] = g.Offsets[6] + 1
+	if g.Validate() == nil {
+		t.Fatal("non-monotonic offsets validated")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uniform zero":  func() { Uniform(0, 2, 1) },
+		"rmat zero":     func() { RMAT(0, 2, 1) },
+		"rmat huge":     func() { RMAT(40, 2, 1) },
+		"rmat no edges": func() { RMAT(4, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

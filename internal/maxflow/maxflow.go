@@ -1,0 +1,184 @@
+// Package maxflow implements the Edmonds-Karp maximum-flow algorithm and
+// the sampler-assignment formulation of paper §V-B: assigning each NDP
+// unit's four miss-curve samplers to data streams so that as many streams
+// as possible are covered, under the constraint that a unit can only
+// sample streams it accesses.
+package maxflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed flow network with integer capacities.
+type Graph struct {
+	n     int
+	adj   [][]int32 // adjacency: edge indices (including reverse edges)
+	edges []edge
+}
+
+type edge struct {
+	to   int32
+	cap  int32 // residual capacity
+	orig int32 // original capacity (to report flow)
+}
+
+// NewGraph returns a graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("maxflow: %d nodes", n))
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// AddEdge adds a directed edge u->v with the given capacity and returns
+// its handle for later Flow queries.
+func (g *Graph) AddEdge(u, v, capacity int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge %d->%d outside %d nodes", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: int32(v), cap: int32(capacity), orig: int32(capacity)})
+	g.adj[u] = append(g.adj[u], int32(id))
+	g.edges = append(g.edges, edge{to: int32(u), cap: 0, orig: 0}) // reverse
+	g.adj[v] = append(g.adj[v], int32(id+1))
+	return id
+}
+
+// MaxFlow computes the maximum s-t flow (Edmonds-Karp: BFS augmenting
+// paths, O(V·E²)).
+func (g *Graph) MaxFlow(s, t int) int {
+	if s == t {
+		return 0
+	}
+	total := 0
+	parent := make([]int32, g.n) // edge index used to reach node
+	queue := make([]int32, 0, g.n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = append(queue[:0], int32(s))
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[u] {
+				e := &g.edges[ei]
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = ei
+					if int(e.to) == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find the bottleneck along the path.
+		aug := int32(1<<31 - 1)
+		for v := int32(t); v != int32(s); {
+			ei := parent[v]
+			if g.edges[ei].cap < aug {
+				aug = g.edges[ei].cap
+			}
+			v = g.edges[ei^1].to // reverse edge points back
+		}
+		for v := int32(t); v != int32(s); {
+			ei := parent[v]
+			g.edges[ei].cap -= aug
+			g.edges[ei^1].cap += aug
+			v = g.edges[ei^1].to
+		}
+		total += int(aug)
+	}
+}
+
+// Flow reports the flow pushed through the edge returned by AddEdge.
+func (g *Graph) Flow(id int) int {
+	return int(g.edges[id].orig - g.edges[id].cap)
+}
+
+// Assignment is the result of assigning samplers to streams.
+type Assignment struct {
+	// ByUnit[u] lists the stream indices unit u samples this epoch.
+	ByUnit [][]int
+	// Uncovered lists stream indices no sampler could cover.
+	Uncovered []int
+	// Covered is the number of streams assigned.
+	Covered int
+}
+
+// AssignSamplers solves the §V-B problem: accessedBy[s] lists the units
+// that accessed stream index s this epoch; each unit owns samplersPerUnit
+// samplers, each able to monitor one stream accessed by that unit.
+// Stream indices are dense [0, len(accessedBy)).
+func AssignSamplers(numUnits int, accessedBy [][]int, samplersPerUnit int) Assignment {
+	caps := make([]int, numUnits)
+	for i := range caps {
+		caps[i] = samplersPerUnit
+	}
+	return AssignSamplersCapacity(numUnits, accessedBy, caps)
+}
+
+// AssignSamplersCapacity is AssignSamplers with per-unit sampler budgets,
+// used by the multi-epoch rotation of §V-B: when not all streams can be
+// covered in one epoch, the runtime first assigns last epoch's uncovered
+// streams and then fills the remaining sampler slots.
+func AssignSamplersCapacity(numUnits int, accessedBy [][]int, capacity []int) Assignment {
+	numStreams := len(accessedBy)
+	a := Assignment{ByUnit: make([][]int, numUnits)}
+	if numStreams == 0 {
+		return a
+	}
+	// Nodes: 0 = source, 1..numUnits = units, then streams, then sink.
+	src := 0
+	unitNode := func(u int) int { return 1 + u }
+	streamNode := func(s int) int { return 1 + numUnits + s }
+	sink := 1 + numUnits + numStreams
+
+	g := NewGraph(sink + 1)
+	for u := 0; u < numUnits; u++ {
+		g.AddEdge(src, unitNode(u), capacity[u])
+	}
+	type usEdge struct {
+		unit, str, id int
+	}
+	var mids []usEdge
+	for s, units := range accessedBy {
+		for _, u := range units {
+			if u < 0 || u >= numUnits {
+				panic(fmt.Sprintf("maxflow: unit %d out of range", u))
+			}
+			id := g.AddEdge(unitNode(u), streamNode(s), 1)
+			mids = append(mids, usEdge{unit: u, str: s, id: id})
+		}
+		g.AddEdge(streamNode(s), sink, 1)
+	}
+	a.Covered = g.MaxFlow(src, sink)
+
+	covered := make([]bool, numStreams)
+	for _, m := range mids {
+		if g.Flow(m.id) > 0 {
+			a.ByUnit[m.unit] = append(a.ByUnit[m.unit], m.str)
+			covered[m.str] = true
+		}
+	}
+	for s := 0; s < numStreams; s++ {
+		if !covered[s] && len(accessedBy[s]) > 0 {
+			a.Uncovered = append(a.Uncovered, s)
+		}
+	}
+	for u := range a.ByUnit {
+		sort.Ints(a.ByUnit[u])
+	}
+	return a
+}

@@ -1,0 +1,214 @@
+package maxflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpext/internal/sim"
+)
+
+func TestSimpleFlow(t *testing.T) {
+	// s -> a -> t with capacity 3, plus s -> b -> t with capacity 2.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 3, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	if f := g.MaxFlow(0, 3); f != 5 {
+		t.Fatalf("flow = %d, want 5", f)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// s -> a (10), a -> b (1), b -> t (10): bottleneck 1.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 1 {
+		t.Fatalf("flow = %d, want 1", f)
+	}
+}
+
+func TestAugmentingPathThroughReverseEdge(t *testing.T) {
+	// Classic diamond requiring flow cancellation:
+	// s->a(1), s->b(1), a->b(1), a->t(1), b->t(1): max flow 2.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	if f := g.MaxFlow(0, 3); f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+}
+
+func TestFlowReporting(t *testing.T) {
+	g := NewGraph(3)
+	e1 := g.AddEdge(0, 1, 4)
+	e2 := g.AddEdge(1, 2, 3)
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Fatalf("flow = %d", f)
+	}
+	if g.Flow(e1) != 3 || g.Flow(e2) != 3 {
+		t.Fatalf("edge flows %d/%d, want 3/3", g.Flow(e1), g.Flow(e2))
+	}
+}
+
+func TestSelfFlowIsZero(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 5)
+	if g.MaxFlow(0, 0) != 0 {
+		t.Fatal("s == t flow not zero")
+	}
+}
+
+func TestAssignSamplersExampleFromFig4a(t *testing.T) {
+	// Paper Fig. 4(a): unit 0 accesses streams 0 and 1; unit 1 accesses
+	// streams 1 and 2; unit 2 accesses streams 2 and 3. All four streams
+	// can be covered even with 2 samplers per unit.
+	accessedBy := [][]int{
+		{0},    // stream 0
+		{0, 1}, // stream 1
+		{1, 2}, // stream 2
+		{2},    // stream 3
+	}
+	a := AssignSamplers(3, accessedBy, 2)
+	if a.Covered != 4 || len(a.Uncovered) != 0 {
+		t.Fatalf("covered %d, uncovered %v", a.Covered, a.Uncovered)
+	}
+	// Constraint: a unit samples only streams it accesses, and at most 2.
+	for u, sids := range a.ByUnit {
+		if len(sids) > 2 {
+			t.Fatalf("unit %d assigned %d streams", u, len(sids))
+		}
+		for _, s := range sids {
+			ok := false
+			for _, au := range accessedBy[s] {
+				if au == u {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("unit %d assigned stream %d it never accessed", u, s)
+			}
+		}
+	}
+}
+
+func TestAssignSamplersOverload(t *testing.T) {
+	// One unit, one sampler, three streams: only one can be covered.
+	accessedBy := [][]int{{0}, {0}, {0}}
+	a := AssignSamplers(1, accessedBy, 1)
+	if a.Covered != 1 || len(a.Uncovered) != 2 {
+		t.Fatalf("covered %d uncovered %v", a.Covered, a.Uncovered)
+	}
+}
+
+func TestAssignSamplersUnaccessedStream(t *testing.T) {
+	accessedBy := [][]int{{0}, {}} // stream 1 accessed by nobody
+	a := AssignSamplers(1, accessedBy, 4)
+	if a.Covered != 1 {
+		t.Fatalf("covered = %d", a.Covered)
+	}
+	// A stream nobody accessed is not reported as uncovered (there is
+	// nothing to sample).
+	if len(a.Uncovered) != 0 {
+		t.Fatalf("uncovered = %v", a.Uncovered)
+	}
+}
+
+func TestAssignSamplersEmpty(t *testing.T) {
+	a := AssignSamplers(4, nil, 4)
+	if a.Covered != 0 || len(a.Uncovered) != 0 {
+		t.Fatalf("empty assignment: %+v", a)
+	}
+}
+
+// Property: each unit never exceeds its sampler budget, every assignment
+// respects access constraints, and coverage equals streams minus
+// uncovered.
+func TestAssignSamplersProperty(t *testing.T) {
+	rng := sim.NewRNG(99)
+	f := func(seed uint32) bool {
+		r := rng.Split(uint64(seed))
+		numUnits := 1 + r.Intn(8)
+		numStreams := r.Intn(20)
+		per := 1 + r.Intn(4)
+		accessedBy := make([][]int, numStreams)
+		accessible := 0
+		for s := range accessedBy {
+			k := r.Intn(numUnits + 1)
+			seen := map[int]bool{}
+			for i := 0; i < k; i++ {
+				seen[r.Intn(numUnits)] = true
+			}
+			for u := range seen {
+				accessedBy[s] = append(accessedBy[s], u)
+			}
+			if len(accessedBy[s]) > 0 {
+				accessible++
+			}
+		}
+		a := AssignSamplers(numUnits, accessedBy, per)
+		total := 0
+		for u, sids := range a.ByUnit {
+			if len(sids) > per {
+				return false
+			}
+			total += len(sids)
+			for _, s := range sids {
+				ok := false
+				for _, au := range accessedBy[s] {
+					if au == u {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return total == a.Covered && a.Covered+len(a.Uncovered) == accessible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero nodes":   func() { NewGraph(0) },
+		"bad edge":     func() { NewGraph(2).AddEdge(0, 5, 1) },
+		"negative cap": func() { NewGraph(2).AddEdge(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignSamplersCapacityRespectsBudgets(t *testing.T) {
+	// Unit 0 has no samplers left; unit 1 has one: only one stream can
+	// be covered, and it must be assigned to unit 1.
+	accessedBy := [][]int{{0, 1}, {0}}
+	a := AssignSamplersCapacity(2, accessedBy, []int{0, 1})
+	if a.Covered != 1 {
+		t.Fatalf("covered = %d, want 1", a.Covered)
+	}
+	if len(a.ByUnit[0]) != 0 {
+		t.Fatal("stream assigned to a unit with zero budget")
+	}
+	if len(a.ByUnit[1]) != 1 || a.ByUnit[1][0] != 0 {
+		t.Fatalf("assignment = %v", a.ByUnit)
+	}
+	if len(a.Uncovered) != 1 || a.Uncovered[0] != 1 {
+		t.Fatalf("uncovered = %v, want [1]", a.Uncovered)
+	}
+}

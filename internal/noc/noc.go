@@ -1,0 +1,353 @@
+// Package noc models the interconnect of the NDP system: a mesh of NDP
+// units inside each 3D stack (intra-stack network) and a mesh of stacks
+// connected by off-chip links (inter-stack network), following the
+// paper's Fig. 1 and Table II.
+//
+// Messages are routed XY within the stack grid and XY within the unit
+// mesh. The inter-stack links are the system bottleneck (32 GB/s per
+// direction, 10 ns/hop), so they are modelled as contended resources
+// with busy-until reservation; the intra-stack mesh is modelled as
+// latency plus serialization without queueing (its aggregate bandwidth
+// is far higher, and the paper identifies the inter-stack links as the
+// binding constraint). Messages that transit an intermediate stack are
+// assumed to bypass its unit mesh on the logic-die routers.
+package noc
+
+import (
+	"fmt"
+
+	"ndpext/internal/sim"
+)
+
+// Config describes the interconnect topology and physical parameters.
+type Config struct {
+	StacksX, StacksY int // inter-stack mesh dimensions
+	UnitsX, UnitsY   int // intra-stack unit mesh dimensions
+
+	IntraHopLat   sim.Time // per-hop latency inside a stack
+	InterHopLat   sim.Time // per-hop latency between stacks
+	IntraGBps     float64  // intra-stack link bandwidth (serialization only)
+	InterGBps     float64  // inter-stack link bandwidth per direction (contended)
+	IntraPJPerBit float64
+	InterPJPerBit float64
+}
+
+// DefaultConfig returns the Table II interconnect: a 4×2 inter-stack mesh
+// of stacks, each with a 4×4 unit mesh; 1.5 ns intra hops at 0.4 pJ/bit;
+// 10 ns inter hops at 32 GB/s per direction and 4 pJ/bit.
+func DefaultConfig() Config {
+	return Config{
+		StacksX: 4, StacksY: 2,
+		UnitsX: 4, UnitsY: 4,
+		IntraHopLat: sim.FromNS(1.5), InterHopLat: sim.FromNS(10),
+		IntraGBps: 64, InterGBps: 32,
+		IntraPJPerBit: 0.4, InterPJPerBit: 4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.StacksX <= 0 || c.StacksY <= 0 || c.UnitsX <= 0 || c.UnitsY <= 0 {
+		return fmt.Errorf("noc: topology dimensions must be positive: %+v", c)
+	}
+	if c.InterGBps <= 0 || c.IntraGBps <= 0 {
+		return fmt.Errorf("noc: bandwidths must be positive")
+	}
+	return nil
+}
+
+// NumStacks returns the stack count.
+func (c Config) NumStacks() int { return c.StacksX * c.StacksY }
+
+// UnitsPerStack returns the unit count per stack.
+func (c Config) UnitsPerStack() int { return c.UnitsX * c.UnitsY }
+
+// NumUnits returns the total NDP unit count.
+func (c Config) NumUnits() int { return c.NumStacks() * c.UnitsPerStack() }
+
+// Transit describes the outcome of routing one message.
+type Transit struct {
+	Arrive     sim.Time // completion time at the destination
+	IntraDelay sim.Time // time attributable to the intra-stack network
+	InterDelay sim.Time // time attributable to inter-stack links (incl. queueing)
+	IntraHops  int
+	InterHops  int
+	EnergyPJ   float64
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages   uint64
+	IntraHops  uint64
+	InterHops  uint64
+	EnergyPJ   float64
+	IntraDelay sim.Time
+	InterDelay sim.Time
+}
+
+// Network is the interconnect instance. It is not safe for concurrent use.
+type Network struct {
+	cfg Config
+	// interLink[s][d] is the directed link leaving stack s toward
+	// direction d (0:+X, 1:-X, 2:+Y, 3:-Y). Links to outside the grid
+	// are present but unused.
+	interLink [][]sim.Resource
+	// cxlLink[s][dir] is stack s's dedicated link to the central CXL
+	// controller (paper Fig. 1), dir 0 = toward the controller,
+	// 1 = back. Extended-memory traffic uses these instead of crossing
+	// the stack mesh.
+	cxlLink [][2]sim.Resource
+	stats   Stats
+}
+
+// New builds a network from cfg. It panics if cfg is invalid (topology is
+// construction-time configuration, not runtime input).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{cfg: cfg}
+	n.interLink = make([][]sim.Resource, cfg.NumStacks())
+	for i := range n.interLink {
+		n.interLink[i] = make([]sim.Resource, 4)
+	}
+	n.cxlLink = make([][2]sim.Resource, cfg.NumStacks())
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumUnits returns the total NDP unit count.
+func (n *Network) NumUnits() int { return n.cfg.NumUnits() }
+
+// StackOf returns the stack index containing unit u.
+func (n *Network) StackOf(u int) int { return u / n.cfg.UnitsPerStack() }
+
+// unitPos returns the (x, y) position of unit u within its stack.
+func (n *Network) unitPos(u int) (x, y int) {
+	local := u % n.cfg.UnitsPerStack()
+	return local % n.cfg.UnitsX, local / n.cfg.UnitsX
+}
+
+// stackPos returns the (x, y) position of stack s in the stack grid.
+func (n *Network) stackPos(s int) (x, y int) {
+	return s % n.cfg.StacksX, s / n.cfg.StacksX
+}
+
+// Hops returns the intra- and inter-stack hop counts from unit `from` to
+// unit `to` under XY routing.
+func (n *Network) Hops(from, to int) (intra, inter int) {
+	if from == to {
+		return 0, 0
+	}
+	fs, ts := n.StackOf(from), n.StackOf(to)
+	fx, fy := n.unitPos(from)
+	tx, ty := n.unitPos(to)
+	if fs == ts {
+		return abs(fx-tx) + abs(fy-ty), 0
+	}
+	fsx, fsy := n.stackPos(fs)
+	tsx, tsy := n.stackPos(ts)
+	inter = abs(fsx-tsx) + abs(fsy-tsy)
+	// Exit the source stack toward the first XY direction, enter the
+	// destination stack from the last direction; intra hops are the
+	// source unit's distance to its exit edge plus the entry edge's
+	// distance to the destination unit.
+	intra = n.edgeDistance(fx, fy, dirOut(fsx, fsy, tsx, tsy)) +
+		n.edgeDistance(tx, ty, dirIn(fsx, fsy, tsx, tsy))
+	return intra, inter
+}
+
+// dirOut is the first XY direction taken from stack (fx,fy) to (tx,ty).
+func dirOut(fx, fy, tx, ty int) int {
+	switch {
+	case tx > fx:
+		return 0 // +X
+	case tx < fx:
+		return 1 // -X
+	case ty > fy:
+		return 2 // +Y
+	default:
+		return 3 // -Y
+	}
+}
+
+// dirIn is the direction from which the message enters the destination
+// stack (the last XY leg: Y if it moved in Y, else X).
+func dirIn(fx, fy, tx, ty int) int {
+	switch {
+	case ty > fy:
+		return 3 // arrived moving +Y, so entered from the -Y edge
+	case ty < fy:
+		return 2
+	case tx > fx:
+		return 1 // arrived moving +X, entered from the -X edge
+	default:
+		return 0
+	}
+}
+
+// edgeDistance is the hop count from position (x, y) to the stack edge
+// facing direction d.
+func (n *Network) edgeDistance(x, y, d int) int {
+	switch d {
+	case 0:
+		return n.cfg.UnitsX - 1 - x
+	case 1:
+		return x
+	case 2:
+		return n.cfg.UnitsY - 1 - y
+	default:
+		return y
+	}
+}
+
+// BaseLatency returns the unloaded latency from unit `from` to `to` for a
+// message of the given size, ignoring contention. The placement policy
+// uses this when computing attenuation factors.
+func (n *Network) BaseLatency(from, to int, bytes int) sim.Time {
+	intra, inter := n.Hops(from, to)
+	t := sim.Time(intra)*n.cfg.IntraHopLat + sim.Time(inter)*n.cfg.InterHopLat
+	if intra > 0 {
+		t += sim.FromNS(float64(bytes) / n.cfg.IntraGBps)
+	}
+	if inter > 0 {
+		t += sim.FromNS(float64(bytes) / n.cfg.InterGBps)
+	}
+	return t
+}
+
+// Route delivers a message of size bytes from unit `from` to unit `to`,
+// starting at time t, reserving inter-stack link bandwidth along the way.
+func (n *Network) Route(t sim.Time, from, to int, bytes int) Transit {
+	var tr Transit
+	tr.Arrive = t
+	if from == to {
+		return tr
+	}
+	intra, inter := n.Hops(from, to)
+	tr.IntraHops, tr.InterHops = intra, inter
+
+	// Intra-stack: latency + serialization, no queueing.
+	if intra > 0 {
+		d := sim.Time(intra)*n.cfg.IntraHopLat + sim.FromNS(float64(bytes)/n.cfg.IntraGBps)
+		tr.IntraDelay = d
+		tr.Arrive += d
+		tr.EnergyPJ += float64(bytes*8) * n.cfg.IntraPJPerBit * float64(intra)
+	}
+
+	// Inter-stack: walk the XY stack path, reserving each directed link's
+	// bandwidth. Transfers are wormhole-pipelined: the head flit advances
+	// one hop latency after winning each link, and the tail (full
+	// serialization time) is paid once at the destination.
+	if inter > 0 {
+		ser := sim.FromNS(float64(bytes) / n.cfg.InterGBps)
+		fs, ts := n.StackOf(from), n.StackOf(to)
+		sx, sy := n.stackPos(fs)
+		tx, ty := n.stackPos(ts)
+		before := tr.Arrive
+		head := tr.Arrive
+		for sx != tx || sy != ty {
+			d := dirOut(sx, sy, tx, ty)
+			s := sy*n.cfg.StacksX + sx
+			start, _ := n.interLink[s][d].Acquire(head, ser)
+			head = start + n.cfg.InterHopLat
+			switch d {
+			case 0:
+				sx++
+			case 1:
+				sx--
+			case 2:
+				sy++
+			case 3:
+				sy--
+			}
+		}
+		tr.Arrive = head + ser
+		tr.InterDelay = tr.Arrive - before
+		tr.EnergyPJ += float64(bytes*8) * n.cfg.InterPJPerBit * float64(inter)
+	}
+
+	n.stats.Messages++
+	n.stats.IntraHops += uint64(intra)
+	n.stats.InterHops += uint64(inter)
+	n.stats.EnergyPJ += tr.EnergyPJ
+	n.stats.IntraDelay += tr.IntraDelay
+	n.stats.InterDelay += tr.InterDelay
+	return tr
+}
+
+// RouteCXL carries a message between a unit and the central CXL
+// controller (toCXL selects the direction): an intra-stack leg from the
+// unit to the stack's controller-facing edge, then the stack's dedicated
+// controller link (contended, inter-stack class).
+func (n *Network) RouteCXL(t sim.Time, unit int, bytes int, toCXL bool) Transit {
+	var tr Transit
+	tr.Arrive = t
+	s := n.StackOf(unit)
+	x, y := n.unitPos(unit)
+	intra := n.edgeDistance(x, y, 3) // controller-facing (-Y) edge
+	tr.IntraHops = intra
+	if intra > 0 {
+		d := sim.Time(intra)*n.cfg.IntraHopLat + sim.FromNS(float64(bytes)/n.cfg.IntraGBps)
+		tr.IntraDelay = d
+		tr.Arrive += d
+		tr.EnergyPJ += float64(bytes*8) * n.cfg.IntraPJPerBit * float64(intra)
+	}
+	dir := 0
+	if !toCXL {
+		dir = 1
+	}
+	ser := sim.FromNS(float64(bytes) / n.cfg.InterGBps)
+	start, _ := n.cxlLink[s][dir].Acquire(tr.Arrive, ser)
+	before := tr.Arrive
+	tr.Arrive = start + n.cfg.InterHopLat + ser
+	tr.InterHops = 1
+	tr.InterDelay = tr.Arrive - before
+	tr.EnergyPJ += float64(bytes*8) * n.cfg.InterPJPerBit
+
+	n.stats.Messages++
+	n.stats.IntraHops += uint64(intra)
+	n.stats.InterHops++
+	n.stats.EnergyPJ += tr.EnergyPJ
+	n.stats.IntraDelay += tr.IntraDelay
+	n.stats.InterDelay += tr.InterDelay
+	return tr
+}
+
+// BaseCXLLatency is the unloaded RouteCXL latency from the given unit.
+func (n *Network) BaseCXLLatency(unit, bytes int) sim.Time {
+	x, y := n.unitPos(unit)
+	intra := n.edgeDistance(x, y, 3)
+	t := sim.Time(intra)*n.cfg.IntraHopLat + n.cfg.InterHopLat +
+		sim.FromNS(float64(bytes)/n.cfg.InterGBps)
+	if intra > 0 {
+		t += sim.FromNS(float64(bytes) / n.cfg.IntraGBps)
+	}
+	return t
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Reset clears link reservations and statistics.
+func (n *Network) Reset() {
+	for s := range n.interLink {
+		for d := range n.interLink[s] {
+			n.interLink[s][d].Reset()
+		}
+	}
+	for s := range n.cxlLink {
+		n.cxlLink[s][0].Reset()
+		n.cxlLink[s][1].Reset()
+	}
+	n.stats = Stats{}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,378 @@
+package nuca
+
+import (
+	"fmt"
+	"sort"
+
+	"ndpext/internal/policy"
+	"ndpext/internal/stream"
+	"ndpext/internal/streamcache"
+)
+
+// ConfigInput parameterizes the baseline configuration policies.
+type ConfigInput struct {
+	NumUnits int
+	UnitRows uint32
+	RowBytes int
+	// Proximity returns a closeness weight for unit v as seen from
+	// accessor u (higher is closer; the attenuation factor works).
+	Proximity func(u, v int) float64
+	// MissPenalty and RemotePenalty let Nexus trade hit rate against
+	// replica distance when choosing its global replication degree:
+	// estimated cost = missRate*MissPenalty + (1-missRate)*remoteDist.
+	MissPenalty float64
+	// NexusDegrees lists the candidate global replication degrees.
+	NexusDegrees []int
+}
+
+// Validate reports whether the input is usable.
+func (c ConfigInput) Validate() error {
+	if c.NumUnits <= 0 || c.UnitRows == 0 || c.RowBytes <= 0 {
+		return fmt.Errorf("nuca: invalid config input %+v", c)
+	}
+	if c.Proximity == nil {
+		return fmt.Errorf("nuca: nil proximity function")
+	}
+	return nil
+}
+
+// Configure derives the epoch's allocations for the given baseline kind
+// from the profiled stream inputs (the same profiles NDPExt uses: these
+// baselines also size partitions with miss curves; §VI adapts them to
+// the DRAM cache).
+func Configure(kind Kind, in ConfigInput, streams []policy.StreamInput) (map[stream.ID]streamcache.Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case StaticInterleave:
+		return map[stream.ID]streamcache.Allocation{}, nil
+	case Jigsaw:
+		return configureJigsaw(in, streams)
+	case Whirlpool:
+		return configurePartitioned(in, streams, nil)
+	case Nexus:
+		return configureNexus(in, streams)
+	default:
+		return nil, fmt.Errorf("nuca: unknown kind %v", kind)
+	}
+}
+
+// sizeByLookahead runs the classic UCP/Jigsaw lookahead on the aggregate
+// miss curves: repeatedly give the stream with the steepest slope its
+// best jump until the global space or the utility runs out. Returns rows
+// per stream. degreeOf scales the effective capacity a stream needs (a
+// stream replicated R times needs R times the rows for the same curve
+// position).
+func sizeByLookahead(in ConfigInput, streams []policy.StreamInput, degreeOf func(policy.StreamInput) int) map[stream.ID]uint64 {
+	totalRows := uint64(in.NumUnits) * uint64(in.UnitRows)
+	// Leave the misc partition's reservation alone.
+	reserve := uint64(in.NumUnits) * (uint64(in.UnitRows)/32 + 1)
+	if totalRows > reserve {
+		totalRows -= reserve
+	}
+	rows := make(map[stream.ID]uint64)
+	type cand struct {
+		idx   int
+		slope float64
+		jump  uint64
+	}
+	accOf := func(s policy.StreamInput) uint64 {
+		var t uint64
+		for _, a := range s.Acc {
+			t += a
+		}
+		return t
+	}
+	var used uint64
+	for {
+		best := cand{idx: -1}
+		for i := range streams {
+			s := &streams[i]
+			acc := accOf(*s)
+			if acc == 0 {
+				continue
+			}
+			deg := 1
+			if degreeOf != nil {
+				deg = degreeOf(*s)
+			}
+			// Current per-copy capacity in bytes.
+			cur := int64(rows[s.SID]) * int64(in.RowBytes) / int64(deg)
+			mrCur := s.Curve.MissRateAt(cur)
+			for _, p := range s.Curve.Points {
+				if p.Bytes <= cur {
+					continue
+				}
+				d := mrCur - s.Curve.MissRateAt(p.Bytes)
+				if d <= 0 {
+					continue
+				}
+				jumpRows := uint64((p.Bytes-cur)*int64(deg)+int64(in.RowBytes)-1) / uint64(in.RowBytes)
+				if jumpRows == 0 || used+jumpRows > totalRows {
+					continue
+				}
+				slope := float64(acc) * d / float64(jumpRows)
+				if slope > best.slope {
+					best = cand{idx: i, slope: slope, jump: jumpRows}
+				}
+			}
+		}
+		if best.idx < 0 {
+			return rows
+		}
+		rows[streams[best.idx].SID] += best.jump
+		used += best.jump
+	}
+}
+
+// placeCenterOfMass fills each stream's partition onto the units nearest
+// its accessors' center of mass, in descending access order (the greedy
+// placement of Jigsaw/CDCS the paper contrasts with: hot partitions claim
+// the central units, the rest settle for suboptimal spots).
+func placeCenterOfMass(in ConfigInput, streams []policy.StreamInput, rows map[stream.ID]uint64,
+	spread map[stream.ID]bool, groupsOf func(policy.StreamInput) int) map[stream.ID]streamcache.Allocation {
+
+	free := make([]int64, in.NumUnits)
+	nextRow := make([]uint32, in.NumUnits)
+	for u := range free {
+		free[u] = int64(in.UnitRows)
+		if r := uint64(in.UnitRows)/32 + 1; uint64(free[u]) > r {
+			free[u] -= int64(r) // misc partition reservation
+		}
+	}
+	// Hot streams place first.
+	order := make([]int, 0, len(streams))
+	for i := range streams {
+		if rows[streams[i].SID] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := totalAcc(streams[order[a]]), totalAcc(streams[order[b]])
+		if ta != tb {
+			return ta > tb
+		}
+		return streams[order[a]].SID < streams[order[b]].SID
+	})
+
+	out := make(map[stream.ID]streamcache.Allocation)
+	for _, i := range order {
+		s := streams[i]
+		need := rows[s.SID]
+		a := streamcache.NewAllocation(in.NumUnits)
+		if spread[s.SID] {
+			// Shared data: interleave uniformly (Jigsaw's global
+			// partition for multi-thread data).
+			per := need / uint64(in.NumUnits)
+			rem := need % uint64(in.NumUnits)
+			for u := 0; u < in.NumUnits; u++ {
+				want := per
+				if uint64(u) < rem {
+					want++
+				}
+				got := want
+				if int64(got) > free[u] {
+					got = uint64(free[u])
+				}
+				a.Shares[u] = uint32(got)
+				a.RowBase[u] = nextRow[u]
+				nextRow[u] += uint32(got)
+				free[u] -= int64(got)
+			}
+			assignNearestGroups(in, &a, s)
+			out[s.SID] = a
+			continue
+		}
+		groups := 1
+		if groupsOf != nil {
+			groups = groupsOf(s)
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		members := clusterUnits(in.NumUnits, groups)
+		perGroup := need / uint64(groups)
+		for gi, us := range members {
+			// Rank the group's units by proximity to the stream's
+			// accessors (weighted by access counts).
+			ranked := append([]int{}, us...)
+			sort.Slice(ranked, func(x, y int) bool {
+				wx, wy := comWeight(in, s, ranked[x]), comWeight(in, s, ranked[y])
+				if wx != wy {
+					return wx > wy
+				}
+				return ranked[x] < ranked[y]
+			})
+			left := perGroup
+			for _, u := range ranked {
+				if left == 0 {
+					break
+				}
+				got := left
+				if int64(got) > free[u] {
+					got = uint64(free[u])
+				}
+				if got == 0 {
+					continue
+				}
+				a.Shares[u] = uint32(got)
+				a.RowBase[u] = nextRow[u]
+				nextRow[u] += uint32(got)
+				free[u] -= int64(got)
+				left -= got
+			}
+			for _, u := range us {
+				a.Groups[u] = uint8(gi)
+			}
+		}
+		out[s.SID] = a
+	}
+	return out
+}
+
+// totalAcc sums a stream's access counts.
+func totalAcc(s policy.StreamInput) uint64 {
+	var t uint64
+	for _, a := range s.Acc {
+		t += a
+	}
+	return t
+}
+
+// comWeight scores unit v by accessor proximity. Accessors are visited
+// in sorted order for a deterministic floating-point sum.
+func comWeight(in ConfigInput, s policy.StreamInput, v int) float64 {
+	var w float64
+	for _, u := range sortedAccessors(s.Acc) {
+		w += float64(s.Acc[u]) * in.Proximity(u, v)
+	}
+	return w
+}
+
+// sortedAccessors returns the accessor units in ascending order.
+func sortedAccessors(acc map[int]uint64) []int {
+	out := make([]int, 0, len(acc))
+	for u := range acc {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// assignNearestGroups leaves a single group for a spread allocation.
+func assignNearestGroups(in ConfigInput, a *streamcache.Allocation, s policy.StreamInput) {
+	for u := range a.Groups {
+		a.Groups[u] = 0
+	}
+}
+
+// clusterUnits splits the unit IDs into n contiguous clusters (unit IDs
+// are spatially ordered, so contiguous ranges are physically close).
+func clusterUnits(numUnits, n int) [][]int {
+	if n > numUnits {
+		n = numUnits
+	}
+	out := make([][]int, n)
+	for g := 0; g < n; g++ {
+		lo, hi := g*numUnits/n, (g+1)*numUnits/n
+		for u := lo; u < hi; u++ {
+			out[g] = append(out[g], u)
+		}
+	}
+	return out
+}
+
+// configureJigsaw sizes by lookahead and spreads multi-accessor streams
+// (Jigsaw's shared partitions) while placing single-accessor streams at
+// their core.
+func configureJigsaw(in ConfigInput, streams []policy.StreamInput) (map[stream.ID]streamcache.Allocation, error) {
+	rows := sizeByLookahead(in, streams, nil)
+	spread := map[stream.ID]bool{}
+	for _, s := range streams {
+		if len(s.Acc) > 1 {
+			spread[s.SID] = true
+		}
+	}
+	return placeCenterOfMass(in, streams, rows, spread, nil), nil
+}
+
+// configurePartitioned is Whirlpool: per-stream partitions with
+// center-of-mass placement, no replication.
+func configurePartitioned(in ConfigInput, streams []policy.StreamInput, _ map[stream.ID]bool) (map[stream.ID]streamcache.Allocation, error) {
+	rows := sizeByLookahead(in, streams, nil)
+	return placeCenterOfMass(in, streams, rows, nil, nil), nil
+}
+
+// configureNexus is Whirlpool plus a single global replication degree for
+// read-only streams, chosen by estimating miss cost against replica
+// distance across the candidate degrees.
+func configureNexus(in ConfigInput, streams []policy.StreamInput) (map[stream.ID]streamcache.Allocation, error) {
+	degrees := in.NexusDegrees
+	if len(degrees) == 0 {
+		degrees = []int{1, 2, 4, 8}
+	}
+	bestDeg, bestCost := 1, 0.0
+	for i, d := range degrees {
+		if d < 1 || d > in.NumUnits || d > 1<<streamcache.RGroupsBits {
+			continue
+		}
+		cost := nexusCost(in, streams, d)
+		if i == 0 || cost < bestCost {
+			bestDeg, bestCost = d, cost
+		}
+	}
+	degreeOf := func(s policy.StreamInput) int {
+		if s.ReadOnly {
+			return bestDeg
+		}
+		return 1
+	}
+	rows := sizeByLookahead(in, streams, degreeOf)
+	return placeCenterOfMass(in, streams, rows, nil, degreeOf), nil
+}
+
+// nexusCost estimates the cost of a global replication degree: replicas
+// shrink each copy (raising miss rate, paying MissPenalty) but cut the
+// distance to the nearest replica (estimated from cluster proximity).
+func nexusCost(in ConfigInput, streams []policy.StreamInput, degree int) float64 {
+	clusters := clusterUnits(in.NumUnits, degree)
+	var cost float64
+	for _, s := range streams {
+		acc := totalAcc(s)
+		if acc == 0 {
+			continue
+		}
+		deg := 1
+		if s.ReadOnly {
+			deg = degree
+		}
+		// Assume a fair share of total capacity for the estimate.
+		fair := uint64(in.NumUnits) * uint64(in.UnitRows) / uint64(maxInt(len(streams), 1))
+		perCopy := int64(fair) * int64(in.RowBytes) / int64(deg)
+		mr := s.Curve.MissRateAt(perCopy)
+		// Average closeness of each accessor to its nearest replica
+		// cluster's center (sorted iteration: deterministic FP sum).
+		var close float64
+		for _, u := range sortedAccessors(s.Acc) {
+			best := 0.0
+			for _, cl := range clusters {
+				center := cl[len(cl)/2]
+				if p := in.Proximity(u, center); p > best {
+					best = p
+				}
+			}
+			close += float64(s.Acc[u]) * best
+		}
+		close /= float64(acc)
+		cost += float64(acc) * (mr*in.MissPenalty + (1-mr)*(1-close))
+	}
+	return cost
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,421 @@
+// Package nuca implements the baseline NUCA designs the paper compares
+// against (§VI "Baseline designs"): a conventional cacheline-granularity
+// distributed DRAM cache managed by Jigsaw, Whirlpool, Nexus, or static
+// interleaving, adapted to the NDP-with-extended-memory architecture.
+//
+// Unlike NDPExt's stream cache, these designs track individual 64 B
+// cachelines, so their metadata (location + tag) does not fit on-chip:
+// each access first performs a metadata lookup, served by a per-unit
+// 128 kB metadata cache (idealized dual-granularity, Bi-Modal style:
+// metadata per 512 B block, migration at 64 B) and falling back to a DRAM
+// access at the line's home unit on a metadata-cache miss.
+package nuca
+
+import (
+	"fmt"
+	"sort"
+
+	"ndpext/internal/cache"
+	"ndpext/internal/stream"
+	"ndpext/internal/streamcache"
+)
+
+// Kind selects the baseline design.
+type Kind int
+
+const (
+	// StaticInterleave spreads cachelines across all units by address
+	// hash (the S-NUCA policy used in Fig. 2's motivation study).
+	StaticInterleave Kind = iota
+	// Jigsaw partitions capacity by miss curves with center-of-mass
+	// placement; data shared by several cores falls into one global
+	// interleaved partition. No replication.
+	Jigsaw
+	// Whirlpool is Jigsaw with static data-structure classification:
+	// every stream gets its own partition, placed at its accessors'
+	// center of mass. No replication.
+	Whirlpool
+	// Nexus is Whirlpool plus replication of read-only data with one
+	// global replication degree shared by all streams.
+	Nexus
+)
+
+// String returns the design name.
+func (k Kind) String() string {
+	switch k {
+	case StaticInterleave:
+		return "static-interleave"
+	case Jigsaw:
+		return "jigsaw"
+	case Whirlpool:
+		return "whirlpool"
+	case Nexus:
+		return "nexus"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params sizes the baseline cache structures.
+type Params struct {
+	LineBytes      int // cacheline size (64)
+	MetaBlockBytes int // dual-granularity metadata block (512)
+	MetaCacheBytes int // per-unit metadata cache capacity (128 kB in the paper)
+	MetaEntryBytes int // metadata entry size: one entry covers one MetaBlock
+	MetaCacheAssoc int
+	RowBytes       int // DRAM row size
+}
+
+// DefaultParams returns the paper's baseline configuration: 64 B lines,
+// an idealized dual-granularity (Bi-Modal style) metadata cache with one
+// ~8 B entry per 512 B block, 128 kB of it per unit.
+func DefaultParams() Params {
+	return Params{
+		LineBytes:      64,
+		MetaBlockBytes: 512,
+		MetaCacheBytes: 128 << 10,
+		MetaEntryBytes: 8,
+		MetaCacheAssoc: 8,
+		RowBytes:       2048,
+	}
+}
+
+// MetaEntries returns the metadata cache's entry count.
+func (p Params) MetaEntries() int {
+	n := p.MetaCacheBytes / p.MetaEntryBytes
+	if n < p.MetaCacheAssoc {
+		n = p.MetaCacheAssoc
+	}
+	return n
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.LineBytes <= 0 || p.MetaBlockBytes < p.LineBytes || p.RowBytes < p.LineBytes {
+		return fmt.Errorf("nuca: invalid line/meta/row geometry %+v", p)
+	}
+	if p.MetaCacheBytes <= 0 || p.MetaCacheAssoc <= 0 || p.MetaEntryBytes <= 0 {
+		return fmt.Errorf("nuca: invalid metadata cache geometry")
+	}
+	return nil
+}
+
+// miscSID keys the partition that holds non-stream addresses.
+const miscSID = stream.ID(stream.MaxStreams) // outside the valid sid space
+
+// Controller is the baseline cacheline cache: remapping state plus
+// per-unit metadata caches and resident-line tracking.
+type Controller struct {
+	kind     Kind
+	params   Params
+	numUnits int
+	unitRows uint32
+	table    *stream.Table
+
+	allocs map[stream.ID]streamcache.Allocation
+	meta   []*cache.Cache // per-unit metadata caches
+	// resident[u] maps (sid, slot) to the cached line.
+	resident []map[resKey]lineVal
+	epochAcc []map[stream.ID]uint64
+	stats    Stats
+	perSID   map[stream.ID]*streamcache.StreamStats
+}
+
+type resKey struct {
+	sid  stream.ID
+	slot uint64
+}
+
+type lineVal struct {
+	line  uint64 // line address
+	dirty bool
+}
+
+// Stats aggregates baseline cache activity.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	Misses     uint64
+	MetaHits   uint64
+	MetaMisses uint64
+	Writebacks uint64
+}
+
+// NewController builds the baseline cache. unitRows is the DRAM cache
+// capacity per unit in rows.
+func NewController(kind Kind, p Params, numUnits int, unitRows uint32, tbl *stream.Table) *Controller {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if numUnits <= 0 || unitRows == 0 {
+		panic(fmt.Sprintf("nuca: %d units x %d rows", numUnits, unitRows))
+	}
+	c := &Controller{
+		kind: kind, params: p, numUnits: numUnits, unitRows: unitRows, table: tbl,
+		allocs: make(map[stream.ID]streamcache.Allocation),
+		perSID: make(map[stream.ID]*streamcache.StreamStats),
+	}
+	for i := 0; i < numUnits; i++ {
+		// The metadata cache is keyed by metadata-block index: one entry
+		// per MetaBlockBytes of data.
+		c.meta = append(c.meta, cache.New(p.MetaEntries(), 1, p.MetaCacheAssoc))
+		c.resident = append(c.resident, make(map[resKey]lineVal))
+		c.epochAcc = append(c.epochAcc, make(map[stream.ID]uint64))
+	}
+	if kind == StaticInterleave {
+		c.allocs[miscSID] = interleavedAllocation(numUnits, unitRows)
+	} else {
+		// Reserve a small interleaved partition for non-stream data.
+		c.allocs[miscSID] = interleavedAllocation(numUnits, unitRows/32+1)
+	}
+	return c
+}
+
+// interleavedAllocation spreads rows evenly over all units, one group.
+func interleavedAllocation(numUnits int, rows uint32) streamcache.Allocation {
+	a := streamcache.NewAllocation(numUnits)
+	for u := range a.Shares {
+		a.Shares[u] = rows
+	}
+	return a
+}
+
+// Kind returns the controller's design.
+func (c *Controller) Kind() Kind { return c.kind }
+
+// Allocation returns the installed allocation for sid, if any.
+func (c *Controller) Allocation(sid stream.ID) (streamcache.Allocation, bool) {
+	a, ok := c.allocs[sid]
+	return a, ok
+}
+
+// Lookup is the outcome of one baseline access.
+type Lookup struct {
+	SID     stream.ID
+	Home    int   // unit serving the line
+	HomeRow int64 // DRAM row of the line at the home unit
+
+	MetaHit     bool  // requester's metadata cache hit
+	MetaDRAMRow int64 // metadata row accessed at the home unit on a miss
+
+	Hit            bool
+	FetchBytes     int
+	WritebackBytes int
+}
+
+// Lookup resolves the access (addr, write) from NDP unit `unit`.
+func (c *Controller) Lookup(unit int, addr uint64, write bool) Lookup {
+	c.stats.Lookups++
+	var r Lookup
+	line := addr / uint64(c.params.LineBytes)
+
+	sid := miscSID
+	if c.kind != StaticInterleave {
+		if s := c.table.FindByAddr(addr); s != nil {
+			sid = s.SID
+			c.epochAcc[unit][sid]++
+		}
+	} else if s := c.table.FindByAddr(addr); s != nil {
+		// Static interleave still records per-stream stats for analysis.
+		sid = miscSID
+		c.epochAcc[unit][s.SID]++
+	}
+	r.SID = sid
+
+	alloc, ok := c.allocs[sid]
+	if !ok || alloc.TotalRows() == 0 {
+		// Stream with no partition: fall back to the misc partition.
+		sid = miscSID
+		alloc = c.allocs[miscSID]
+		r.SID = sid
+	}
+
+	// Pick the replication group: the group whose member set contains
+	// this unit (Groups vector covers every unit).
+	g := alloc.Groups[unit]
+	home, slot, ord := placeLine(sid, alloc, g, line, c.linesPerRow())
+	r.Home = home
+	r.HomeRow = int64(alloc.RowBase[home]) + int64(ord)
+
+	// Metadata lookup at the requester; metadata for a line lives with
+	// its home unit's DRAM. The cache is keyed by metadata-block index.
+	metaBlock := line / uint64(c.params.MetaBlockBytes/c.params.LineBytes)
+	hit, _, _ := c.meta[unit].Access(metaBlock, false)
+	r.MetaHit = hit
+	if hit {
+		c.stats.MetaHits++
+	} else {
+		c.stats.MetaMisses++
+		// The metadata row shares the home unit's DRAM; model it in the
+		// top rows above the data rows.
+		r.MetaDRAMRow = int64(c.unitRows) + int64(metaBlock)%64
+	}
+
+	key := resKey{sid: sid, slot: slot}
+	res := c.resident[r.Home]
+	if v, ok := res[key]; ok && v.line == line {
+		r.Hit = true
+		if write {
+			v.dirty = true
+			res[key] = v
+		}
+		c.stats.Hits++
+		c.sidStats(sid).Hits++
+		return r
+	}
+	c.stats.Misses++
+	c.sidStats(sid).Misses++
+	r.FetchBytes = c.params.LineBytes
+	if v, ok := res[key]; ok && v.dirty {
+		r.WritebackBytes = c.params.LineBytes
+		c.stats.Writebacks++
+	}
+	res[key] = lineVal{line: line, dirty: write}
+	return r
+}
+
+// linesPerRow returns cachelines per DRAM row.
+func (c *Controller) linesPerRow() uint64 {
+	return uint64(c.params.RowBytes / c.params.LineBytes)
+}
+
+// placeLine maps a line to (home unit, slot id, row ordinal) within the
+// group's allocation: slots are distributed over units proportionally to
+// their shares, and the line picks a slot by hash.
+func placeLine(sid stream.ID, a streamcache.Allocation, g uint8, line uint64, linesPerRow uint64) (home int, slot uint64, ord uint32) {
+	var total uint64
+	for u, s := range a.Shares {
+		if a.Groups[u] == g {
+			total += uint64(s)
+		}
+	}
+	if total == 0 {
+		// Group without space: serve from group 0's space if any;
+		// otherwise unit 0 (degenerate, caller avoids this).
+		g = 0
+		for u, s := range a.Shares {
+			if a.Groups[u] == g {
+				total += uint64(s)
+			}
+		}
+		if total == 0 {
+			return 0, line % linesPerRow, 0
+		}
+	}
+	slots := total * linesPerRow
+	slot = lineHash(uint64(sid), line) % slots
+	// Walk units in order, assigning slot ranges by share.
+	var acc uint64
+	rowIdx := slot / linesPerRow
+	for u, s := range a.Shares {
+		if a.Groups[u] != g || s == 0 {
+			continue
+		}
+		if rowIdx < acc+uint64(s) {
+			return u, slot, uint32(rowIdx - acc)
+		}
+		acc += uint64(s)
+	}
+	return 0, slot, 0
+}
+
+// lineHash mixes the line address with the stream id.
+func lineHash(sid, line uint64) uint64 {
+	x := line ^ sid*0x9e3779b97f4a7c15 ^ 0x1234
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Apply installs a new configuration and bulk-invalidates the changed
+// streams' lines (the Jigsaw/Whirlpool/Nexus reconfiguration model).
+// It returns the number of invalidated lines and dirty writebacks.
+func (c *Controller) Apply(newAllocs map[stream.ID]streamcache.Allocation) (invalidated, writebacks int, err error) {
+	for sid, a := range newAllocs {
+		if err := a.Validate(c.numUnits); err != nil {
+			return invalidated, writebacks, err
+		}
+		old, had := c.allocs[sid]
+		if had && allocationsEqual(old, a) {
+			continue
+		}
+		c.allocs[sid] = a.Clone()
+		for _, res := range c.resident {
+			for k, v := range res {
+				if k.sid != sid {
+					continue
+				}
+				invalidated++
+				if v.dirty {
+					writebacks++
+					c.stats.Writebacks++
+				}
+				delete(res, k)
+			}
+		}
+	}
+	return invalidated, writebacks, nil
+}
+
+func allocationsEqual(a, b streamcache.Allocation) bool {
+	if len(a.Shares) != len(b.Shares) {
+		return false
+	}
+	for i := range a.Shares {
+		if a.Shares[i] != b.Shares[i] || a.RowBase[i] != b.RowBase[i] || a.Groups[i] != b.Groups[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochAccesses returns and clears the per-unit stream access counts.
+func (c *Controller) EpochAccesses() []map[stream.ID]uint64 {
+	out := make([]map[stream.ID]uint64, c.numUnits)
+	for i := range c.epochAcc {
+		out[i] = c.epochAcc[i]
+		c.epochAcc[i] = make(map[stream.ID]uint64)
+	}
+	return out
+}
+
+// Stats returns a copy of the aggregate counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// MetaHitRate reports the combined metadata-cache hit rate.
+func (c *Controller) MetaHitRate() float64 {
+	t := c.stats.MetaHits + c.stats.MetaMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.stats.MetaHits) / float64(t)
+}
+
+// StreamStatsFor returns sid's hit/miss counters.
+func (c *Controller) StreamStatsFor(sid stream.ID) streamcache.StreamStats {
+	if s := c.perSID[sid]; s != nil {
+		return *s
+	}
+	return streamcache.StreamStats{}
+}
+
+func (c *Controller) sidStats(sid stream.ID) *streamcache.StreamStats {
+	s := c.perSID[sid]
+	if s == nil {
+		s = &streamcache.StreamStats{}
+		c.perSID[sid] = s
+	}
+	return s
+}
+
+// sortedSIDs returns map keys in ascending order for deterministic loops.
+func sortedSIDs[V any](m map[stream.ID]V) []stream.ID {
+	out := make([]stream.ID, 0, len(m))
+	for sid := range m {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,438 @@
+package policy
+
+import (
+	"testing"
+
+	"ndpext/internal/sampler"
+	"ndpext/internal/stream"
+)
+
+// flatAtt returns an attenuation function for a 1-D line of units where
+// neighbouring units cost `step` of utility per hop.
+func lineAtt(step float64) func(u, v int) float64 {
+	return func(u, v int) float64 {
+		d := u - v
+		if d < 0 {
+			d = -d
+		}
+		att := 1.0
+		for i := 0; i < d; i++ {
+			att *= 1 - step
+		}
+		return att
+	}
+}
+
+func testCfg(units int, unitRows uint32) Config {
+	return Config{
+		NumUnits:    units,
+		RowBytes:    2048,
+		UnitRows:    unitRows,
+		SegRows:     4,
+		Attenuation: lineAtt(0.1),
+		MaxGroups:   64,
+		MaxIters:    100000,
+		MissLatNS:   500,
+		NetLatNS:    func(d int) float64 { return 50 / float64(d) },
+	}
+}
+
+// curveWS builds a synthetic miss curve: misses drop to floor once
+// capacity reaches wsBytes.
+func curveWS(wsBytes int64, floor float64, accesses uint64) sampler.Curve {
+	return sampler.Curve{
+		ItemBytes: 64,
+		Accesses:  accesses,
+		Points: []sampler.CurvePoint{
+			{Bytes: wsBytes / 16, MissRate: 1, Sampled: 100},
+			{Bytes: wsBytes / 2, MissRate: 0.7, Sampled: 100},
+			{Bytes: wsBytes, MissRate: floor, Sampled: 100},
+			{Bytes: wsBytes * 16, MissRate: floor, Sampled: 100},
+		},
+	}
+}
+
+func TestHotStreamGetsMoreSpace(t *testing.T) {
+	cfg := testCfg(4, 256)
+	hot := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve: curveWS(256*2048, 0.01, 1_000_000),
+		Acc:   map[int]uint64{0: 500_000, 1: 500_000},
+	}
+	cold := StreamInput{
+		SID: 2, ReadOnly: true,
+		Curve: curveWS(256*2048, 0.01, 10_000),
+		Acc:   map[int]uint64{2: 10_000},
+	}
+	allocs, rep, err := Optimize(cfg, []StreamInput{hot, cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	if allocs[1].TotalRows() <= allocs[2].TotalRows() {
+		t.Fatalf("hot stream got %d rows, cold got %d", allocs[1].TotalRows(), allocs[2].TotalRows())
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	cfg := testCfg(4, 64)
+	var ins []StreamInput
+	for i := 0; i < 6; i++ {
+		ins = append(ins, StreamInput{
+			SID: stream.ID(i + 1), ReadOnly: true,
+			Curve: curveWS(1<<20, 0, 100_000),
+			Acc:   map[int]uint64{i % 4: 100_000},
+		})
+	}
+	allocs, _, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUnit := make([]uint64, 4)
+	for _, a := range allocs {
+		for u, s := range a.Shares {
+			perUnit[u] += uint64(s)
+		}
+	}
+	for u, rows := range perUnit {
+		if rows > 64 {
+			t.Fatalf("unit %d allocated %d rows > capacity 64", u, rows)
+		}
+	}
+}
+
+func TestReadOnlyStreamReplicates(t *testing.T) {
+	cfg := testCfg(8, 1024) // abundant space
+	in := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve: curveWS(64*2048, 0, 1_000_000),
+		Acc:   map[int]uint64{0: 100, 3: 100, 7: 100},
+	}
+	allocs, rep, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := allocs[1]
+	if got := len(a.GroupIDs()); got < 2 {
+		t.Fatalf("read-only reusable stream formed %d groups, want replication", got)
+	}
+	if rep.ReplicatedRows == 0 {
+		t.Fatal("no rows counted as replicated")
+	}
+}
+
+func TestWritableStreamSingleGroup(t *testing.T) {
+	cfg := testCfg(8, 1024)
+	in := StreamInput{
+		SID: 1, ReadOnly: false,
+		Curve: curveWS(64*2048, 0, 1_000_000),
+		Acc:   map[int]uint64{0: 100, 3: 100, 7: 100},
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(allocs[1].GroupIDs()); got > 1 {
+		t.Fatalf("writable stream formed %d groups", got)
+	}
+}
+
+func TestMergeUnderPressure(t *testing.T) {
+	// Stream 1 replicates (its per-core curve has a cheap knee), then a
+	// hungry second stream exhausts both units: the algorithm must merge
+	// stream 1's groups to free space.
+	cfg := testCfg(2, 32)
+	replicable := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve:      curveWS(16*2048, 0.02, 1_000_000),
+		LocalCurve: curveWS(8*2048, 0.02, 500_000),
+		Acc:        map[int]uint64{0: 500_000, 1: 500_000},
+		Footprint:  40 * 2048,
+	}
+	hungry := StreamInput{
+		SID: 2, ReadOnly: true,
+		Curve:     curveWS(58*2048, 0, 2_000_000),
+		Acc:       map[int]uint64{0: 2_000_000},
+		Footprint: 58 * 2048,
+	}
+	allocs, rep, err := Optimize(cfg, []StreamInput{replicable, hungry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merges == 0 {
+		t.Fatal("no merges recorded despite capacity exhaustion")
+	}
+	if got := len(allocs[1].GroupIDs()); got != 1 {
+		t.Fatalf("replicated stream kept %d groups under pressure, want 1", got)
+	}
+	if allocs[2].TotalRows() < 30 {
+		t.Fatalf("hungry stream only got %d rows", allocs[2].TotalRows())
+	}
+}
+
+func TestNoReplicationWithoutLocalReuse(t *testing.T) {
+	// A stream whose global curve descends but whose per-core curve is
+	// flat (cross-core reuse only, like PageRank's rank array) must stay
+	// in a single shared group.
+	cfg := testCfg(8, 1024)
+	in := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve:      curveWS(64*2048, 0.05, 1_000_000),
+		LocalCurve: curveWS(64*2048, 0.85, 1_000_000), // flat and high
+		Acc:        map[int]uint64{0: 250_000, 2: 250_000, 5: 250_000, 7: 250_000},
+		Footprint:  64 * 2048,
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(allocs[1].GroupIDs()); got != 1 {
+		t.Fatalf("stream without per-core reuse got %d groups, want 1", got)
+	}
+}
+
+func TestExtendUsesNearestUnit(t *testing.T) {
+	// Unit 0's accessor needs more space than unit 0 has; units 1..3 are
+	// empty. The extension should pick unit 1 (nearest).
+	cfg := testCfg(4, 16)
+	hot := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve: curveWS(48*2048, 0, 1_000_000),
+		Acc:   map[int]uint64{0: 1_000_000},
+	}
+	allocs, rep, err := Optimize(cfg, []StreamInput{hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := allocs[1]
+	if rep.Extends == 0 {
+		t.Fatal("no extensions recorded")
+	}
+	if a.Shares[0] == 0 || a.Shares[1] == 0 {
+		t.Fatalf("expected rows on units 0 and 1, got %v", a.Shares)
+	}
+	if a.Shares[3] > a.Shares[1] {
+		t.Fatalf("farther unit 3 (%d rows) preferred over unit 1 (%d rows)", a.Shares[3], a.Shares[1])
+	}
+}
+
+func TestAffineCapRespected(t *testing.T) {
+	cfg := testCfg(2, 256)
+	cfg.AffineCapRows = 8
+	in := StreamInput{
+		SID: 1, ReadOnly: true, Affine: true,
+		Curve: curveWS(512*2048, 0, 1_000_000),
+		Acc:   map[int]uint64{0: 1, 1: 1},
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, s := range allocs[1].Shares {
+		if s > 8 {
+			t.Fatalf("unit %d has %d affine rows > cap 8", u, s)
+		}
+	}
+}
+
+func TestMaxGroupsClustering(t *testing.T) {
+	cfg := testCfg(16, 1024)
+	cfg.MaxGroups = 4
+	acc := map[int]uint64{}
+	for u := 0; u < 16; u++ {
+		acc[u] = 1000
+	}
+	in := StreamInput{SID: 1, ReadOnly: true, Curve: curveWS(8*2048, 0, 16_000), Acc: acc}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(allocs[1].GroupIDs()); got > 4 {
+		t.Fatalf("%d groups exceed MaxGroups 4", got)
+	}
+}
+
+func TestStreamsWithoutAccessesIgnored(t *testing.T) {
+	cfg := testCfg(2, 64)
+	ins := []StreamInput{{SID: 1, ReadOnly: true, Curve: curveWS(1024, 0, 0), Acc: nil}}
+	allocs, _, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 0 {
+		t.Fatalf("idle stream received an allocation: %v", allocs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testCfg(8, 128)
+	mk := func() []StreamInput {
+		var ins []StreamInput
+		for i := 0; i < 10; i++ {
+			ins = append(ins, StreamInput{
+				SID: stream.ID(i + 1), ReadOnly: i%2 == 0,
+				Curve: curveWS(int64(i+1)*32*2048, 0.05, uint64(1000*(i+1))),
+				Acc:   map[int]uint64{i % 8: 1000, (i + 3) % 8: 500},
+			})
+		}
+		return ins
+	}
+	a1, _, err := Optimize(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := Optimize(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid, a := range a1 {
+		b := a2[sid]
+		for u := range a.Shares {
+			if a.Shares[u] != b.Shares[u] || a.Groups[u] != b.Groups[u] {
+				t.Fatalf("nondeterministic allocation for stream %d unit %d", sid, u)
+			}
+		}
+	}
+}
+
+func TestAllAllocationsValid(t *testing.T) {
+	cfg := testCfg(8, 64)
+	var ins []StreamInput
+	for i := 0; i < 12; i++ {
+		ins = append(ins, StreamInput{
+			SID: stream.ID(i + 1), ReadOnly: i%3 != 0, Affine: i%2 == 0,
+			Curve: curveWS(int64(1+i%4)*64*2048, 0.1, uint64(10000*(i+1))),
+			Acc:   map[int]uint64{i % 8: 5000, (i * 3) % 8: 2000},
+		})
+	}
+	allocs, _, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid, a := range allocs {
+		if err := a.Validate(8); err != nil {
+			t.Fatalf("stream %d allocation invalid: %v", sid, err)
+		}
+		in := ins[sid-1]
+		if !in.ReadOnly && len(a.GroupIDs()) > 1 {
+			t.Fatalf("writable stream %d has %d groups", sid, len(a.GroupIDs()))
+		}
+	}
+}
+
+func TestStaticEqual(t *testing.T) {
+	cfg := testCfg(4, 120)
+	var ins []StreamInput
+	for i := 0; i < 3; i++ {
+		ins = append(ins, StreamInput{SID: stream.ID(i + 1), ReadOnly: true,
+			Curve: curveWS(1024, 0, 100), Acc: map[int]uint64{0: 1}})
+	}
+	allocs, err := StaticEqual(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 3 {
+		t.Fatalf("allocations for %d streams", len(allocs))
+	}
+	for sid, a := range allocs {
+		for u, s := range a.Shares {
+			if s != 40 {
+				t.Fatalf("stream %d unit %d share = %d, want 40", sid, u, s)
+			}
+		}
+		if len(a.GroupIDs()) != 1 {
+			t.Fatalf("static allocation replicated stream %d", sid)
+		}
+	}
+	// Row bases must not overlap between streams on a unit.
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	for _, a := range allocs {
+		spans = append(spans, span{a.RowBase[0], a.RowBase[0] + a.Shares[0]})
+	}
+	for i := range spans {
+		for j := range spans {
+			if i != j && spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("row ranges overlap: %v", spans)
+			}
+		}
+	}
+}
+
+func TestStaticEqualAffineCap(t *testing.T) {
+	cfg := testCfg(2, 100)
+	cfg.AffineCapRows = 10
+	ins := []StreamInput{
+		{SID: 1, Affine: true, ReadOnly: true, Curve: curveWS(1024, 0, 1), Acc: map[int]uint64{0: 1}},
+		{SID: 2, Affine: true, ReadOnly: true, Curve: curveWS(1024, 0, 1), Acc: map[int]uint64{0: 1}},
+	}
+	allocs, err := StaticEqual(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := allocs[1].Shares[0] + allocs[2].Shares[0]
+	if total > 10 {
+		t.Fatalf("affine shares %d exceed cap 10", total)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := testCfg(0, 64)
+	if _, _, err := Optimize(bad, nil); err == nil {
+		t.Fatal("zero units accepted")
+	}
+	bad = testCfg(2, 64)
+	bad.Attenuation = nil
+	if _, _, err := Optimize(bad, nil); err == nil {
+		t.Fatal("nil attenuation accepted")
+	}
+	bad = testCfg(2, 64)
+	bad.MaxGroups = 100
+	if _, _, err := Optimize(bad, nil); err == nil {
+		t.Fatal("MaxGroups beyond 6-bit limit accepted")
+	}
+}
+
+func TestResidualFillStopsAtFootprintHeadroom(t *testing.T) {
+	// One small stream, abundant capacity: the residual fill must stop at
+	// ~2x the footprint (conflict headroom), not consume the machine.
+	cfg := testCfg(4, 1024)
+	in := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve:     curveWS(16*2048, 0, 1_000_000),
+		Acc:       map[int]uint64{0: 1_000_000},
+		Footprint: 16 * 2048,
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per group: at most 2x footprint (32 rows) plus a segment of slack.
+	groups := len(allocs[1].GroupIDs())
+	maxRows := uint64(groups) * (32 + uint64(cfg.SegRows))
+	if got := allocs[1].TotalRows(); got > maxRows {
+		t.Fatalf("allocated %d rows for a 16-row stream across %d groups (cap %d)",
+			got, groups, maxRows)
+	}
+}
+
+func TestHysteresisKeepsPrevGroups(t *testing.T) {
+	cfg := testCfg(8, 1024)
+	in := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve:      curveWS(16*2048, 0.02, 1_000_000),
+		LocalCurve: curveWS(8*2048, 0.02, 500_000),
+		Acc:        map[int]uint64{0: 250_000, 2: 250_000, 5: 250_000, 7: 250_000},
+		Footprint:  16 * 2048,
+		PrevGroups: 2,
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(allocs[1].GroupIDs()); got != 2 {
+		t.Fatalf("hysteresis ignored: %d groups, previous was 2", got)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "container/heap"
+
+// Event is an entry in the EventQueue: at When, the payload ID becomes
+// ready. The simulator stores core indices (or other small handles) in ID
+// rather than closures so the hot loop stays allocation-free.
+type Event struct {
+	When Time
+	ID   int
+	seq  uint64 // insertion order, for deterministic tie-breaking
+}
+
+// EventQueue is a deterministic min-heap of events ordered by (When, seq).
+// The zero value is ready to use.
+type EventQueue struct {
+	h      eventHeap
+	nextSq uint64
+}
+
+// Push schedules id to become ready at t.
+func (q *EventQueue) Push(t Time, id int) {
+	q.nextSq++
+	heap.Push(&q.h, Event{When: t, ID: id, seq: q.nextSq})
+}
+
+// Pop removes and returns the earliest event. It panics if the queue is
+// empty; check Len first.
+func (q *EventQueue) Pop() Event {
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it.
+func (q *EventQueue) Peek() Event {
+	if len(q.h) == 0 {
+		panic("sim: Peek on empty EventQueue")
+	}
+	return q.h[0]
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

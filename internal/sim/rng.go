@@ -1,0 +1,149 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// NDPExt reproduction: a deterministic pseudo-random source, a time type,
+// an event heap, and busy-until resource reservation.
+//
+// Everything in the simulator that needs randomness draws from RNG seeded
+// explicitly, so a given configuration always produces identical results.
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64 for seeding, xoshiro256** for the stream). It is not
+// safe for concurrent use; give each concurrent component its own RNG
+// via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next SplitMix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Distinct seeds give
+// independent streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent generator from r, keyed by id. The parent
+// stream is unaffected, so components created in a fixed order receive
+// stable sub-streams even if their own consumption patterns change.
+func (r *RNG) Split(id uint64) *RNG {
+	x := r.s[0] ^ bits.RotateLeft64(r.s[2], 17) ^ (id * 0x9e3779b97f4a7c15)
+	return NewRNG(splitmix64(&x))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n called with n == 0")
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= uint64(-n)%n {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s using precomputed cumulative weights. Create one with NewZipf.
+type Zipf struct {
+	rng *RNG
+	cum []float64 // cumulative, normalized to cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s > 0.
+// It panics if n <= 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf called with n <= 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{rng: rng, cum: cum}
+}
+
+// Next returns the next Zipf-distributed sample.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cum[i] >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow is math.Pow; aliased so the sampler code reads naturally.
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,60 @@
+package sim
+
+import "fmt"
+
+// Time is simulated time in picoseconds. Picosecond resolution lets the
+// model mix 2 GHz core cycles (500 ps), 1.5 ns NoC hops, and 200 ns CXL
+// link latencies without rounding error, while an int64 still spans
+// over 100 days of simulated time.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FromNS converts a duration in nanoseconds to Time.
+func FromNS(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// NS reports t in nanoseconds.
+func (t Time) NS() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats t with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.2fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Clock converts between a component's cycles and Time.
+type Clock struct {
+	period Time // duration of one cycle
+}
+
+// NewClock returns a clock running at freqMHz.
+func NewClock(freqMHz float64) Clock {
+	if freqMHz <= 0 {
+		panic("sim: NewClock requires a positive frequency")
+	}
+	return Clock{period: Time(1e6 / freqMHz)} // 1e6 ps per us / MHz
+}
+
+// Period returns the duration of one cycle.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles converts n cycles to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// ToCycles converts a duration to whole cycles (rounding down).
+func (c Clock) ToCycles(t Time) int64 { return int64(t / c.period) }

@@ -1,0 +1,108 @@
+// Package stats collects per-access latency breakdowns and the summary
+// math (means, geomeans) used by the experiment harness. The breakdown
+// components mirror the paper's Fig. 2(a): core/L1 time, metadata time
+// (SLB or metadata-cache), intra-stack and inter-stack interconnect,
+// DRAM cache access, and extended (next-level) memory.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"ndpext/internal/sim"
+)
+
+// Breakdown accumulates time per latency component.
+type Breakdown struct {
+	Core      sim.Time // compute gaps + L1 hits
+	Meta      sim.Time // SLB / metadata lookups incl. refills
+	IntraNoC  sim.Time
+	InterNoC  sim.Time
+	CacheDRAM sim.Time // DRAM cache access at the home unit
+	Extended  sim.Time // CXL + extended memory
+	Accesses  uint64
+}
+
+// Add merges another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Core += o.Core
+	b.Meta += o.Meta
+	b.IntraNoC += o.IntraNoC
+	b.InterNoC += o.InterNoC
+	b.CacheDRAM += o.CacheDRAM
+	b.Extended += o.Extended
+	b.Accesses += o.Accesses
+}
+
+// Total sums all components.
+func (b Breakdown) Total() sim.Time {
+	return b.Core + b.Meta + b.IntraNoC + b.InterNoC + b.CacheDRAM + b.Extended
+}
+
+// Fractions returns each component as a fraction of the total.
+func (b Breakdown) Fractions() map[string]float64 {
+	t := float64(b.Total())
+	if t == 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"core":      float64(b.Core) / t,
+		"meta":      float64(b.Meta) / t,
+		"intra-noc": float64(b.IntraNoC) / t,
+		"inter-noc": float64(b.InterNoC) / t,
+		"dram":      float64(b.CacheDRAM) / t,
+		"extended":  float64(b.Extended) / t,
+	}
+}
+
+// AvgAccessNS returns the mean per-access latency in nanoseconds.
+func (b Breakdown) AvgAccessNS() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return b.Total().NS() / float64(b.Accesses)
+}
+
+// AvgInterconnectNS returns the mean interconnect (intra+inter) time per
+// access in nanoseconds (Fig. 7's metric).
+func (b Breakdown) AvgInterconnectNS() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return (b.IntraNoC + b.InterNoC).NS() / float64(b.Accesses)
+}
+
+// String renders the fractional breakdown.
+func (b Breakdown) String() string {
+	f := b.Fractions()
+	return fmt.Sprintf("core=%.0f%% meta=%.0f%% intra=%.0f%% inter=%.0f%% dram=%.0f%% ext=%.0f%%",
+		100*f["core"], 100*f["meta"], 100*f["intra-noc"], 100*f["inter-noc"], 100*f["dram"], 100*f["extended"])
+}
+
+// Geomean returns the geometric mean of xs (1 if empty). Non-positive
+// entries are ignored.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

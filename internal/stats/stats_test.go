@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ndpext/internal/sim"
+)
+
+func TestBreakdownAddAndTotal(t *testing.T) {
+	a := Breakdown{Core: 1, Meta: 2, IntraNoC: 3, InterNoC: 4, CacheDRAM: 5, Extended: 6, Accesses: 10}
+	b := a
+	a.Add(b)
+	if a.Total() != 42 || a.Accesses != 20 {
+		t.Fatalf("after add: total=%v accesses=%d", a.Total(), a.Accesses)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	b := Breakdown{Core: 25, InterNoC: 75}
+	f := b.Fractions()
+	if f["core"] != 0.25 || f["inter-noc"] != 0.75 {
+		t.Fatalf("fractions = %v", f)
+	}
+	if len((Breakdown{}).Fractions()) != 0 {
+		t.Fatal("empty breakdown produced fractions")
+	}
+}
+
+func TestAvgAccessNS(t *testing.T) {
+	b := Breakdown{Core: 100 * sim.Nanosecond, Accesses: 10}
+	if got := b.AvgAccessNS(); got != 10 {
+		t.Fatalf("avg = %v", got)
+	}
+	if (Breakdown{}).AvgAccessNS() != 0 {
+		t.Fatal("idle avg not 0")
+	}
+}
+
+func TestAvgInterconnectNS(t *testing.T) {
+	b := Breakdown{IntraNoC: 30 * sim.Nanosecond, InterNoC: 70 * sim.Nanosecond, Accesses: 10}
+	if got := b.AvgInterconnectNS(); got != 10 {
+		t.Fatalf("interconnect avg = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if Geomean(nil) != 1 {
+		t.Fatal("empty geomean not 1")
+	}
+	// Non-positive entries are ignored.
+	if g := Geomean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean with junk = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	b := Breakdown{Core: 1, Accesses: 1}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,308 @@
+// Package stream implements the software-defined data stream abstraction
+// NDPExt uses as its caching granularity (paper §II-C, §IV-A, Table I).
+//
+// A stream describes a memory address range plus its expected access
+// pattern. Affine streams have statically determined addresses following
+// an affine function of up to three loop dimensions, optionally accessed
+// in a different order than stored (the `order` argument); indirect
+// streams are accessed data-dependently (addr = s[i]). Streams are
+// configured after allocation and before use via the paper's API:
+//
+//	configure_stream(type, base, size, elemSize, [stride, length, order])
+package stream
+
+import "fmt"
+
+// Type distinguishes the two stream kinds of the paper.
+type Type uint8
+
+const (
+	// Affine streams have addresses addr = a*i + b: sequential and
+	// strided patterns such as vertex lists and matrices.
+	Affine Type = iota
+	// Indirect streams have input-dependent addresses (addr = s[i]),
+	// such as per-vertex state indexed through an edge list.
+	Indirect
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Affine:
+		return "affine"
+	case Indirect:
+		return "indirect"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ID identifies a stream (the paper's 9-bit sid).
+type ID uint16
+
+// NoStream marks an access not belonging to any configured stream; such
+// accesses bypass the DRAM cache and go directly to extended memory
+// (paper §IV-C; <0.1% of accesses).
+const NoStream ID = 1<<SIDBits - 1
+
+// Table I field widths, in bits. The stream remap table entry size and
+// the SLB sizing both derive from these.
+const (
+	SIDBits      = 9  // up to 512 streams
+	BaseBits     = 48 // base physical address
+	SizeBits     = 48 // total stream size
+	ElemSizeBits = 8  // element size
+	ReadOnlyBits = 1
+	StrideBits   = 48 // per dimension, x3
+	LengthBits   = 48 // per dimension, x2 (Y/Z; X is derived)
+	OrderBits    = 3  // access dimension order
+
+	// MaxStreams is the number of representable stream IDs; the top ID
+	// is reserved as NoStream.
+	MaxStreams = 1 << SIDBits
+)
+
+// Order encodes which of the up-to-3 affine dimensions iterates fastest
+// during access (the paper's 3-bit order argument). OrderXYZ means the
+// access order matches the storage order (X innermost).
+type Order uint8
+
+const (
+	OrderXYZ Order = iota // storage order
+	OrderYXZ
+	OrderXZY
+	OrderZYX
+	OrderYZX
+	OrderZXY
+	numOrders
+)
+
+// perm returns the access-order permutation: perm[0] is the innermost
+// (fastest iterating) storage dimension during access.
+func (o Order) perm() [3]int {
+	switch o {
+	case OrderXYZ:
+		return [3]int{0, 1, 2}
+	case OrderYXZ:
+		return [3]int{1, 0, 2}
+	case OrderXZY:
+		return [3]int{0, 2, 1}
+	case OrderZYX:
+		return [3]int{2, 1, 0}
+	case OrderYZX:
+		return [3]int{1, 2, 0}
+	case OrderZXY:
+		return [3]int{2, 0, 1}
+	default:
+		panic(fmt.Sprintf("stream: invalid order %d", o))
+	}
+}
+
+// Stream is the metadata of one configured stream (Table I).
+type Stream struct {
+	SID      ID
+	Type     Type
+	Base     uint64 // base physical address
+	Size     uint64 // total bytes
+	ElemSize uint32 // bytes per element
+	ReadOnly bool   // maintained by hardware; cleared on first write
+
+	// Affine-only fields. Dimensions are storage dimensions with X
+	// innermost: element (x, y, z) lives at
+	// Base + x*Stride[0] + y*Stride[1] + z*Stride[2].
+	// Length[0] and Length[1] are the Y and Z extents; the X extent is
+	// derived from the total element count.
+	Stride [3]uint64
+	Length [2]uint64
+	Order  Order
+}
+
+// Configure builds and validates a stream, mirroring the paper's
+// configure_stream API. For affine streams, pass zero stride/length for a
+// flat 1-D stream; multi-dimensional streams must supply strides and Y/Z
+// lengths.
+func Configure(sid ID, typ Type, base, size uint64, elemSize uint32) (*Stream, error) {
+	s := &Stream{
+		SID: sid, Type: typ, Base: base, Size: size, ElemSize: elemSize,
+		ReadOnly: true, // initialized to 1; cleared on first write (§IV-B)
+	}
+	if typ == Affine {
+		s.Stride[0] = uint64(elemSize)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ConfigureAffine3D builds a multi-dimensional affine stream with an
+// explicit access order (e.g. column-major access to a row-major matrix).
+// lenY and lenZ give the extents of the outer storage dimensions; pass
+// lenZ = 1 for a 2-D stream.
+func ConfigureAffine3D(sid ID, base uint64, elemSize uint32, lenX, lenY, lenZ uint64, order Order) (*Stream, error) {
+	if lenX == 0 || lenY == 0 || lenZ == 0 {
+		return nil, fmt.Errorf("stream %d: zero dimension %dx%dx%d", sid, lenX, lenY, lenZ)
+	}
+	es := uint64(elemSize)
+	s := &Stream{
+		SID: sid, Type: Affine, Base: base,
+		Size:     lenX * lenY * lenZ * es,
+		ElemSize: elemSize,
+		ReadOnly: true,
+		Stride:   [3]uint64{es, lenX * es, lenX * lenY * es},
+		Length:   [2]uint64{lenY, lenZ},
+		Order:    order,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the stream's invariants.
+func (s *Stream) Validate() error {
+	if s.SID >= NoStream {
+		return fmt.Errorf("stream: sid %d exceeds %d-bit limit", s.SID, SIDBits)
+	}
+	if s.Type != Affine && s.Type != Indirect {
+		return fmt.Errorf("stream %d: invalid type %d", s.SID, s.Type)
+	}
+	if s.ElemSize == 0 {
+		return fmt.Errorf("stream %d: zero element size", s.SID)
+	}
+	if s.Size == 0 || s.Size%uint64(s.ElemSize) != 0 {
+		return fmt.Errorf("stream %d: size %d not a positive multiple of element size %d", s.SID, s.Size, s.ElemSize)
+	}
+	if s.Base >= 1<<BaseBits || s.Size >= 1<<SizeBits {
+		return fmt.Errorf("stream %d: base/size exceed %d-bit fields", s.SID, BaseBits)
+	}
+	if s.Type == Affine {
+		if s.Order >= numOrders {
+			return fmt.Errorf("stream %d: invalid order %d", s.SID, s.Order)
+		}
+		if s.Stride[0] == 0 {
+			return fmt.Errorf("stream %d: affine stream needs an X stride", s.SID)
+		}
+		lx := s.lenX()
+		if ly, lz := s.dimLen(1), s.dimLen(2); lx*ly*lz != s.NumElements() {
+			return fmt.Errorf("stream %d: dims %dx%dx%d disagree with %d elements",
+				s.SID, lx, ly, lz, s.NumElements())
+		}
+	}
+	return nil
+}
+
+// NumElements returns the element count.
+func (s *Stream) NumElements() uint64 { return s.Size / uint64(s.ElemSize) }
+
+// Contains reports whether addr falls inside the stream's range.
+func (s *Stream) Contains(addr uint64) bool {
+	return addr >= s.Base && addr < s.Base+s.Size
+}
+
+// lenX derives the innermost storage extent from the total element count.
+func (s *Stream) lenX() uint64 {
+	n := s.NumElements()
+	ly, lz := s.dimLen(1), s.dimLen(2)
+	return n / (ly * lz)
+}
+
+// dimLen returns the extent of storage dimension d (0 = X, derived).
+func (s *Stream) dimLen(d int) uint64 {
+	switch d {
+	case 0:
+		return s.lenX()
+	case 1:
+		if s.Length[0] == 0 {
+			return 1
+		}
+		return s.Length[0]
+	default:
+		if s.Length[1] == 0 {
+			return 1
+		}
+		return s.Length[1]
+	}
+}
+
+// ElemID maps an address inside the stream to its element index in
+// *access order*. The hardware caches elements by access order (paper
+// §IV-A: "the hardware would cache the elements following their access
+// order"), so spatially adjacent access-order IDs land in the same cache
+// block even for reordered iterations. The second result reports whether
+// the address actually belongs to the stream.
+func (s *Stream) ElemID(addr uint64) (uint64, bool) {
+	if !s.Contains(addr) {
+		return 0, false
+	}
+	off := addr - s.Base
+	if s.Type == Indirect || s.Order == OrderXYZ && s.Length[0] == 0 && s.Length[1] == 0 {
+		return off / uint64(s.ElemSize), true
+	}
+	// Decode storage coordinates from the offset using the nested strides.
+	var coord [3]uint64
+	if s.Stride[2] != 0 {
+		coord[2] = off / s.Stride[2]
+		off %= s.Stride[2]
+	}
+	if s.Stride[1] != 0 {
+		coord[1] = off / s.Stride[1]
+		off %= s.Stride[1]
+	}
+	coord[0] = off / s.Stride[0]
+	// Re-linearize in access order.
+	p := s.Order.perm()
+	id := coord[p[2]]
+	id = id*s.dimLen(p[1]) + coord[p[1]]
+	id = id*s.dimLen(p[0]) + coord[p[0]]
+	return id, true
+}
+
+// ElemAddr is the inverse of ElemID: the address of access-order element
+// id. It panics if id is out of range (internal misuse, not input).
+func (s *Stream) ElemAddr(id uint64) uint64 {
+	if id >= s.NumElements() {
+		panic(fmt.Sprintf("stream %d: element %d out of %d", s.SID, id, s.NumElements()))
+	}
+	if s.Type == Indirect || s.Order == OrderXYZ && s.Length[0] == 0 && s.Length[1] == 0 {
+		return s.Base + id*uint64(s.ElemSize)
+	}
+	p := s.Order.perm()
+	var coord [3]uint64
+	coord[p[0]] = id % s.dimLen(p[0])
+	id /= s.dimLen(p[0])
+	coord[p[1]] = id % s.dimLen(p[1])
+	id /= s.dimLen(p[1])
+	coord[p[2]] = id
+	return s.Base + coord[0]*s.Stride[0] + coord[1]*s.Stride[1] + coord[2]*s.Stride[2]
+}
+
+// String summarizes the stream.
+func (s *Stream) String() string {
+	return fmt.Sprintf("stream %d %s [%#x,+%d) elem=%dB ro=%v",
+		s.SID, s.Type, s.Base, s.Size, s.ElemSize, s.ReadOnly)
+}
+
+// Iterate calls yield for every element address in access order, stopping
+// early if yield returns false. For reordered multi-dimensional affine
+// streams this walks the addresses the hardware expects to cache
+// together; for flat affine and indirect streams it is a plain sequential
+// walk of the range. Useful for writing kernels against the Builder API.
+func (s *Stream) Iterate(yield func(id uint64, addr uint64) bool) {
+	n := s.NumElements()
+	for id := uint64(0); id < n; id++ {
+		if !yield(id, s.ElemAddr(id)) {
+			return
+		}
+	}
+}
+
+// BlockOf returns the index of the cache block (of the given size)
+// holding access-order element id — the unit at which the hardware
+// caches affine streams (§IV-C).
+func (s *Stream) BlockOf(id uint64, blockBytes int) uint64 {
+	if blockBytes <= 0 {
+		panic("stream: BlockOf requires a positive block size")
+	}
+	return id * uint64(s.ElemSize) / uint64(blockBytes)
+}

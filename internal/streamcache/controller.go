@@ -1,0 +1,492 @@
+package streamcache
+
+import (
+	"fmt"
+
+	"ndpext/internal/stream"
+)
+
+// Controller is the stream cache of the whole NDP system: the centralized
+// remap state plus the per-unit SLBs and resident-item tracking. The
+// system simulator calls Lookup for every L1 miss and charges latencies
+// according to the returned route; the host runtime calls Apply at each
+// epoch boundary with the new configuration.
+type Controller struct {
+	params   Params
+	numUnits int
+	table    *stream.Table
+	allocs   map[stream.ID]Allocation
+	rings    map[ringKey]*ring
+	units    []*unitState
+	stats    Stats
+	perSID   map[stream.ID]*StreamStats
+}
+
+type ringKey struct {
+	sid   stream.ID
+	group uint8
+}
+
+// Stats aggregates controller-wide activity.
+type Stats struct {
+	Lookups         uint64
+	Hits            uint64
+	Misses          uint64
+	Bypasses        uint64 // non-stream accesses (direct to extended memory)
+	NoSpace         uint64 // stream accesses with no allocated cache space
+	SLBHits         uint64
+	SLBMisses       uint64
+	WriteExceptions uint64
+	Writebacks      uint64
+}
+
+// StreamStats tracks per-stream hit behaviour (used for Fig. 7 miss
+// rates and by the profiler).
+type StreamStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MissRate returns misses/(hits+misses), or 0 when idle.
+func (s StreamStats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// NewController builds the stream cache over numUnits NDP units, using
+// the stream registry tbl. It panics on invalid parameters (construction
+// configuration, not runtime input).
+func NewController(p Params, numUnits int, tbl *stream.Table) *Controller {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if numUnits <= 0 {
+		panic(fmt.Sprintf("streamcache: numUnits = %d", numUnits))
+	}
+	c := &Controller{
+		params:   p,
+		numUnits: numUnits,
+		table:    tbl,
+		allocs:   make(map[stream.ID]Allocation),
+		rings:    make(map[ringKey]*ring),
+		perSID:   make(map[stream.ID]*StreamStats),
+	}
+	for i := 0; i < numUnits; i++ {
+		c.units = append(c.units, newUnitState(p.SLBEntries))
+	}
+	return c
+}
+
+// Params returns the design parameters.
+func (c *Controller) Params() Params { return c.params }
+
+// NumUnits returns the unit count.
+func (c *Controller) NumUnits() int { return c.numUnits }
+
+// Table returns the stream registry.
+func (c *Controller) Table() *stream.Table { return c.table }
+
+// Allocation returns the current allocation for sid (zero-value
+// allocation if none installed).
+func (c *Controller) Allocation(sid stream.ID) (Allocation, bool) {
+	a, ok := c.allocs[sid]
+	return a, ok
+}
+
+// Lookup is the result of resolving one memory access through the stream
+// cache. Latency composition happens in the system simulator; this
+// captures the route and the functional outcome.
+type Lookup struct {
+	SID    stream.ID
+	Bypass bool // not a stream: access extended memory directly
+
+	SLBMissLocal bool // requester's SLB missed (host refill round trip)
+	SLBMissHome  bool // home unit's SLB missed
+
+	Home    int    // unit whose DRAM serves/caches the item
+	HomeRow int64  // absolute DRAM row at the home unit
+	Affine  bool   // affine stream (ATA lookup) vs indirect (embedded tag)
+	ItemID  uint64 // block ID (affine) or element ID (indirect)
+
+	Hit     bool
+	NoSpace bool // no cache space allocated for this unit's group
+	// WayMispredict reports an MRU way-predictor miss on a cache hit
+	// (only when Params.WayPredict and IndirectWays > 1): the home unit
+	// pays a second DRAM access to find the right way.
+	WayMispredict bool
+	FetchBytes    int // bytes fetched from extended memory on a miss
+	AccessBytes   int // bytes moved between requester and home on this access
+
+	WritebackBytes int // dirty victim written back to extended memory
+
+	WriteException         bool // first write to a read-only stream (§IV-B)
+	ExceptionInvalidations int  // replicas dropped by the exception
+}
+
+// Lookup resolves the access (addr, write) issued by NDP unit `unit`.
+func (c *Controller) Lookup(unit int, addr uint64, write bool) Lookup {
+	var r Lookup
+	c.stats.Lookups++
+
+	s := c.table.FindByAddr(addr)
+	if s == nil {
+		r.Bypass = true
+		r.SID = stream.NoStream
+		c.stats.Bypasses++
+		return r
+	}
+	r.SID = s.SID
+	r.Affine = s.Type == stream.Affine
+	us := c.units[unit]
+	us.epochAcc[s.SID]++
+
+	// Requester-side SLB.
+	if !us.slb.access(s.SID) {
+		r.SLBMissLocal = true
+		c.stats.SLBMisses++
+	} else {
+		c.stats.SLBHits++
+	}
+
+	// First write to a read-only stream raises a host exception that
+	// collapses the stream to a single replication group (§IV-B).
+	if write && s.ReadOnly {
+		r.WriteException = true
+		c.stats.WriteExceptions++
+		r.ExceptionInvalidations = c.handleWriteException(s)
+	}
+
+	elem, ok := s.ElemID(addr)
+	if !ok {
+		// Range matched by FindByAddr, so this cannot happen; defensive.
+		panic(fmt.Sprintf("streamcache: address %#x lost from %v", addr, s))
+	}
+	r.ItemID = elem
+	itemBytes := int(s.ElemSize)
+	if r.Affine {
+		r.ItemID = elem * uint64(s.ElemSize) / uint64(c.params.BlockBytes)
+		itemBytes = c.params.BlockBytes
+	}
+
+	alloc, ok := c.allocs[s.SID]
+	if !ok {
+		r.NoSpace = true
+		r.Home = unit
+		r.FetchBytes = itemBytes
+		c.stats.NoSpace++
+		c.streamStats(s.SID).Misses++
+		return r
+	}
+	g := alloc.Groups[unit]
+	rg := c.rings[ringKey{s.SID, g}]
+	if rg == nil {
+		r.NoSpace = true
+		r.Home = unit
+		r.FetchBytes = itemBytes
+		c.stats.NoSpace++
+		c.streamStats(s.SID).Misses++
+		return r
+	}
+
+	sp := rg.locate(s.SID, r.ItemID)
+	r.Home = int(sp.unit)
+	r.HomeRow = int64(alloc.RowBase[sp.unit]) + int64(sp.ord)
+	r.AccessBytes = min(itemBytes, 64) // request/response granule on the NoC
+
+	// Home-side SLB (the paper looks up the SLB again at the destination
+	// to obtain the remap row base).
+	if r.Home != unit {
+		hs := c.units[r.Home].slb
+		if !hs.access(s.SID) {
+			r.SLBMissHome = true
+			c.stats.SLBMisses++
+		} else {
+			c.stats.SLBHits++
+		}
+	}
+
+	key, ways := c.residencyKey(s, alloc, sp, r.ItemID)
+	hit, victim, mispredict := c.units[r.Home].lookup(key, r.ItemID, write, true, ways, r.Affine)
+	r.Hit = hit
+	if c.params.WayPredict && !r.Affine {
+		r.WayMispredict = mispredict
+	}
+	ss := c.streamStats(s.SID)
+	if hit {
+		c.stats.Hits++
+		ss.Hits++
+	} else {
+		c.stats.Misses++
+		ss.Misses++
+		r.FetchBytes = itemBytes
+		if victim.valid && victim.dirty {
+			r.WritebackBytes = itemBytes
+			c.stats.Writebacks++
+		}
+	}
+	return r
+}
+
+// residencyKey computes the associativity set an item belongs to at its
+// home spot, and the set's way count.
+//
+// Indirect streams are direct-mapped (or IndirectWays-associative) within
+// their DRAM row: the embedded tags leave no room for cheap wide
+// associativity (§IV-C). Affine streams use the ATA's set-associative
+// SRAM tags: AffineWays consecutive block slots (spanning several row
+// ordinals when a row holds fewer blocks than ways) form one LRU-free
+// set, which is what kills the conflict misses a direct-mapped block
+// array would suffer on strided sweeps.
+func (c *Controller) residencyKey(s *stream.Stream, alloc Allocation, sp spot, item uint64) (resKey, int) {
+	if s.Type == stream.Affine {
+		itemsPerRow := c.params.RowBytes / c.params.BlockBytes
+		if itemsPerRow < 1 {
+			itemsPerRow = 1
+		}
+		rowsPerSet := c.params.AffineWays / itemsPerRow
+		if rowsPerSet < 1 {
+			rowsPerSet = 1
+		}
+		// The ATA indexes sets uniformly within the unit's share by a
+		// plain modulo (set-index bits), rather than by the block's
+		// consistent-hash spot: the ring's per-spot load variance would
+		// overload some sets and thrash them.
+		numSets := int(alloc.Shares[sp.unit]) / rowsPerSet
+		if numSets < 1 {
+			numSets = 1
+		}
+		set := uint32(hash64(item, uint64(s.SID)+0x5e7) % uint64(numSets))
+		return resKey{sid: s.SID, ord: ^uint32(0), set: set},
+			rowsPerSet * itemsPerRow
+	}
+	itemsPerRow := c.params.RowBytes / (int(s.ElemSize) + c.params.TagBytes)
+	if itemsPerRow < 1 {
+		itemsPerRow = 1
+	}
+	numSets := itemsPerRow / c.params.IndirectWays
+	if numSets < 1 {
+		numSets = 1
+	}
+	set := uint32(hash64(item, uint64(s.SID)+0xabcd) % uint64(numSets))
+	return resKey{sid: s.SID, ord: sp.ord, set: set}, c.params.IndirectWays
+}
+
+// handleWriteException clears the stream's read-only bit and collapses
+// its replication groups to the single largest one, invalidating the
+// other replicas (clean by construction, so no writebacks). It returns
+// the number of invalidated items.
+func (c *Controller) handleWriteException(s *stream.Stream) int {
+	s.ReadOnly = false
+	alloc, ok := c.allocs[s.SID]
+	if !ok {
+		return 0
+	}
+	groups := alloc.GroupIDs()
+	if len(groups) <= 1 {
+		return 0
+	}
+	// Keep the group with the most rows; fold everything else into it.
+	keep := groups[0]
+	for _, g := range groups[1:] {
+		if alloc.GroupRows(g) > alloc.GroupRows(keep) {
+			keep = g
+		}
+	}
+	invalidated := 0
+	for u := range alloc.Groups {
+		if alloc.Groups[u] != keep && alloc.Shares[u] > 0 {
+			n, _ := c.units[u].dropStream(s.SID)
+			invalidated += n
+		}
+		alloc.Groups[u] = keep
+	}
+	c.allocs[s.SID] = alloc
+	c.rebuildRings(s.SID, alloc)
+	c.invalidateSLBs(s.SID)
+	return invalidated
+}
+
+// streamStats returns (allocating) the per-stream counters.
+func (c *Controller) streamStats(sid stream.ID) *StreamStats {
+	ss := c.perSID[sid]
+	if ss == nil {
+		ss = &StreamStats{}
+		c.perSID[sid] = ss
+	}
+	return ss
+}
+
+// rebuildRings reconstructs the consistent-hash rings of sid for alloc.
+func (c *Controller) rebuildRings(sid stream.ID, alloc Allocation) {
+	for k := range c.rings {
+		if k.sid == sid {
+			delete(c.rings, k)
+		}
+	}
+	for _, g := range alloc.GroupIDs() {
+		if rg := buildRing(sid, alloc, g); rg != nil {
+			c.rings[ringKey{sid, g}] = rg
+		}
+	}
+	// Units whose group has no rows keep a nil ring (NoSpace on access).
+}
+
+// invalidateSLBs drops sid's entry from every unit's SLB (remap change).
+func (c *Controller) invalidateSLBs(sid stream.ID) {
+	for _, u := range c.units {
+		u.slb.invalidate(sid)
+	}
+}
+
+// ReconfigStats reports what a configuration change did to cached data.
+type ReconfigStats struct {
+	StreamsChanged int
+	ItemsExamined  int
+	ItemsKept      int // survived in place (consistent hashing)
+	ItemsDropped   int // invalidated (refetched on demand later)
+	Writebacks     int // dirty items flushed to extended memory
+}
+
+// Apply installs a new configuration for the given streams. With
+// consistent=true, data whose consistent-hash spot is unchanged stays
+// cached (§V-D); otherwise the changed streams' cached data is bulk
+// invalidated (the Jigsaw/CDCS approach).
+func (c *Controller) Apply(newAllocs map[stream.ID]Allocation, consistent bool) (ReconfigStats, error) {
+	var rs ReconfigStats
+	for sid, a := range newAllocs {
+		if err := a.Validate(c.numUnits); err != nil {
+			return rs, err
+		}
+		if s := c.table.Get(sid); s == nil {
+			return rs, fmt.Errorf("streamcache: allocation for unknown stream %d", sid)
+		} else if !s.ReadOnly && len(a.GroupIDs()) > 1 {
+			return rs, fmt.Errorf("streamcache: stream %d is writable but has %d replication groups",
+				sid, len(a.GroupIDs()))
+		}
+	}
+
+	for sid, a := range newAllocs {
+		old, had := c.allocs[sid]
+		if had && allocEqual(old, a) {
+			continue
+		}
+		rs.StreamsChanged++
+		c.allocs[sid] = a.Clone()
+		c.rebuildRings(sid, a)
+		c.invalidateSLBs(sid)
+
+		s := c.table.Get(sid)
+		if !consistent {
+			for _, u := range c.units {
+				n, d := u.dropStream(sid)
+				rs.ItemsExamined += n
+				rs.ItemsDropped += n
+				rs.Writebacks += d
+			}
+			continue
+		}
+		// Consistent hashing: keep items whose home spot is unchanged.
+		for uid, u := range c.units {
+			for k, set := range u.resident {
+				if k.sid != sid {
+					continue
+				}
+				keepAny := false
+				for i := range set.ways {
+					w := &set.ways[i]
+					if !w.valid {
+						continue
+					}
+					rs.ItemsExamined++
+					g := c.allocs[sid].Groups[uid]
+					rg := c.rings[ringKey{sid, g}]
+					survives := false
+					if rg != nil {
+						sp := rg.locate(sid, w.id)
+						if int(sp.unit) == uid {
+							k2, _ := c.residencyKey(s, c.allocs[sid], sp, w.id)
+							survives = k2 == k
+						}
+					}
+					if survives {
+						rs.ItemsKept++
+						keepAny = true
+					} else {
+						rs.ItemsDropped++
+						if w.dirty {
+							rs.Writebacks++
+						}
+						*w = resWay{}
+					}
+				}
+				if !keepAny {
+					delete(u.resident, k)
+				}
+			}
+		}
+	}
+	c.stats.Writebacks += uint64(rs.Writebacks)
+	return rs, nil
+}
+
+// allocEqual reports deep equality of two allocations.
+func allocEqual(a, b Allocation) bool {
+	if len(a.Shares) != len(b.Shares) {
+		return false
+	}
+	for i := range a.Shares {
+		if a.Shares[i] != b.Shares[i] || a.RowBase[i] != b.RowBase[i] || a.Groups[i] != b.Groups[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochAccesses returns, per unit, the access counts by stream for the
+// current epoch (the hardware bitvector of §V-B enriched with counts),
+// and clears the epoch state.
+func (c *Controller) EpochAccesses() []map[stream.ID]uint64 {
+	out := make([]map[stream.ID]uint64, c.numUnits)
+	for i, u := range c.units {
+		out[i] = u.epochAcc
+		u.epochAcc = make(map[stream.ID]uint64)
+	}
+	return out
+}
+
+// Stats returns a copy of the aggregate statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// StreamStatsFor returns a copy of sid's counters.
+func (c *Controller) StreamStatsFor(sid stream.ID) StreamStats {
+	if ss := c.perSID[sid]; ss != nil {
+		return *ss
+	}
+	return StreamStats{}
+}
+
+// ResetStats clears aggregate and per-stream counters (not cache state).
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	c.perSID = make(map[stream.ID]*StreamStats)
+}
+
+// ResidentItems counts currently cached items for sid on unit u (testing
+// and occupancy reporting).
+func (c *Controller) ResidentItems(u int, sid stream.ID) int {
+	n := 0
+	for k, set := range c.units[u].resident {
+		if k.sid != sid {
+			continue
+		}
+		for _, w := range set.ways {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+// Package streamcache implements NDPExt's hardware stream cache (paper
+// §IV): the distributed DRAM cache over the NDP units' memory, managed at
+// stream granularity instead of cacheline granularity.
+//
+// Components modelled:
+//
+//   - The stream remap table (Fig. 3b): per stream, RShares (DRAM rows
+//     allocated per unit), RRowBase (their location) and RGroups (the
+//     replication group each unit belongs to).
+//   - The per-unit stream lookahead buffer, SLB (Fig. 3c): a 32-entry
+//     CAM-like cache of remap entries; misses refill from the host.
+//   - The affine tag array, ATA (Fig. 3d): SRAM tags at 1 kB block
+//     granularity for affine streams, bounded by the per-unit affine
+//     space restriction (16 MB default).
+//   - Embedded-tag, direct-mapped caching of indirect stream elements
+//     (tag stored with the data; one DRAM access returns both).
+//   - Consistent-hash data placement within each replication group
+//     (§V-D), so reconfigurations move only the delta rows.
+package streamcache
+
+import "fmt"
+
+// Remap table field widths (paper §IV-B): each of the 512 streams has one
+// 40-bit entry per NDP unit, 160 kB total for 64 units.
+const (
+	RSharesBits    = 16 // up to 64k DRAM rows allocated per unit
+	RRowBaseBits   = 18 // 256k rows per unit addressable
+	RGroupsBits    = 6  // up to 64 replication groups
+	RemapEntryBits = RSharesBits + RRowBaseBits + RGroupsBits
+
+	// SLBSizeBytes is the per-unit SLB SRAM budget (paper §VI).
+	SLBSizeBytes = 4544
+	// ATAEntries/ATABytes: 16k entries of 4-byte tags = 64 kB (paper §IV-C).
+	ATAEntries = 16384
+	ATABytes   = ATAEntries * 4
+)
+
+// RemapTableBytes returns the stream remap table size for the given
+// stream and unit counts (paper: 512 x 64 x 40 bits = 160 kB).
+func RemapTableBytes(streams, units int) int {
+	return streams * units * RemapEntryBits / 8
+}
+
+// UnitSRAMBytes itemizes the added per-unit SRAM of the paper's §VI
+// "Total SRAM cost": the 32-entry SLB (4544 B), the affine tag array
+// (64 kB), the four miss-curve samplers (32 kB), and the 512-bit
+// accessed-stream bitvector.
+func UnitSRAMBytes() (slb, ata, samplers, bitvector, total int) {
+	slb = SLBSizeBytes
+	ata = ATABytes
+	samplers = 4 * 8 << 10
+	bitvector = 512 / 8
+	total = slb + ata + samplers + bitvector
+	return
+}
+
+// Params are the stream cache design knobs studied in §VII-C.
+type Params struct {
+	RowBytes     int // DRAM row size (cache allocation granule)
+	BlockBytes   int // affine stream cache block (Fig. 9b; default 1 kB)
+	IndirectWays int // indirect-cache associativity (Fig. 9a; default 1)
+	// AffineWays is the affine tag array's associativity: the ATA is a
+	// set-associative SRAM structure (§IV-C: "a set-associative
+	// structure suffices for the ATA"), unlike the direct-mapped
+	// embedded-tag indirect cache.
+	AffineWays int
+	// WayPredict models the realistic multi-way organization the paper
+	// cites as an alternative (CAMEO/Unison-style): an MRU way predictor
+	// reads one way per DRAM access, and a misprediction costs a second
+	// access. Without it, associativity > 1 is the paper's idealized
+	// Fig. 9(a) experiment (no extra lookup cost).
+	WayPredict     bool
+	AffineCapBytes int // per-unit total affine space (Fig. 9c; default 16 MB)
+	SLBEntries     int // per-unit SLB capacity (default 32)
+	TagBytes       int // embedded tag per indirect element (default 4)
+}
+
+// DefaultParams returns the paper's default design point.
+func DefaultParams() Params {
+	return Params{
+		RowBytes:       2048,
+		BlockBytes:     1024,
+		IndirectWays:   1,
+		AffineWays:     8,
+		AffineCapBytes: 16 << 20,
+		SLBEntries:     32,
+		TagBytes:       4,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.RowBytes <= 0 || p.BlockBytes <= 0 {
+		return fmt.Errorf("streamcache: row/block bytes must be positive")
+	}
+	if p.IndirectWays <= 0 || p.AffineWays <= 0 {
+		return fmt.Errorf("streamcache: associativity must be >= 1")
+	}
+	if p.SLBEntries <= 0 {
+		return fmt.Errorf("streamcache: SLB needs at least one entry")
+	}
+	if p.TagBytes < 0 {
+		return fmt.Errorf("streamcache: negative tag size")
+	}
+	if p.AffineCapBytes <= 0 {
+		return fmt.Errorf("streamcache: affine cap must be positive")
+	}
+	return nil
+}

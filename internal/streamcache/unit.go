@@ -1,0 +1,168 @@
+package streamcache
+
+import "ndpext/internal/stream"
+
+// slbState models one unit's stream lookahead buffer: a small
+// fully-associative cache of remap-table entries, searched by address
+// range (TCAM) and refilled from the host's full table on a miss.
+// Functionally we track which streams' entries are resident.
+type slbState struct {
+	cap     int
+	entries map[stream.ID]uint64 // sid -> last-use tick
+	tick    uint64
+	hits    uint64
+	misses  uint64
+}
+
+func newSLB(capacity int) *slbState {
+	return &slbState{cap: capacity, entries: make(map[stream.ID]uint64, capacity)}
+}
+
+// access looks up sid, refilling (with LRU eviction) on a miss.
+// It reports whether the lookup hit.
+func (s *slbState) access(sid stream.ID) bool {
+	s.tick++
+	if _, ok := s.entries[sid]; ok {
+		s.entries[sid] = s.tick
+		s.hits++
+		return true
+	}
+	s.misses++
+	if len(s.entries) >= s.cap {
+		var victim stream.ID
+		oldest := ^uint64(0)
+		for id, t := range s.entries {
+			if t < oldest || t == oldest && id < victim {
+				oldest, victim = t, id
+			}
+		}
+		delete(s.entries, victim)
+	}
+	s.entries[sid] = s.tick
+	return false
+}
+
+// invalidate drops sid's entry (after a remap-table update).
+func (s *slbState) invalidate(sid stream.ID) { delete(s.entries, sid) }
+
+// resKey addresses one associativity set of the DRAM cache space of a
+// stream on one unit: the row ordinal (consistent-hash spot) plus the set
+// index within the row.
+type resKey struct {
+	sid stream.ID
+	ord uint32
+	set uint32
+}
+
+// resWay is one cached item (an affine block or an indirect element).
+type resWay struct {
+	id    uint64 // block ID (affine) or element ID (indirect)
+	use   uint64 // last-use tick (LRU; meaningful only for ATA sets)
+	valid bool
+	dirty bool
+}
+
+// resSet is one set: up to `ways` items, a round-robin victim cursor,
+// and the MRU way used by the way predictor (§IV-C's cited alternative
+// to direct mapping: predict the way, fall back to a second access on a
+// misprediction).
+type resSet struct {
+	ways []resWay
+	rr   uint8
+	mru  uint8
+}
+
+// unitState is the per-NDP-unit cache state.
+type unitState struct {
+	slb      *slbState
+	tick     uint64
+	resident map[resKey]*resSet
+	// epochAcc counts accesses per stream this epoch; it models the
+	// 512-bit accessed-stream bitvector (§V-B) with counts, which the
+	// configuration algorithm also uses as placement weights.
+	epochAcc map[stream.ID]uint64
+}
+
+func newUnitState(slbEntries int) *unitState {
+	return &unitState{
+		slb:      newSLB(slbEntries),
+		resident: make(map[resKey]*resSet),
+		epochAcc: make(map[stream.ID]uint64),
+	}
+}
+
+// lookup finds id in the set at key; on a miss with install=true it
+// allocates a way (evicting round-robin) and reports the victim.
+// lookup finds id in the set at key; on a miss with install=true it
+// allocates a way and reports the victim. Replacement is LRU when lru is
+// set (the ATA's SRAM tags track recency) and round-robin otherwise (the
+// embedded DRAM tags of indirect elements have no recency bits).
+func (u *unitState) lookup(key resKey, id uint64, write, install bool, ways int, lru bool) (hit bool, victim resWay, mispredict bool) {
+	u.tick++
+	set := u.resident[key]
+	if set != nil {
+		for i := range set.ways {
+			w := &set.ways[i]
+			if w.valid && w.id == id {
+				if write {
+					w.dirty = true
+				}
+				w.use = u.tick
+				mispredict = len(set.ways) > 1 && int(set.mru) != i
+				set.mru = uint8(i)
+				return true, resWay{}, mispredict
+			}
+		}
+	}
+	if !install {
+		return false, resWay{}, false
+	}
+	if set == nil {
+		set = &resSet{ways: make([]resWay, ways)}
+		u.resident[key] = set
+	}
+	vi := -1
+	for i := range set.ways {
+		if !set.ways[i].valid {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		if lru {
+			vi = 0
+			for i := 1; i < len(set.ways); i++ {
+				if set.ways[i].use < set.ways[vi].use {
+					vi = i
+				}
+			}
+		} else {
+			vi = int(set.rr) % len(set.ways)
+			set.rr++
+		}
+		victim = set.ways[vi]
+	}
+	set.ways[vi] = resWay{id: id, use: u.tick, valid: true, dirty: write}
+	set.mru = uint8(vi)
+	return false, victim, false
+}
+
+// dropStream removes every resident item of sid, returning the item count
+// and how many were dirty.
+func (u *unitState) dropStream(sid stream.ID) (items, dirty int) {
+	for k, set := range u.resident {
+		if k.sid != sid {
+			continue
+		}
+		for _, w := range set.ways {
+			if w.valid {
+				items++
+				if w.dirty {
+					dirty++
+				}
+			}
+		}
+		delete(u.resident, k)
+	}
+	return items, dirty
+}

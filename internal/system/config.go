@@ -1,0 +1,250 @@
+// Package system assembles the full NDP-with-extended-memory machine of
+// the paper's Table II and runs trace-driven, cycle-approximate
+// simulations of it under the different cache management designs: NDPExt
+// (the paper's proposal), NDPExt-static, the NUCA baselines (Jigsaw,
+// Whirlpool, Nexus, static interleaving), and the non-NDP host processor.
+//
+// Capacities are scaled down from the paper (configurable via
+// CapacityDivisor) so that runs complete in seconds while footprints keep
+// the same ratio to cache capacity; timing and energy constants are the
+// paper's own.
+package system
+
+import (
+	"fmt"
+
+	"ndpext/internal/cxl"
+	"ndpext/internal/dram"
+	"ndpext/internal/noc"
+	"ndpext/internal/sampler"
+	"ndpext/internal/sim"
+	"ndpext/internal/streamcache"
+)
+
+// Design selects the cache management scheme under evaluation.
+type Design int
+
+const (
+	// NDPExt is the paper's proposal: stream cache + configuration
+	// algorithm with per-stream replication.
+	NDPExt Design = iota
+	// NDPExtStatic is NDPExt without runtime reconfiguration: equal
+	// static allocation per stream (§VI).
+	NDPExtStatic
+	// Nexus, Whirlpool, Jigsaw and StaticInterleave are the cacheline
+	// NUCA baselines adapted to the DRAM cache (§VI).
+	Nexus
+	Whirlpool
+	Jigsaw
+	StaticInterleave
+	// Host is the non-NDP 64-core host processor with a Jigsaw-style
+	// LLC and DDR5 main memory, the Fig. 5 normalization baseline.
+	Host
+)
+
+// String returns the design name used in the paper's figures.
+func (d Design) String() string {
+	switch d {
+	case NDPExt:
+		return "NDPExt"
+	case NDPExtStatic:
+		return "NDPExt-static"
+	case Nexus:
+		return "Nexus"
+	case Whirlpool:
+		return "Whirlpool"
+	case Jigsaw:
+		return "Jigsaw"
+	case StaticInterleave:
+		return "Static"
+	case Host:
+		return "Host"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// NDPDesigns lists the designs that run on the NDP system, in the order
+// the paper's Fig. 5 plots them.
+func NDPDesigns() []Design {
+	return []Design{StaticInterleave, Jigsaw, Whirlpool, Nexus, NDPExtStatic, NDPExt}
+}
+
+// ReconfigMode selects the Fig. 9(e) reconfiguration method.
+type ReconfigMode int
+
+const (
+	// ReconfigFull reconfigures every epoch (NDPExt's default).
+	ReconfigFull ReconfigMode = iota
+	// ReconfigPartial reconfigures only during the first PartialEpochs
+	// epochs, then freezes.
+	ReconfigPartial
+	// ReconfigStatic never reconfigures after the initial equal split.
+	ReconfigStatic
+)
+
+// CapacityDivisor scales the paper's capacities down to model scale:
+// per-unit DRAM cache 256 MB -> 256 kB, affine cap 16 MB -> 16 kB,
+// host LLC 32 MB -> 32 kB. Footprints in internal/workloads are scaled
+// to match, so footprint:cache ratios track the paper's setup.
+const CapacityDivisor = 1024
+
+// Config describes one simulated machine.
+type Config struct {
+	Design Design
+
+	Mem dram.Params // NDP stack memory technology (HBM3 or HMC2)
+	NoC noc.Config
+	CXL cxl.Config
+
+	CoreFreqMHz float64
+	L1Bytes     int
+	L1Assoc     int
+	L1LineBytes int
+	L1LatCycles int64
+
+	UnitRows     uint32 // DRAM cache rows per NDP unit
+	BanksPerUnit int
+
+	// NDPExt knobs (Fig. 9 design studies).
+	Stream         streamcache.Params
+	Sampler        sampler.Config
+	EpochCycles    int64
+	Reconfig       ReconfigMode
+	PartialEpochs  int
+	ConsistentHash bool
+
+	SLBLatCycles      int64
+	SLBMissPenalty    sim.Time // host remap-table walk + refill
+	MetaLatCycles     int64    // baseline metadata-cache lookup
+	WriteExceptionLat sim.Time // host exception on first write (§IV-B)
+
+	// Host baseline knobs.
+	HostCores    int
+	HostLLCBytes int
+	HostLLCAssoc int
+	HostLLCLat   int64 // cycles
+	HostNoCLat   int64 // cycles per LLC access for routing
+
+	CoreStaticMW float64 // per NDP core static power
+
+	// OnEpoch, when set, is called at every epoch boundary with a
+	// summary of what the host runtime did -- an observability hook for
+	// library users tuning policies. Nil (the default) costs nothing.
+	OnEpoch func(EpochInfo)
+
+	Seed uint64
+}
+
+// EpochInfo summarizes one host-runtime epoch for Config.OnEpoch.
+type EpochInfo struct {
+	Epoch          int
+	ActiveStreams  int // streams accessed this epoch
+	Reconfigured   bool
+	ItemsKept      int // survived reconfiguration in place
+	ItemsDropped   int // invalidated by reconfiguration
+	SamplerCovered int // streams assigned a sampler for the next epoch
+}
+
+// DefaultConfig returns the Table II machine at model scale with the
+// given design, HBM3-style NDP memory, and the paper's default NDPExt
+// parameters.
+func DefaultConfig(d Design) Config {
+	rowBytes := 2048
+	unitRows := uint32(256 << 10 / rowBytes) // 256 kB per unit at model scale
+	sp := streamcache.DefaultParams()
+	sp.RowBytes = rowBytes
+	sp.AffineCapBytes = 16 << 10 // 16 MB / CapacityDivisor
+	unitBytes := int64(unitRows) * int64(rowBytes)
+	sc := sampler.DefaultConfig(unitBytes)
+	sc.MinBytes = 4 << 10
+	// At model scale a stream's footprint can span several units (in the
+	// paper one unit's 256 MB dwarfs any stream), so the monitored
+	// capacity range must cover multi-unit group sizes.
+	sc.MaxBytes = 8 * unitBytes
+
+	return Config{
+		Design: d,
+		Mem:    dram.HBM3(),
+		NoC:    noc.DefaultConfig(),
+		CXL:    cxl.DefaultConfig(),
+
+		CoreFreqMHz: 2000,
+		L1Bytes:     2048,
+		L1Assoc:     4,
+		L1LineBytes: 64,
+		L1LatCycles: 2,
+
+		UnitRows:     unitRows,
+		BanksPerUnit: 8,
+
+		Stream:         sp,
+		Sampler:        sc,
+		EpochCycles:    600_000, // 50 M cycles, scaled with the capacities
+		Reconfig:       ReconfigFull,
+		PartialEpochs:  2,
+		ConsistentHash: true,
+
+		SLBLatCycles:      2,
+		SLBMissPenalty:    sim.FromNS(300),
+		MetaLatCycles:     2,
+		WriteExceptionLat: sim.Microsecond,
+
+		HostCores:    64,
+		HostLLCBytes: 32 << 10, // 32 MB / CapacityDivisor
+		HostLLCAssoc: 16,
+		HostLLCLat:   9,
+		HostNoCLat:   3,
+
+		CoreStaticMW: 15,
+
+		Seed: 1,
+	}
+}
+
+// HMCConfig is DefaultConfig with HMC2-style stack memory (Fig. 5(b)).
+func HMCConfig(d Design) Config {
+	c := DefaultConfig(d)
+	c.Mem = dram.HMC2()
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.NoC.Validate(); err != nil {
+		return err
+	}
+	if err := c.CXL.Validate(); err != nil {
+		return err
+	}
+	if err := c.Stream.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sampler.Validate(); err != nil {
+		return err
+	}
+	if c.UnitRows == 0 || c.BanksPerUnit <= 0 {
+		return fmt.Errorf("system: invalid unit geometry")
+	}
+	if c.CoreFreqMHz <= 0 {
+		return fmt.Errorf("system: invalid core frequency")
+	}
+	if c.L1Bytes <= 0 || c.L1LineBytes <= 0 || c.L1Assoc <= 0 {
+		return fmt.Errorf("system: invalid L1 geometry")
+	}
+	if c.Stream.RowBytes != c.rowBytes() {
+		return fmt.Errorf("system: stream cache row size %d disagrees with %d", c.Stream.RowBytes, c.rowBytes())
+	}
+	return nil
+}
+
+// rowBytes is the DRAM cache allocation granule.
+func (c Config) rowBytes() int { return c.Stream.RowBytes }
+
+// NumUnits returns the NDP unit (and core) count.
+func (c Config) NumUnits() int { return c.NoC.NumUnits() }
+
+// UnitCacheBytes returns the per-unit DRAM cache capacity.
+func (c Config) UnitCacheBytes() int64 {
+	return int64(c.UnitRows) * int64(c.rowBytes())
+}

@@ -1,0 +1,524 @@
+package system
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ndpext/internal/maxflow"
+	"ndpext/internal/nuca"
+	"ndpext/internal/policy"
+	"ndpext/internal/sampler"
+	"ndpext/internal/stream"
+	"ndpext/internal/streamcache"
+)
+
+// debugReconfig gates verbose reconfiguration tracing.
+var debugReconfig = os.Getenv("NDPEXT_DEBUG") != ""
+
+// sortedAllocSIDs returns allocation keys in ascending order.
+func sortedAllocSIDs(m map[stream.ID]streamcache.Allocation) []stream.ID {
+	out := make([]stream.ID, 0, len(m))
+	for sid := range m {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// allocationsClose reports whether replacing old with new is worth the
+// reconfiguration invalidations. The optimizer's exact per-unit spreading
+// is order-dependent and jitters between epochs even at a stable
+// operating point, so the comparison looks at what actually matters for
+// hit rate and latency: the replication group count and the total
+// capacity. (Placement-only jitter is noise; genuine placement changes
+// come with group or capacity changes.)
+func allocationsClose(old, new streamcache.Allocation) bool {
+	if len(old.Shares) != len(new.Shares) {
+		return false
+	}
+	if len(old.GroupIDs()) != len(new.GroupIDs()) {
+		return false
+	}
+	oldTotal, newTotal := old.TotalRows(), new.TotalRows()
+	if oldTotal == 0 {
+		return newTotal == 0
+	}
+	d := int64(oldTotal) - int64(newTotal)
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)/float64(oldTotal) < 0.25
+}
+
+// policyConfig builds the Algorithm 1 configuration for this machine.
+func (s *ndpSim) policyConfig() policy.Config {
+	seg := s.cfg.UnitRows / 32
+	if seg == 0 {
+		seg = 1
+	}
+	return policy.Config{
+		NumUnits:      s.cfg.NumUnits(),
+		RowBytes:      s.cfg.rowBytes(),
+		UnitRows:      s.cfg.UnitRows,
+		AffineCapRows: uint32(s.cfg.Stream.AffineCapBytes / s.cfg.rowBytes()),
+		SegRows:       seg,
+		Attenuation:   func(u, v int) float64 { return s.att[u][v] },
+		MaxGroups:     1 << streamcache.RGroupsBits,
+		MaxIters:      200_000,
+		MissLatNS:     s.ext.MinLatency(64).NS(),
+		NetLatNS:      s.netLatForDegree,
+	}
+}
+
+// netLatForDegree estimates the mean interconnect latency from a unit to
+// the nearest of d replication groups, assuming groups cluster over
+// contiguous unit ranges (spatially adjacent IDs). Memoized per degree.
+func (s *ndpSim) netLatForDegree(d int) float64 {
+	if d < 1 {
+		d = 1
+	}
+	if v, ok := s.netLatMemo[d]; ok {
+		return v
+	}
+	n := s.cfg.NumUnits()
+	if d > n {
+		d = n
+	}
+	var total float64
+	for u := 0; u < n; u++ {
+		best := -1.0
+		for g := 0; g < d; g++ {
+			center := (g*n/d + (g+1)*n/d) / 2
+			lat := s.net.BaseLatency(u, center, 64).NS()
+			if best < 0 || lat < best {
+				best = lat
+			}
+		}
+		total += best
+	}
+	v := total / float64(n)
+	if s.netLatMemo == nil {
+		s.netLatMemo = make(map[int]float64)
+	}
+	s.netLatMemo[d] = v
+	return v
+}
+
+// nucaConfigInput builds the baseline configuration input.
+func (s *ndpSim) nucaConfigInput() nuca.ConfigInput {
+	dramNS := s.devs[0].RawLatency(false, 64).NS()
+	return nuca.ConfigInput{
+		NumUnits:    s.cfg.NumUnits(),
+		UnitRows:    s.cfg.UnitRows,
+		RowBytes:    s.cfg.rowBytes(),
+		Proximity:   func(u, v int) float64 { return s.att[u][v] },
+		MissPenalty: s.ext.MinLatency(64).NS() / dramNS,
+	}
+}
+
+// allStreamInputs builds placeholder inputs for every configured stream
+// (used at bootstrap, before any profile exists).
+func (s *ndpSim) allStreamInputs() []policy.StreamInput {
+	var ins []policy.StreamInput
+	for _, st := range s.tr.Table.All() {
+		ins = append(ins, policy.StreamInput{
+			SID:      st.SID,
+			Curve:    defaultCurve(st),
+			Acc:      map[int]uint64{0: 1},
+			ReadOnly: st.ReadOnly,
+			Affine:   st.Type == stream.Affine,
+		})
+	}
+	return ins
+}
+
+// defaultCurve is the optimistic prior used before a stream has been
+// sampled: misses fall off as allocation approaches the stream's size.
+func defaultCurve(st *stream.Stream) sampler.Curve {
+	size := int64(st.Size)
+	return sampler.Curve{
+		ItemBytes: int(st.ElemSize),
+		Accesses:  1,
+		Points: []sampler.CurvePoint{
+			{Bytes: size / 16, MissRate: 0.9, Sampled: 1},
+			{Bytes: size / 4, MissRate: 0.5, Sampled: 1},
+			{Bytes: size, MissRate: 0.1, Sampled: 1},
+		},
+	}
+}
+
+// bootstrap installs the epoch-0 configuration: equal static allocation
+// for the stream-cache designs, equal interleaved partitions for the
+// partitioned baselines, nothing for static interleave.
+func (s *ndpSim) bootstrap() {
+	switch s.cfg.Design {
+	case NDPExt, NDPExtStatic:
+		allocs, err := policy.StaticEqual(s.policyConfig(), s.allStreamInputs())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.sc.Apply(allocs, s.cfg.ConsistentHash); err != nil {
+			panic(err)
+		}
+	case Jigsaw, Whirlpool, Nexus:
+		n := s.tr.Table.Len()
+		if n == 0 {
+			return
+		}
+		share := s.cfg.UnitRows / uint32(n+1)
+		if share == 0 {
+			share = 1
+		}
+		allocs := make(map[stream.ID]streamcache.Allocation, n)
+		next := make([]uint32, s.cfg.NumUnits())
+		for _, st := range s.tr.Table.All() {
+			a := streamcache.NewAllocation(s.cfg.NumUnits())
+			for u := range a.Shares {
+				a.Shares[u] = share
+				a.RowBase[u] = next[u]
+				next[u] += share
+			}
+			allocs[st.SID] = a
+		}
+		if _, _, err := s.nc.Apply(allocs); err != nil {
+			panic(err)
+		}
+	}
+	// Initial sampler guess: stream sid sampled at unit sid mod N. The
+	// first epoch boundary replaces this with the max-flow assignment.
+	if s.profiles() {
+		for _, st := range s.tr.Table.All() {
+			u := int(st.SID) % s.cfg.NumUnits()
+			s.samplers[samplerKey{u, st.SID}] = sampler.New(s.cfg.Sampler, s.itemBytes(st.SID))
+			s.globalSamplers[st.SID] = sampler.New(s.cfg.Sampler, s.itemBytes(st.SID))
+		}
+	}
+}
+
+// profiles reports whether this design uses samplers and epochs at all.
+func (s *ndpSim) profiles() bool {
+	switch s.cfg.Design {
+	case NDPExt, Jigsaw, Whirlpool, Nexus:
+		return true
+	default:
+		return false
+	}
+}
+
+// shouldReconfig applies the Fig. 9(e) reconfiguration modes.
+func (s *ndpSim) shouldReconfig() bool {
+	if !s.profiles() {
+		return false
+	}
+	switch s.cfg.Reconfig {
+	case ReconfigFull:
+		return true
+	case ReconfigPartial:
+		return s.epoch <= s.cfg.PartialEpochs
+	default:
+		return false
+	}
+}
+
+// itemBytes is the sampler item granularity for a stream: what one cached
+// item actually occupies (indirect elements carry their embedded tag, so
+// the capacity axis must include it).
+func (s *ndpSim) itemBytes(sid stream.ID) int {
+	if s.nc != nil {
+		return 64 // cacheline granularity in the baselines
+	}
+	st := s.tr.Table.Get(sid)
+	if st == nil {
+		return 64
+	}
+	if st.Type == stream.Affine {
+		return s.cfg.Stream.BlockBytes
+	}
+	return int(st.ElemSize) + s.cfg.Stream.TagBytes
+}
+
+// cacheFootprint is the DRAM cache space a full copy of the stream
+// occupies (indirect elements store tags with the data).
+func (s *ndpSim) cacheFootprint(st *stream.Stream) int64 {
+	if s.nc != nil || st.Type == stream.Affine {
+		return int64(st.Size)
+	}
+	return int64(st.NumElements()) * int64(int(st.ElemSize)+s.cfg.Stream.TagBytes)
+}
+
+// epochBoundary is the host runtime (§V): harvest the epoch's access
+// bitvectors and sampler curves, derive and install the next
+// configuration, and reassign samplers via max-flow.
+func (s *ndpSim) epochBoundary() {
+	s.epoch++
+	if !s.profiles() {
+		if s.cfg.OnEpoch != nil {
+			s.cfg.OnEpoch(EpochInfo{Epoch: s.epoch})
+		}
+		return
+	}
+	reconfigsBefore := s.res.Reconfigs
+	keptBefore := s.res.ReconfigKept
+	droppedBefore := s.res.ReconfigDropped
+	var acc []map[stream.ID]uint64
+	if s.sc != nil {
+		acc = s.sc.EpochAccesses()
+	} else {
+		acc = s.nc.EpochAccesses()
+	}
+
+	totals := make(map[stream.ID]uint64)
+	accBy := make(map[stream.ID]map[int]uint64)
+	for u, m := range acc {
+		for sid, n := range m {
+			totals[sid] += n
+			if accBy[sid] == nil {
+				accBy[sid] = make(map[int]uint64)
+			}
+			accBy[sid][u] += n
+		}
+	}
+
+	// Exponentially decayed access history: the configuration covers all
+	// recently active streams (not just this epoch's), so capacity
+	// accounting stays globally consistent and phase changes (backprop)
+	// do not strand streams without space.
+	if s.hist == nil {
+		s.hist = make(map[stream.ID]map[int]float64)
+	}
+	for sid, m := range s.hist {
+		for u := range m {
+			m[u] *= 0.5
+			if m[u] < 0.5 {
+				delete(m, u)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.hist, sid)
+		}
+	}
+	for sid, m := range accBy {
+		h := s.hist[sid]
+		if h == nil {
+			h = make(map[int]float64)
+			s.hist[sid] = h
+		}
+		for u, n := range m {
+			h[u] += float64(n)
+		}
+	}
+
+	// Harvest miss curves: the global sampler (home-set view, all
+	// cores) drives sizing; the local sampler (one core) reveals whether
+	// per-core reuse would survive replication.
+	for sid, smp := range s.globalSamplers {
+		if smp.Accesses() == 0 {
+			continue
+		}
+		cv := smp.Curve()
+		if len(cv.Points) == 0 {
+			continue
+		}
+		cv.Accesses = totals[sid]
+		s.curves[sid] = cv
+	}
+	for key, smp := range s.samplers {
+		if smp.Accesses() == 0 {
+			continue
+		}
+		cv := smp.Curve()
+		if len(cv.Points) == 0 {
+			continue
+		}
+		cv.Accesses = totals[key.sid]
+		s.localCurves[key.sid] = cv
+	}
+
+	// Build the configuration inputs from the decayed history (covers
+	// every recently active stream).
+	histSIDs := make([]stream.ID, 0, len(s.hist))
+	for sid := range s.hist {
+		histSIDs = append(histSIDs, sid)
+	}
+	sort.Slice(histSIDs, func(i, j int) bool { return histSIDs[i] < histSIDs[j] })
+	var ins []policy.StreamInput
+	for _, sid := range histSIDs {
+		st := s.tr.Table.Get(sid)
+		if st == nil {
+			continue
+		}
+		cv, ok := s.curves[sid]
+		if !ok {
+			cv = defaultCurve(st)
+		}
+		accMap := make(map[int]uint64, len(s.hist[sid]))
+		for u, w := range s.hist[sid] {
+			accMap[u] = uint64(w)
+		}
+		prevGroups := 0
+		if s.sc != nil {
+			if a, ok := s.sc.Allocation(sid); ok {
+				prevGroups = len(a.GroupIDs())
+			}
+		}
+		ins = append(ins, policy.StreamInput{
+			SID:        sid,
+			Curve:      cv,
+			LocalCurve: s.localCurves[sid],
+			Acc:        accMap,
+			ReadOnly:   st.ReadOnly,
+			Affine:     st.Type == stream.Affine,
+			Footprint:  s.cacheFootprint(st),
+			PrevGroups: prevGroups,
+		})
+	}
+
+	if s.shouldReconfig() && len(ins) > 0 {
+		s.res.Reconfigs++
+		if s.sc != nil {
+			allocs, rep, err := policy.Optimize(s.policyConfig(), ins)
+			if err != nil {
+				panic(err)
+			}
+			// Streams that decayed out of the history lose their space
+			// explicitly, keeping the installed configuration's total
+			// within the physical capacity.
+			for _, st := range s.tr.Table.All() {
+				if _, ok := allocs[st.SID]; ok {
+					continue
+				}
+				if a, had := s.sc.Allocation(st.SID); had && a.TotalRows() > 0 {
+					allocs[st.SID] = streamcache.NewAllocation(s.cfg.NumUnits())
+				}
+			}
+			// Damping: a near-identical allocation is not worth the
+			// invalidations its installation would cause (every moved
+			// row is a string of extended-memory refetches).
+			for sid, a := range allocs {
+				if old, had := s.sc.Allocation(sid); had && allocationsClose(old, a) {
+					delete(allocs, sid)
+				}
+			}
+			if debugReconfig {
+				for _, sid := range sortedAllocSIDs(allocs) {
+					a := allocs[sid]
+					old, _ := s.sc.Allocation(sid)
+					fmt.Printf("epoch %d stream %d: rows %d->%d groups %d->%d\n",
+						s.epoch, sid, old.TotalRows(), a.TotalRows(),
+						len(old.GroupIDs()), len(a.GroupIDs()))
+				}
+			}
+			rs, err := s.sc.Apply(allocs, s.cfg.ConsistentHash)
+			if err != nil {
+				panic(err)
+			}
+			s.res.ReconfigKept += rs.ItemsKept
+			s.res.ReconfigDropped += rs.ItemsDropped
+			s.res.ReplicatedRows = rep.ReplicatedRows
+			s.res.RowsAllocated = rep.RowsAllocated
+		} else {
+			allocs, err := nuca.Configure(nucaKind(s.cfg.Design), s.nucaConfigInput(), ins)
+			if err != nil {
+				panic(err)
+			}
+			// The baselines damp churn the same way (Jigsaw-class
+			// systems also keep stable partitions stable).
+			for sid, a := range allocs {
+				if old, had := s.nc.Allocation(sid); had && allocationsClose(old, a) {
+					delete(allocs, sid)
+				}
+			}
+			inv, _, err := s.nc.Apply(allocs)
+			if err != nil {
+				panic(err)
+			}
+			s.res.ReconfigDropped += inv
+		}
+	}
+
+	// Reassign samplers with Edmonds-Karp max-flow (§V-B) using this
+	// epoch's access bitvectors. If the previous epoch could not cover
+	// every stream, last epoch's uncovered streams are assigned first
+	// and the leftover sampler slots go to the rest (the multi-epoch
+	// rotation of §V-B).
+	sids := make([]stream.ID, 0, len(totals))
+	for sid := range totals {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	unitsOf := func(sid stream.ID) []int {
+		units := make([]int, 0, len(accBy[sid]))
+		for u := range accBy[sid] {
+			units = append(units, u)
+		}
+		sort.Ints(units)
+		return units
+	}
+
+	caps := make([]int, s.cfg.NumUnits())
+	for u := range caps {
+		caps[u] = s.cfg.Sampler.SamplersPerUnit
+	}
+	s.samplers = make(map[samplerKey]*sampler.Sampler)
+	s.globalSamplers = make(map[stream.ID]*sampler.Sampler)
+	install := func(u int, sid stream.ID) {
+		s.samplers[samplerKey{u, sid}] = sampler.New(s.cfg.Sampler, s.itemBytes(sid))
+		s.globalSamplers[sid] = sampler.New(s.cfg.Sampler, s.itemBytes(sid))
+		caps[u]--
+	}
+
+	covered := 0
+	if len(s.uncovered) > 0 {
+		var prio []stream.ID
+		for _, sid := range sids {
+			if s.uncovered[sid] {
+				prio = append(prio, sid)
+			}
+		}
+		accessedBy := make([][]int, len(prio))
+		for i, sid := range prio {
+			accessedBy[i] = unitsOf(sid)
+		}
+		first := maxflow.AssignSamplersCapacity(s.cfg.NumUnits(), accessedBy, caps)
+		covered += first.Covered
+		for u, list := range first.ByUnit {
+			for _, si := range list {
+				install(u, prio[si])
+			}
+		}
+	}
+	var rest []stream.ID
+	for _, sid := range sids {
+		if s.globalSamplers[sid] == nil {
+			rest = append(rest, sid)
+		}
+	}
+	accessedBy := make([][]int, len(rest))
+	for i, sid := range rest {
+		accessedBy[i] = unitsOf(sid)
+	}
+	assign := maxflow.AssignSamplersCapacity(s.cfg.NumUnits(), accessedBy, caps)
+	covered += assign.Covered
+	for u, list := range assign.ByUnit {
+		for _, si := range list {
+			install(u, rest[si])
+		}
+	}
+	s.res.SamplerCovered = covered
+	s.uncovered = make(map[stream.ID]bool)
+	for _, si := range assign.Uncovered {
+		s.uncovered[rest[si]] = true
+	}
+
+	if s.cfg.OnEpoch != nil {
+		s.cfg.OnEpoch(EpochInfo{
+			Epoch:          s.epoch,
+			ActiveStreams:  len(totals),
+			Reconfigured:   s.res.Reconfigs > reconfigsBefore,
+			ItemsKept:      s.res.ReconfigKept - keptBefore,
+			ItemsDropped:   s.res.ReconfigDropped - droppedBefore,
+			SamplerCovered: covered,
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package system
+
+import (
+	"ndpext/internal/cache"
+	"ndpext/internal/dram"
+	"ndpext/internal/sim"
+	"ndpext/internal/workloads"
+)
+
+// runHost simulates the non-NDP baseline of §VI: a 64-core host processor
+// with private L1s, a shared Jigsaw-style LLC (modelled as a shared
+// set-associative cache with bank + routing latency), and DDR5 main
+// memory. Traces generated for the NDP core count are folded onto the
+// host cores, preserving per-core access order.
+func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
+	nc := cfg.HostCores
+	if nc <= 0 {
+		nc = 64
+	}
+	clock := sim.NewClock(cfg.CoreFreqMHz)
+	l1s := make([]*cache.Cache, nc)
+	for i := range l1s {
+		l1s[i] = cache.New(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc)
+	}
+	llc := cache.New(cfg.HostLLCBytes, cfg.L1LineBytes, cfg.HostLLCAssoc)
+	// DDR5 main memory: same channel organization as the extended
+	// memory, minus the CXL link.
+	chans := make([]*dram.Device, cfg.CXL.Channels)
+	for i := range chans {
+		chans[i] = dram.NewDevice(dram.DDR5(), cfg.CXL.BanksPerChannel)
+	}
+	rowBytes := uint64(dram.DDR5().RowBytes)
+
+	// Fold the trace onto the host cores.
+	perCore := make([][]workloads.Access, nc)
+	for c, cs := range tr.PerCore {
+		hc := c % nc
+		perCore[hc] = append(perCore[hc], cs...)
+	}
+
+	res := &Result{Design: Host, Workload: tr.Name}
+	var q sim.EventQueue
+	idx := make([]int, nc)
+	for c := range perCore {
+		if len(perCore[c]) > 0 {
+			q.Push(0, c)
+		}
+	}
+	var end sim.Time
+	for q.Len() > 0 {
+		ev := q.Pop()
+		c := ev.ID
+		a := perCore[c][idx[c]]
+		res.Accesses++
+		res.Breakdown.Accesses++
+
+		t := ev.When + clock.Cycles(int64(a.Gap)) + clock.Cycles(cfg.L1LatCycles)
+		if hit, _, _ := l1s[c].Access(a.Addr, a.Write); hit {
+			res.Breakdown.Core += t - ev.When
+			res.L1Hits++
+		} else {
+			res.Breakdown.Core += t - ev.When
+			// Shared LLC: bank latency + NUCA routing.
+			l := t
+			t += clock.Cycles(cfg.HostLLCLat + cfg.HostNoCLat)
+			hit, victim, wb := llc.Access(a.Addr, a.Write)
+			res.Breakdown.CacheDRAM += t - l
+			if hit {
+				res.CacheHits++
+			} else {
+				res.CacheMisses++
+				globalRow := a.Addr / rowBytes
+				ch := int(globalRow % uint64(len(chans)))
+				row := int64(globalRow / uint64(len(chans)))
+				e := t
+				t, _ = chans[ch].Access(t, row, cfg.L1LineBytes, false)
+				res.Breakdown.Extended += t - e
+				if wb {
+					vRow := victim / rowBytes
+					vch := int(vRow % uint64(len(chans)))
+					chans[vch].Access(t, int64(vRow/uint64(len(chans))), cfg.L1LineBytes, true)
+				}
+			}
+		}
+
+		idx[c]++
+		if t > end {
+			end = t
+		}
+		if idx[c] < len(perCore[c]) {
+			q.Push(t, c)
+		}
+	}
+	res.Time = end
+	return res, nil
+}

@@ -1,0 +1,538 @@
+package system
+
+import (
+	"fmt"
+
+	"ndpext/internal/cache"
+	"ndpext/internal/cxl"
+	"ndpext/internal/dram"
+	"ndpext/internal/energy"
+	"ndpext/internal/noc"
+	"ndpext/internal/nuca"
+	"ndpext/internal/sampler"
+	"ndpext/internal/sim"
+	"ndpext/internal/stats"
+	"ndpext/internal/stream"
+	"ndpext/internal/streamcache"
+	"ndpext/internal/workloads"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Design   Design
+	Workload string
+
+	Time     sim.Time // makespan across cores
+	Accesses uint64
+	L1Hits   uint64
+
+	Breakdown stats.Breakdown
+
+	CacheHits   uint64
+	CacheMisses uint64
+
+	Energy energy.Breakdown
+
+	MetaHitRate float64 // baselines: metadata cache hit rate
+	SLBHitRate  float64 // NDPExt: SLB hit rate
+
+	Reconfigs       int
+	ReconfigKept    int
+	ReconfigDropped int
+	Exceptions      uint64
+	ReplicatedRows  uint64 // last epoch's replicated rows (NDPExt)
+	RowsAllocated   uint64 // last epoch's total allocation (NDPExt)
+	SamplerCovered  int    // streams covered by samplers, last epoch
+
+	streams []StreamReport
+}
+
+// CacheHitRate returns the DRAM cache hit rate.
+func (r *Result) CacheHitRate() float64 {
+	t := r.CacheHits + r.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(t)
+}
+
+// MissRate returns the DRAM cache miss rate (requests served by the
+// extended memory; Fig. 7's dot metric).
+func (r *Result) MissRate() float64 {
+	t := r.CacheHits + r.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(r.CacheMisses) / float64(t)
+}
+
+// AvgInterconnectNS is the mean interconnect time per access (Fig. 7).
+func (r *Result) AvgInterconnectNS() float64 { return r.Breakdown.AvgInterconnectNS() }
+
+// StreamReport is one stream's end-of-run summary (diagnostics).
+type StreamReport struct {
+	SID       stream.ID
+	Type      string
+	ReadOnly  bool
+	Bytes     uint64
+	Hits      uint64
+	Misses    uint64
+	Rows      uint64 // allocated rows at end of run
+	Groups    int
+	KneeBytes int64
+}
+
+// StreamReports returns per-stream diagnostics after a run (NDPExt
+// designs only; empty otherwise).
+func (r *Result) StreamReports() []StreamReport { return r.streams }
+
+// Run simulates the trace on the configured machine.
+func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Design == Host {
+		return runHost(cfg, tr)
+	}
+	if len(tr.PerCore) != cfg.NumUnits() {
+		return nil, fmt.Errorf("system: trace has %d cores, machine has %d units",
+			len(tr.PerCore), cfg.NumUnits())
+	}
+	s := newNDPSim(cfg, tr)
+	s.bootstrap()
+	s.loop()
+	return s.result(), nil
+}
+
+// samplerKey identifies one hardware sampler's assignment.
+type samplerKey struct {
+	unit int
+	sid  stream.ID
+}
+
+// ndpSim is the event-driven simulator for all NDP designs.
+type ndpSim struct {
+	cfg   Config
+	tr    *workloads.Trace
+	clock sim.Clock
+
+	net  *noc.Network
+	ext  *cxl.Device
+	devs []*dram.Device
+	l1s  []*cache.Cache
+
+	// Exactly one of sc/nc is set, by design.
+	sc *streamcache.Controller
+	nc *nuca.Controller
+
+	att [][]float64 // attenuation factors for the policy
+
+	samplers       map[samplerKey]*sampler.Sampler // local: one core's traffic
+	globalSamplers map[stream.ID]*sampler.Sampler  // home-set view: all cores' traffic
+	curves         map[stream.ID]sampler.Curve     // global curves
+	localCurves    map[stream.ID]sampler.Curve     // per-core curves
+	hist           map[stream.ID]map[int]float64   // decayed per-unit access history
+	netLatMemo     map[int]float64                 // degree -> mean nearest-replica latency
+	uncovered      map[stream.ID]bool              // streams no sampler covered last epoch (§V-B rotation)
+	observes       uint64                          // sampler updates (for SRAM energy)
+
+	epoch     int
+	nextEpoch sim.Time
+	epochDur  sim.Time
+
+	q   sim.EventQueue
+	idx []int
+
+	res Result
+}
+
+func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
+	n := cfg.NumUnits()
+	s := &ndpSim{
+		cfg:            cfg,
+		tr:             tr,
+		clock:          sim.NewClock(cfg.CoreFreqMHz),
+		net:            noc.New(cfg.NoC),
+		ext:            cxl.New(cfg.CXL),
+		samplers:       make(map[samplerKey]*sampler.Sampler),
+		globalSamplers: make(map[stream.ID]*sampler.Sampler),
+		curves:         make(map[stream.ID]sampler.Curve),
+		localCurves:    make(map[stream.ID]sampler.Curve),
+		idx:            make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		s.devs = append(s.devs, dram.NewDevice(cfg.Mem, cfg.BanksPerUnit))
+		s.l1s = append(s.l1s, cache.New(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc))
+	}
+	switch cfg.Design {
+	case NDPExt, NDPExtStatic:
+		s.sc = streamcache.NewController(cfg.Stream, n, tr.Table)
+	case Jigsaw, Whirlpool, Nexus, StaticInterleave:
+		np := nuca.DefaultParams()
+		np.RowBytes = cfg.rowBytes()
+		// The 128 kB metadata cache scales with every other capacity.
+		np.MetaCacheBytes = maxI(np.MetaCacheBytes/CapacityDivisor, 8*np.MetaEntryBytes)
+		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, tr.Table)
+	default:
+		panic(fmt.Sprintf("system: design %v not an NDP design", cfg.Design))
+	}
+	// Attenuation factors (§V-C): DRAM latency over DRAM+interconnect.
+	dramNS := s.devs[0].RawLatency(false, 64).NS()
+	s.att = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		s.att[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			s.att[u][v] = dramNS / (dramNS + s.net.BaseLatency(u, v, 64).NS())
+		}
+	}
+	s.epochDur = s.clock.Cycles(cfg.EpochCycles)
+	s.nextEpoch = s.epochDur
+	s.res.Design = cfg.Design
+	s.res.Workload = tr.Name
+	return s
+}
+
+func nucaKind(d Design) nuca.Kind {
+	switch d {
+	case Jigsaw:
+		return nuca.Jigsaw
+	case Whirlpool:
+		return nuca.Whirlpool
+	case Nexus:
+		return nuca.Nexus
+	default:
+		return nuca.StaticInterleave
+	}
+}
+
+// loop runs the event queue to completion.
+func (s *ndpSim) loop() {
+	for c := range s.tr.PerCore {
+		if len(s.tr.PerCore[c]) > 0 {
+			s.q.Push(0, c)
+		}
+	}
+	var end sim.Time
+	for s.q.Len() > 0 {
+		ev := s.q.Pop()
+		for ev.When >= s.nextEpoch {
+			s.epochBoundary()
+			s.nextEpoch += s.epochDur
+		}
+		c := ev.ID
+		a := s.tr.PerCore[c][s.idx[c]]
+		done := s.access(ev.When, c, a)
+		s.idx[c]++
+		s.res.Accesses++
+		if done > end {
+			end = done
+		}
+		if s.idx[c] < len(s.tr.PerCore[c]) {
+			s.q.Push(done, c)
+		}
+	}
+	s.res.Time = end
+	s.finishStats()
+}
+
+// access simulates one memory access and returns its completion time.
+func (s *ndpSim) access(start sim.Time, core int, a workloads.Access) sim.Time {
+	bd := &s.res.Breakdown
+	bd.Accesses++
+
+	t := start + s.clock.Cycles(int64(a.Gap)) + s.clock.Cycles(s.cfg.L1LatCycles)
+	if hit, _, _ := s.l1s[core].Access(a.Addr, a.Write); hit {
+		bd.Core += t - start
+		s.res.L1Hits++
+		return t
+	}
+	bd.Core += t - start
+
+	if s.sc != nil {
+		return s.accessStream(t, core, a)
+	}
+	return s.accessNUCA(t, core, a)
+}
+
+// accessStream is the NDPExt path: SLB -> home unit -> ATA/embedded tag
+// -> extended memory on miss.
+func (s *ndpSim) accessStream(t sim.Time, core int, a workloads.Access) sim.Time {
+	bd := &s.res.Breakdown
+	lk := s.sc.Lookup(core, a.Addr, a.Write)
+
+	m := t
+	t += s.clock.Cycles(s.cfg.SLBLatCycles)
+	if lk.SLBMissLocal {
+		t += s.cfg.SLBMissPenalty
+	}
+	if lk.WriteException {
+		t += s.cfg.WriteExceptionLat
+		s.res.Exceptions++
+	}
+	bd.Meta += t - m
+
+	if !lk.Bypass {
+		// Sample before the no-space branch: an unfunded stream must
+		// still be profiled, or it could never earn an allocation.
+		s.observe(core, lk.SID, lk.ItemID)
+	}
+	if lk.Bypass || lk.NoSpace {
+		return s.extAccess(t, core, a.Addr, maxI(lk.FetchBytes, 64), a.Write)
+	}
+
+	// Request to the home unit.
+	tr1 := s.net.Route(t, core, lk.Home, 32)
+	bd.IntraNoC += tr1.IntraDelay
+	bd.InterNoC += tr1.InterDelay
+	t = tr1.Arrive
+	if lk.SLBMissHome {
+		m = t
+		t += s.clock.Cycles(s.cfg.SLBLatCycles) + s.cfg.SLBMissPenalty
+		bd.Meta += t - m
+	}
+
+	accBytes := 64 // column read within an affine block
+	if !lk.Affine {
+		st := s.tr.Table.Get(lk.SID)
+		accBytes = int(st.ElemSize) + s.cfg.Stream.TagBytes
+	}
+	if lk.Hit {
+		d := t
+		t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, a.Write)
+		if lk.WayMispredict {
+			// Way-predicted associative organization: a misprediction
+			// costs a second DRAM access to read the right way.
+			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, false)
+		}
+		bd.CacheDRAM += t - d
+		s.res.CacheHits++
+	} else {
+		s.res.CacheMisses++
+		if !lk.Affine {
+			// Indirect streams discover the miss by reading the
+			// embedded tag: one DRAM access before going off-device.
+			d := t
+			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, false)
+			bd.CacheDRAM += t - d
+		}
+		t = s.extAccess(t, lk.Home, a.Addr, lk.FetchBytes, false)
+		// Fill the DRAM cache off the critical path.
+		s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
+		if lk.WritebackBytes > 0 {
+			s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
+		}
+	}
+
+	// Response with the data.
+	tr2 := s.net.Route(t, lk.Home, core, 96)
+	bd.IntraNoC += tr2.IntraDelay
+	bd.InterNoC += tr2.InterDelay
+	return tr2.Arrive
+}
+
+// accessNUCA is the baseline path: metadata cache -> (DRAM metadata on
+// miss) -> data home -> extended memory on miss.
+func (s *ndpSim) accessNUCA(t sim.Time, core int, a workloads.Access) sim.Time {
+	bd := &s.res.Breakdown
+	lk := s.nc.Lookup(core, a.Addr, a.Write)
+
+	m := t
+	t += s.clock.Cycles(s.cfg.MetaLatCycles)
+	bd.Meta += t - m
+	if lk.SID != stream.NoStream {
+		s.observe(core, lk.SID, a.Addr/uint64(64))
+	}
+
+	if !lk.MetaHit {
+		// Walk to the home unit for the DRAM metadata access.
+		tr1 := s.net.Route(t, core, lk.Home, 32)
+		bd.IntraNoC += tr1.IntraDelay
+		bd.InterNoC += tr1.InterDelay
+		t = tr1.Arrive
+		m = t
+		t, _ = s.devs[lk.Home].Access(t, lk.MetaDRAMRow, 64, false)
+		bd.Meta += t - m
+		if lk.Hit {
+			d := t
+			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, 64, a.Write)
+			bd.CacheDRAM += t - d
+			s.res.CacheHits++
+		} else {
+			s.res.CacheMisses++
+			t = s.extAccess(t, lk.Home, a.Addr, lk.FetchBytes, false)
+			s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
+			if lk.WritebackBytes > 0 {
+				s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
+			}
+		}
+		tr2 := s.net.Route(t, lk.Home, core, 96)
+		bd.IntraNoC += tr2.IntraDelay
+		bd.InterNoC += tr2.InterDelay
+		return tr2.Arrive
+	}
+
+	// Metadata hit at the requester: the location and tag are known.
+	if lk.Hit {
+		tr1 := s.net.Route(t, core, lk.Home, 32)
+		bd.IntraNoC += tr1.IntraDelay
+		bd.InterNoC += tr1.InterDelay
+		t = tr1.Arrive
+		d := t
+		t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, 64, a.Write)
+		bd.CacheDRAM += t - d
+		s.res.CacheHits++
+		tr2 := s.net.Route(t, lk.Home, core, 96)
+		bd.IntraNoC += tr2.IntraDelay
+		bd.InterNoC += tr2.InterDelay
+		return tr2.Arrive
+	}
+	s.res.CacheMisses++
+	t = s.extAccess(t, core, a.Addr, lk.FetchBytes, a.Write)
+	s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
+	if lk.WritebackBytes > 0 {
+		s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
+	}
+	return t
+}
+
+// extAccess routes from the unit to the central CXL controller over the
+// stack's dedicated controller link (paper Fig. 1), performs the extended
+// memory access, and routes back, attributing time to the breakdown. It
+// returns the completion time.
+func (s *ndpSim) extAccess(t sim.Time, from int, addr uint64, bytes int, write bool) sim.Time {
+	bd := &s.res.Breakdown
+	reqBytes := 32
+	if write {
+		reqBytes += bytes
+	}
+	tr1 := s.net.RouteCXL(t, from, reqBytes, true)
+	bd.IntraNoC += tr1.IntraDelay
+	bd.InterNoC += tr1.InterDelay
+	e := tr1.Arrive
+	done := s.ext.Access(e, addr, bytes, write)
+	bd.Extended += done - e
+	respBytes := 32
+	if !write {
+		respBytes += bytes
+	}
+	tr2 := s.net.RouteCXL(done, from, respBytes, false)
+	bd.IntraNoC += tr2.IntraDelay
+	bd.InterNoC += tr2.InterDelay
+	return tr2.Arrive
+}
+
+// extWriteback issues a fire-and-forget dirty eviction to the extended
+// memory: it consumes NoC and CXL bandwidth but does not delay the
+// requester.
+func (s *ndpSim) extWriteback(t sim.Time, from int, addr uint64, bytes int) {
+	tr := s.net.RouteCXL(t, from, 32+bytes, true)
+	s.ext.Access(tr.Arrive, addr, bytes, true)
+}
+
+// observe feeds the access to the stream's samplers: the local sampler
+// (this epoch's assigned unit only -- the per-core reuse view) and the
+// global one (the home sets see traffic from every core, §V-A).
+func (s *ndpSim) observe(unit int, sid stream.ID, item uint64) {
+	if smp := s.samplers[samplerKey{unit, sid}]; smp != nil {
+		smp.Observe(item)
+		s.observes++
+	}
+	if smp := s.globalSamplers[sid]; smp != nil {
+		smp.Observe(item)
+		s.observes++
+	}
+}
+
+// finishStats fills the run-level statistics after the event loop.
+func (s *ndpSim) finishStats() {
+	r := &s.res
+	if s.sc != nil {
+		st := s.sc.Stats()
+		if t := st.SLBHits + st.SLBMisses; t > 0 {
+			r.SLBHitRate = float64(st.SLBHits) / float64(t)
+		}
+	}
+	if s.nc != nil {
+		r.MetaHitRate = s.nc.MetaHitRate()
+	}
+	// Energy (Fig. 6 breakdown).
+	var ndpDram float64
+	for _, d := range s.devs {
+		ndpDram += d.Stats().EnergyPJ
+	}
+	extD := s.ext.DRAMStats()
+	staticMW := float64(s.cfg.NumUnits())*(s.cfg.Mem.StaticMWPerU+s.cfg.CoreStaticMW) +
+		float64(s.cfg.CXL.Channels)*s.cfg.CXL.DRAM.StaticMWPerU
+	// SRAM access energy (§VI: the paper models SLB/ATA/samplers with
+	// CACTI; the baselines' metadata caches get the same treatment).
+	var sram float64
+	sram += float64(r.Breakdown.Accesses) * energy.L1AccessPJ
+	sram += float64(s.observes) * energy.SamplerUpdatePJ
+	if s.sc != nil {
+		st := s.sc.Stats()
+		sram += float64(st.SLBHits+st.SLBMisses) * energy.SLBAccessPJ
+		sram += float64(st.Hits+st.Misses) * energy.ATAAccessPJ
+	}
+	if s.nc != nil {
+		st := s.nc.Stats()
+		sram += float64(st.MetaHits+st.MetaMisses) * energy.MetaCachePJ
+	}
+	r.Energy = energy.Breakdown{
+		StaticPJ:  energy.Static(staticMW, r.Time),
+		NDPDramPJ: ndpDram,
+		ExtDramPJ: extD.EnergyPJ,
+		NoCPJ:     s.net.Stats().EnergyPJ,
+		CXLLinkPJ: s.ext.Stats().LinkEnergyPJ,
+		SRAMPJ:    sram,
+	}
+	r.CacheHits = cacheHits(s)
+	r.CacheMisses = cacheMisses(s)
+
+	for _, st := range s.tr.Table.All() {
+		sr := StreamReport{
+			SID: st.SID, Type: st.Type.String(), ReadOnly: st.ReadOnly, Bytes: st.Size,
+		}
+		if cv, ok := s.curves[st.SID]; ok {
+			sr.KneeBytes = cv.Knee(0.05)
+		}
+		if s.sc != nil {
+			ss := s.sc.StreamStatsFor(st.SID)
+			sr.Hits, sr.Misses = ss.Hits, ss.Misses
+			if a, ok := s.sc.Allocation(st.SID); ok {
+				sr.Rows = a.TotalRows()
+				sr.Groups = len(a.GroupIDs())
+			}
+		} else {
+			ss := s.nc.StreamStatsFor(st.SID)
+			sr.Hits, sr.Misses = ss.Hits, ss.Misses
+		}
+		r.streams = append(r.streams, sr)
+	}
+}
+
+// cacheHits/cacheMisses read the authoritative controller counters (the
+// running tallies in res track the same values; the controllers are the
+// source of truth).
+func cacheHits(s *ndpSim) uint64 {
+	if s.sc != nil {
+		return s.sc.Stats().Hits
+	}
+	return s.nc.Stats().Hits
+}
+
+func cacheMisses(s *ndpSim) uint64 {
+	if s.sc != nil {
+		st := s.sc.Stats()
+		return st.Misses + st.NoSpace + st.Bypasses
+	}
+	return s.nc.Stats().Misses
+}
+
+func (s *ndpSim) result() *Result { return &s.res }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+package workloads
+
+import (
+	"math/bits"
+
+	"ndpext/internal/graph"
+	"ndpext/internal/stream"
+)
+
+// graphProc is one process's graph and its stream annotations.
+type graphProc struct {
+	g       *graph.CSR
+	offsets *stream.Stream // affine u32, read-only
+	edges   *stream.Stream // affine u32, read-only
+	cores   []int
+}
+
+// buildGraphProcs generates one RMAT graph per process and registers the
+// CSR arrays as affine streams, mirroring the paper's annotation of the
+// vertex list and edge list.
+func buildGraphProcs(b *builder, cores int, seed uint64, sc Scale, edgeFactor int) []*graphProc {
+	np := sc.procs(cores)
+	n := sc.scaled(1<<15, 4096)
+	scaleLog := bits.Len(uint(n - 1))
+	var procs []*graphProc
+	for p := 0; p < np; p++ {
+		g := graph.RMAT(scaleLog, edgeFactor, seed+uint64(p)*1000003)
+		gp := &graphProc{
+			g:       g,
+			offsets: b.affine(g.NumVertices()+1, 4),
+			edges:   b.affine(g.NumEdges(), 4),
+			cores:   procCores(cores, np, p),
+		}
+		procs = append(procs, gp)
+	}
+	return procs
+}
+
+// vertexRange returns core index ci's contiguous vertex slice.
+func vertexRange(g *graph.CSR, cores []int, ci int) (lo, hi int) {
+	n := g.NumVertices()
+	return ci * n / len(cores), (ci + 1) * n / len(cores)
+}
+
+// PageRank is the GAP pr kernel: pull-style rank accumulation. The vertex
+// and edge lists are affine streams; the source-rank reads indexed by the
+// edge list form an indirect stream. Both rank buffers are written across
+// iterations, so pr exercises dynamic (non-replicated) placement.
+func PageRank(cores int, seed uint64, sc Scale) (*Trace, error) {
+	b := newBuilder("pr", cores, sc)
+	procs := buildGraphProcs(b, cores, seed, sc, 12)
+	for _, gp := range procs {
+		n := gp.g.NumVertices()
+		src := b.indirect(n, 4) // rank[u] read through edge targets
+		dst := b.affine(n, 4)   // this iteration's output ranks
+		ranks := make([]float32, n)
+		for i := range ranks {
+			ranks[i] = 1 / float32(n)
+		}
+		next := make([]float32, n)
+		for iter := 0; iter < 8 && !b.allFull(); iter++ {
+			for ci, core := range gp.cores {
+				lo, hi := vertexRange(gp.g, gp.cores, ci)
+				for v := lo; v < hi && !b.full(core); v++ {
+					b.read(core, gp.offsets, v, 1)
+					var sum float32
+					for ei, e := range gp.g.Neighbors(v) {
+						b.read(core, gp.edges, int(gp.g.Offsets[v])+ei, 0)
+						b.read(core, src, int(e), 2)
+						d := gp.g.Degree(int(e))
+						if d > 0 {
+							sum += ranks[e] / float32(d)
+						}
+					}
+					next[v] = 0.15/float32(n) + 0.85*sum
+					b.write(core, dst, v, 1)
+				}
+			}
+			copy(ranks, next)
+		}
+	}
+	return b.trace(), nil
+}
+
+// BFS is the GAP breadth-first search: frontier expansion with indirect
+// parent updates. The parent array is written, so it stays unreplicated.
+func BFS(cores int, seed uint64, sc Scale) (*Trace, error) {
+	b := newBuilder("bfs", cores, sc)
+	procs := buildGraphProcs(b, cores, seed, sc, 12)
+	for pi, gp := range procs {
+		n := gp.g.NumVertices()
+		parent := b.indirect(n, 4)
+		frontierS := b.affine(n, 4)
+		rng := rngFor(seed, pi)
+		// GAP runs BFS from many sources; keep starting new traversals
+		// until the trace budget is reached.
+		for trial := 0; trial < 32 && !b.allFull(); trial++ {
+			par := make([]int32, n)
+			for i := range par {
+				par[i] = -1
+			}
+			root := int(rng.Uint64n(uint64(n)))
+			par[root] = int32(root)
+			frontier := []int{root}
+			for len(frontier) > 0 && !b.allFull() {
+				var next []int
+				for fi, u := range frontier {
+					core := gp.cores[fi%len(gp.cores)]
+					b.read(core, frontierS, fi%n, 1)
+					b.read(core, gp.offsets, u, 0)
+					for ei, e := range gp.g.Neighbors(u) {
+						b.read(core, gp.edges, int(gp.g.Offsets[u])+ei, 0)
+						b.read(core, parent, int(e), 2) // check visited
+						if par[e] == -1 {
+							par[e] = int32(u)
+							b.write(core, parent, int(e), 1)
+							next = append(next, int(e))
+						}
+					}
+				}
+				frontier = next
+			}
+		}
+	}
+	return b.trace(), nil
+}
+
+// CC is connected components via label propagation over an undirected
+// view of the graph: the component array is indirect and read-write.
+func CC(cores int, seed uint64, sc Scale) (*Trace, error) {
+	b := newBuilder("cc", cores, sc)
+	procs := buildGraphProcs(b, cores, seed, sc, 12)
+	for _, gp := range procs {
+		n := gp.g.NumVertices()
+		comp := b.indirect(n, 4)
+		labels := make([]uint32, n)
+		for i := range labels {
+			labels[i] = uint32(i)
+		}
+		for iter := 0; iter < 6 && !b.allFull(); iter++ {
+			changed := false
+			for ci, core := range gp.cores {
+				lo, hi := vertexRange(gp.g, gp.cores, ci)
+				for v := lo; v < hi && !b.full(core); v++ {
+					b.read(core, gp.offsets, v, 1)
+					best := labels[v]
+					b.read(core, comp, v, 0)
+					for ei, e := range gp.g.Neighbors(v) {
+						b.read(core, gp.edges, int(gp.g.Offsets[v])+ei, 0)
+						b.read(core, comp, int(e), 2)
+						if labels[e] < best {
+							best = labels[e]
+						}
+					}
+					if best < labels[v] {
+						labels[v] = best
+						changed = true
+						b.write(core, comp, v, 1)
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return b.trace(), nil
+}
+
+// BC is one-source betweenness centrality: a forward BFS accumulating
+// path counts (sigma) followed by a reverse sweep accumulating
+// dependencies (delta); both per-vertex arrays are indirect, read-write.
+func BC(cores int, seed uint64, sc Scale) (*Trace, error) {
+	b := newBuilder("bc", cores, sc)
+	procs := buildGraphProcs(b, cores, seed, sc, 12)
+	for pi, gp := range procs {
+		n := gp.g.NumVertices()
+		sigma := b.indirect(n, 4)
+		delta := b.indirect(n, 4)
+		depthS := b.indirect(n, 4)
+
+		depth := make([]int32, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		sig := make([]float32, n)
+		root := int(rngFor(seed, pi).Uint64n(uint64(n)))
+		depth[root] = 0
+		sig[root] = 1
+		levels := [][]int{{root}}
+		// Forward phase.
+		for len(levels[len(levels)-1]) > 0 && !b.allFull() {
+			cur := levels[len(levels)-1]
+			var next []int
+			for fi, u := range cur {
+				core := gp.cores[fi%len(gp.cores)]
+				b.read(core, gp.offsets, u, 1)
+				for ei, e := range gp.g.Neighbors(u) {
+					b.read(core, gp.edges, int(gp.g.Offsets[u])+ei, 0)
+					b.read(core, depthS, int(e), 1)
+					if depth[e] == -1 {
+						depth[e] = depth[u] + 1
+						next = append(next, int(e))
+						b.write(core, depthS, int(e), 0)
+					}
+					if depth[e] == depth[u]+1 {
+						sig[e] += sig[u]
+						b.read(core, sigma, u, 1)
+						b.write(core, sigma, int(e), 1)
+					}
+				}
+			}
+			levels = append(levels, next)
+		}
+		// Backward phase.
+		for li := len(levels) - 1; li > 0 && !b.allFull(); li-- {
+			for fi, u := range levels[li] {
+				core := gp.cores[fi%len(gp.cores)]
+				b.read(core, gp.offsets, u, 1)
+				for ei, e := range gp.g.Neighbors(u) {
+					b.read(core, gp.edges, int(gp.g.Offsets[u])+ei, 0)
+					b.read(core, depthS, int(e), 1)
+					if depth[e] == depth[u]+1 {
+						b.read(core, sigma, int(e), 1)
+						b.read(core, delta, int(e), 1)
+						b.write(core, delta, u, 1)
+					}
+				}
+			}
+		}
+	}
+	return b.trace(), nil
+}
+
+// TC counts triangles by adjacency-list intersection: a streaming scan of
+// N(u) against data-dependent scans of N(v), all within the edge-list
+// affine stream.
+func TC(cores int, seed uint64, sc Scale) (*Trace, error) {
+	b := newBuilder("tc", cores, sc)
+	procs := buildGraphProcs(b, cores, seed, sc, 8)
+	for _, gp := range procs {
+		for ci, core := range gp.cores {
+			lo, hi := vertexRange(gp.g, gp.cores, ci)
+			triangles := 0
+			for u := lo; u < hi && !b.full(core); u++ {
+				b.read(core, gp.offsets, u, 1)
+				nu := gp.g.Neighbors(u)
+				for vi, v := range nu {
+					if int(v) <= u {
+						continue
+					}
+					b.read(core, gp.edges, int(gp.g.Offsets[u])+vi, 0)
+					b.read(core, gp.offsets, int(v), 0)
+					nv := gp.g.Neighbors(int(v))
+					// Merge-intersection of sorted lists.
+					i, j := 0, 0
+					for i < len(nu) && j < len(nv) {
+						b.read(core, gp.edges, int(gp.g.Offsets[u])+i, 0)
+						b.read(core, gp.edges, int(gp.g.Offsets[int(v)])+j, 2)
+						switch {
+						case nu[i] == nv[j]:
+							triangles++
+							i++
+							j++
+						case nu[i] < nv[j]:
+							i++
+						default:
+							j++
+						}
+						if b.full(core) {
+							break
+						}
+					}
+				}
+				if b.full(core) {
+					break
+				}
+			}
+			_ = triangles
+		}
+	}
+	return b.trace(), nil
+}

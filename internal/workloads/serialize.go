@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ndpext/internal/stream"
+)
+
+// traceWire is the on-disk representation of a Trace: the stream
+// annotations plus the per-core access sequences. Versioned so stale
+// files fail loudly instead of decoding garbage.
+type traceWire struct {
+	Version int
+	Name    string
+	Streams []stream.Stream
+	PerCore [][]Access
+}
+
+// traceWireVersion bumps when the wire format changes.
+const traceWireVersion = 1
+
+// Save writes the trace to w in a self-describing binary format, so that
+// expensive generated workloads can be replayed across runs and shared
+// between machines.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	wire := traceWire{
+		Version: traceWireVersion,
+		Name:    t.Name,
+		PerCore: t.PerCore,
+	}
+	for _, s := range t.Table.All() {
+		wire.Streams = append(wire.Streams, *s)
+	}
+	if err := gob.NewEncoder(bw).Encode(&wire); err != nil {
+		return fmt.Errorf("workloads: save trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace previously written by Save. Streams come back
+// freshly configured (read-only bits reset).
+func Load(r io.Reader) (*Trace, error) {
+	var wire traceWire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("workloads: load trace: %w", err)
+	}
+	if wire.Version != traceWireVersion {
+		return nil, fmt.Errorf("workloads: trace format version %d, want %d", wire.Version, traceWireVersion)
+	}
+	t := &Trace{Name: wire.Name, Table: stream.NewTable(), PerCore: wire.PerCore}
+	for i := range wire.Streams {
+		s := wire.Streams[i]
+		s.ReadOnly = true
+		if err := t.Table.Add(&s); err != nil {
+			return nil, fmt.Errorf("workloads: load trace: %w", err)
+		}
+	}
+	// Every access must land in a registered stream or be a deliberate
+	// bypass; spot-check structural sanity.
+	if len(t.PerCore) == 0 {
+		return nil, fmt.Errorf("workloads: trace %q has no cores", t.Name)
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to path (creating or truncating it).
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// gobEncode/gobDecode are small helpers shared with tests.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

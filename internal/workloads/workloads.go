@@ -1,0 +1,282 @@
+// Package workloads implements the paper's evaluation workloads (§VI):
+// tensor kernels (recsys, mv, gnn), Rodinia ports (backprop, hotspot,
+// lavaMD, lud, pathfinder), and GAP graph kernels (bfs, pr, cc, bc, tc).
+//
+// Each workload is a functional kernel over synthetic data that emits the
+// per-core memory access trace the simulator replays, with every data
+// structure annotated as an affine or indirect stream exactly as the
+// paper's few-lines-of-code annotations do. Following §VI, multiple
+// processes of each workload run side by side (each on its own slice of
+// cores with its own copy of the data) so the total footprint exceeds the
+// NDP memory.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"ndpext/internal/sim"
+	"ndpext/internal/stream"
+)
+
+// Access is one memory reference in a core's trace. Gap is the number of
+// core cycles of compute preceding the access.
+type Access struct {
+	Addr  uint64
+	Write bool
+	Gap   uint8
+}
+
+// Trace is a generated workload: stream annotations plus per-core access
+// sequences.
+type Trace struct {
+	Name    string
+	Table   *stream.Table
+	PerCore [][]Access
+}
+
+// TotalAccesses sums the accesses across cores.
+func (t *Trace) TotalAccesses() int {
+	n := 0
+	for _, c := range t.PerCore {
+		n += len(c)
+	}
+	return n
+}
+
+// Clone returns a trace sharing the (immutable) per-core access slices
+// but with freshly configured streams, so that one generated trace can be
+// replayed on several simulated systems (the simulation mutates stream
+// read-only bits).
+func (t *Trace) Clone() *Trace {
+	nt := &Trace{Name: t.Name, Table: stream.NewTable(), PerCore: t.PerCore}
+	for _, s := range t.Table.All() {
+		c := *s
+		c.ReadOnly = true // as freshly configured (§IV-B)
+		if err := nt.Table.Add(&c); err != nil {
+			panic(fmt.Sprintf("workloads: clone: %v", err))
+		}
+	}
+	return nt
+}
+
+// Scale sizes a generated workload. Mult scales every data structure;
+// AccessesPerCore soft-bounds trace length (generation stops once every
+// core reaches it). ProcsFor(cores) processes run side by side.
+type Scale struct {
+	Mult            float64
+	AccessesPerCore int
+	CoresPerProc    int
+}
+
+// DefaultScale is the model-scale configuration used by the benchmarks:
+// with the default system (128 units x 192 kB) the aggregate footprints
+// exceed the distributed cache, as in the paper's setup.
+func DefaultScale() Scale { return Scale{Mult: 1, AccessesPerCore: 30000, CoresPerProc: 16} }
+
+// TinyScale keeps unit tests fast.
+func TinyScale() Scale { return Scale{Mult: 0.12, AccessesPerCore: 2500, CoresPerProc: 8} }
+
+// scaled multiplies n by the scale factor, keeping at least lo.
+func (s Scale) scaled(n, lo int) int {
+	v := int(float64(n) * s.Mult)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// procs returns the process count for the given core count.
+func (s Scale) procs(cores int) int {
+	cpp := s.CoresPerProc
+	if cpp <= 0 {
+		cpp = 16
+	}
+	p := cores / cpp
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Generator builds a workload trace for the given core count.
+type Generator func(cores int, seed uint64, sc Scale) (*Trace, error)
+
+// All maps workload names to their generators (the paper's 13 workloads).
+var All = map[string]Generator{
+	"recsys":     Recsys,
+	"mv":         MV,
+	"gnn":        GNN,
+	"backprop":   Backprop,
+	"hotspot":    Hotspot,
+	"lavaMD":     LavaMD,
+	"lud":        LUD,
+	"pathfinder": Pathfinder,
+	"bfs":        BFS,
+	"pr":         PageRank,
+	"cc":         CC,
+	"bc":         BC,
+	"tc":         TC,
+}
+
+// Names returns the workload names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(All))
+	for n := range All {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the named generator.
+func Get(name string) (Generator, error) {
+	g, ok := All[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return g, nil
+}
+
+// builder accumulates a trace: a bump address allocator, stream
+// registration, and per-core emission with budget tracking.
+type builder struct {
+	name    string
+	tbl     *stream.Table
+	next    uint64
+	nextSID stream.ID
+	perCore [][]Access
+	budget  int
+}
+
+func newBuilder(name string, cores int, sc Scale) *builder {
+	return &builder{
+		name:    name,
+		tbl:     stream.NewTable(),
+		next:    1 << 20,
+		nextSID: 1,
+		perCore: make([][]Access, cores),
+		budget:  sc.AccessesPerCore,
+	}
+}
+
+// alloc reserves size bytes of address space (2 MB aligned so streams
+// never collide).
+func (b *builder) alloc(size uint64) uint64 {
+	const align = 2 << 20
+	base := b.next
+	b.next += (size + align - 1) / align * align
+	return base
+}
+
+// affine allocates and registers a flat affine stream of count elements.
+func (b *builder) affine(count int, elemSize uint32) *stream.Stream {
+	base := b.alloc(uint64(count) * uint64(elemSize))
+	s, err := stream.Configure(b.sid(), stream.Affine, base, uint64(count)*uint64(elemSize), elemSize)
+	if err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	if err := b.tbl.Add(s); err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	return s
+}
+
+// affine2D allocates a 2-D affine stream (lenX columns by lenY rows) with
+// the given access order.
+func (b *builder) affine2D(lenX, lenY int, elemSize uint32, order stream.Order) *stream.Stream {
+	base := b.alloc(uint64(lenX) * uint64(lenY) * uint64(elemSize))
+	s, err := stream.ConfigureAffine3D(b.sid(), base, elemSize, uint64(lenX), uint64(lenY), 1, order)
+	if err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	if err := b.tbl.Add(s); err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	return s
+}
+
+// indirect allocates and registers an indirect stream of count elements.
+func (b *builder) indirect(count int, elemSize uint32) *stream.Stream {
+	base := b.alloc(uint64(count) * uint64(elemSize))
+	s, err := stream.Configure(b.sid(), stream.Indirect, base, uint64(count)*uint64(elemSize), elemSize)
+	if err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	if err := b.tbl.Add(s); err != nil {
+		panic(fmt.Sprintf("workloads %s: %v", b.name, err))
+	}
+	return s
+}
+
+func (b *builder) sid() stream.ID {
+	id := b.nextSID
+	if id >= stream.NoStream {
+		panic(fmt.Sprintf("workloads %s: stream id space exhausted", b.name))
+	}
+	b.nextSID++
+	return id
+}
+
+// full reports whether the core's trace reached the budget.
+func (b *builder) full(core int) bool {
+	return len(b.perCore[core]) >= b.budget
+}
+
+// read/write emit one access of element idx of stream s on core.
+func (b *builder) read(core int, s *stream.Stream, idx int, gap uint8) {
+	b.emit(core, s.Base+uint64(idx)*uint64(s.ElemSize), false, gap)
+}
+
+func (b *builder) write(core int, s *stream.Stream, idx int, gap uint8) {
+	b.emit(core, s.Base+uint64(idx)*uint64(s.ElemSize), true, gap)
+}
+
+func (b *builder) emit(core int, addr uint64, write bool, gap uint8) {
+	if b.full(core) {
+		return
+	}
+	b.perCore[core] = append(b.perCore[core], Access{Addr: addr, Write: write, Gap: gap})
+}
+
+// allFull reports whether every core reached its budget.
+func (b *builder) allFull() bool {
+	for c := range b.perCore {
+		if !b.full(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *builder) trace() *Trace {
+	return &Trace{Name: b.name, Table: b.tbl, PerCore: b.perCore}
+}
+
+// procCores returns the core IDs belonging to process p of np processes.
+func procCores(cores, np, p int) []int {
+	lo, hi := p*cores/np, (p+1)*cores/np
+	out := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// rngFor derives a process-specific RNG.
+func rngFor(seed uint64, proc int) *sim.RNG {
+	return sim.NewRNG(seed).Split(uint64(proc) + 1)
+}
+
+// nelems returns a stream's element count as an int.
+func nelems(s *stream.Stream) int { return int(s.NumElements()) }
+
+// procFull reports whether every listed core reached its budget.
+func procFull(b *builder, cores []int) bool {
+	for _, c := range cores {
+		if !b.full(c) {
+			return false
+		}
+	}
+	return true
+}
