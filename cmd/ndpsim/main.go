@@ -6,16 +6,24 @@
 //
 //	ndpsim -workload pr -design NDPExt [-mem hbm|hmc] [-seed 1]
 //	       [-accesses 30000] [-scale 1.0] [-verbose]
+//	       [-trace-sample 100 [-trace-out trace.jsonl]]
+//
+// With -trace-sample=N, every Nth simulated memory access is emitted as
+// a JSONL record (core, stream, level served, per-level latency in ns)
+// to -trace-out ("-" = stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"ndpext/internal/system"
+	"ndpext/internal/telemetry"
 	"ndpext/internal/workloads"
 )
 
@@ -34,6 +42,8 @@ func main() {
 	reconfig := flag.String("reconfig", "full", "reconfiguration mode: full, partial, static")
 	saveTrace := flag.String("save-trace", "", "write the generated trace to this file and exit")
 	loadTrace := flag.String("load-trace", "", "replay a trace file instead of generating")
+	traceSample := flag.Uint64("trace-sample", 0, "emit every Nth access as a JSONL record (0 disables)")
+	traceOut := flag.String("trace-out", "-", "JSONL access trace destination (\"-\" = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -101,12 +111,32 @@ func main() {
 		return
 	}
 
+	var jsonl *telemetry.JSONLProbe
+	if *traceSample > 0 {
+		var w io.Writer = os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		jsonl = telemetry.NewJSONL(w)
+		cfg.Probe = telemetry.Sampled(jsonl, *traceSample)
+	}
+
 	simStart := time.Now()
 	res, err := system.Run(cfg, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	simDur := time.Since(simStart)
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
 
 	fmt.Printf("workload      %s (%d accesses, %d streams; generated in %v)\n",
 		tr.Name, tr.TotalAccesses(), tr.Table.Len(), genDur.Round(time.Millisecond))

@@ -8,6 +8,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -44,34 +45,45 @@ type traceKey struct {
 	accesses int
 }
 
+// traceEntry is one cache slot; its once gate makes concurrent workers
+// requesting the same trace generate it exactly once.
+type traceEntry struct {
+	once sync.Once
+	tr   *workloads.Trace
+	err  error
+}
+
 var (
 	traceMu    sync.Mutex
-	traceCache = map[traceKey]*workloads.Trace{}
+	traceCache = map[traceKey]*traceEntry{}
 )
 
 // trace returns a cached trace for (name, cores); the caller receives a
-// Clone so simulations can mutate stream state safely.
+// Clone so simulations can mutate stream state safely. Safe for
+// concurrent use.
 func trace(name string, cores int, opt Options) (*workloads.Trace, error) {
 	key := traceKey{name, cores, opt.Seed, opt.AccessesPerCore}
 	traceMu.Lock()
-	tr := traceCache[key]
+	e := traceCache[key]
+	if e == nil {
+		e = &traceEntry{}
+		traceCache[key] = e
+	}
 	traceMu.Unlock()
-	if tr == nil {
+	e.once.Do(func() {
 		gen, err := workloads.Get(name)
 		if err != nil {
-			return nil, err
+			e.err = err
+			return
 		}
 		sc := workloads.DefaultScale()
 		sc.AccessesPerCore = opt.AccessesPerCore
-		tr, err = gen(cores, opt.Seed, sc)
-		if err != nil {
-			return nil, err
-		}
-		traceMu.Lock()
-		traceCache[key] = tr
-		traceMu.Unlock()
+		e.tr, e.err = gen(cores, opt.Seed, sc)
+	})
+	if e.err != nil {
+		return nil, e.err
 	}
-	return tr.Clone(), nil
+	return e.tr.Clone(), nil
 }
 
 // run simulates one (workload, config) pair.
@@ -87,6 +99,41 @@ func run(cfg system.Config, name string, opt Options) (*system.Result, error) {
 		return nil, err
 	}
 	return system.Run(cfg, tr)
+}
+
+// cell identifies one (machine config, workload) simulation in a batch.
+type cell struct {
+	cfg  system.Config
+	name string
+}
+
+// runCells simulates every cell of an experiment matrix concurrently on
+// a bounded worker pool (GOMAXPROCS workers) and returns the results in
+// input order, so table rows stay deterministic regardless of
+// scheduling. Each simulation is independent (per-run state, cloned
+// traces; the trace cache is once-guarded), so concurrency cannot change
+// any result. The first error aborts the batch.
+func runCells(cells []cell, opt Options) ([]*system.Result, error) {
+	results := make([]*system.Result, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, max(runtime.GOMAXPROCS(0), 1))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = run(cells[i].cfg, cells[i].name, opt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Table is a generic printable result table.

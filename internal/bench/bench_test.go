@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"ndpext/internal/system"
 )
 
 func TestTableString(t *testing.T) {
@@ -157,5 +159,56 @@ func TestDeltaRelEdgeCases(t *testing.T) {
 	}
 	if (Delta{Before: 0, After: 1}).Rel() < 1e8 {
 		t.Fatal("0->x should be huge")
+	}
+}
+
+// The worker pool must return results in cell order and change nothing
+// about the simulations themselves: each (config, workload) result must
+// match a serial run of the same cell bit for bit.
+func TestRunCellsMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine simulations")
+	}
+	opt := Options{Workloads: []string{"pr"}, AccessesPerCore: 1000, Seed: 7}
+	cells := []cell{
+		{system.DefaultConfig(system.NDPExt), "pr"},
+		{system.DefaultConfig(system.Nexus), "pr"},
+		{system.DefaultConfig(system.NDPExt), "pr"}, // duplicate: exercises the shared trace cache
+	}
+	par, err := runCells(cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(par), len(cells))
+	}
+	for i, c := range cells {
+		want, err := run(c.cfg, c.name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := par[i]
+		if got.Design != c.cfg.Design {
+			t.Fatalf("cell %d: result for %v in %v's slot", i, got.Design, c.cfg.Design)
+		}
+		if got.Time != want.Time || got.Breakdown != want.Breakdown ||
+			got.CacheHits != want.CacheHits || got.Energy != want.Energy {
+			t.Fatalf("cell %d (%v): pooled run diverged from serial run", i, c.cfg.Design)
+		}
+	}
+	if par[0].Time != par[2].Time {
+		t.Fatal("identical cells produced different results")
+	}
+}
+
+func TestRunCellsPropagatesErrors(t *testing.T) {
+	opt := Options{Workloads: []string{"pr"}, AccessesPerCore: 100, Seed: 1}
+	bad := system.DefaultConfig(system.NDPExt)
+	bad.UnitRows = 0
+	if _, err := runCells([]cell{{bad, "pr"}}, opt); err == nil {
+		t.Fatal("invalid config did not surface an error")
+	}
+	if _, err := runCells([]cell{{system.DefaultConfig(system.NDPExt), "no-such-workload"}}, opt); err == nil {
+		t.Fatal("unknown workload did not surface an error")
 	}
 }

@@ -33,20 +33,28 @@ func Fig5(hmc bool, opt Options) (Table, map[string]float64, float64, error) {
 		tbl.Columns = append(tbl.Columns, d.String())
 	}
 
+	// One matrix row per workload: the host run plus every NDP design.
+	var cells []cell
+	for _, w := range opt.Workloads {
+		cells = append(cells, cell{mk(system.Host), w})
+		for _, d := range designs {
+			cells = append(cells, cell{mk(d), w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, 0, err
+	}
+
 	perDesign := map[string][]float64{}
 	var ndpextVsNexus []float64
-	for _, w := range opt.Workloads {
-		host, err := run(mk(system.Host), w, opt)
-		if err != nil {
-			return tbl, nil, 0, err
-		}
+	stride := 1 + len(designs)
+	for wi, w := range opt.Workloads {
+		host := results[wi*stride]
 		row := []string{w}
 		var nexusT, ndpextT sim.Time
-		for _, d := range designs {
-			res, err := run(mk(d), w, opt)
-			if err != nil {
-				return tbl, nil, 0, err
-			}
+		for di, d := range designs {
+			res := results[wi*stride+1+di]
 			sp := float64(host.Time) / float64(res.Time)
 			perDesign[d.String()] = append(perDesign[d.String()], sp)
 			row = append(row, f2(sp))
@@ -84,11 +92,10 @@ func Fig2(opt Options) (Table, error) {
 		Title:   "Fig 2(a): latency breakdown, static interleaving (pr)",
 		Columns: []string{"system", "core", "meta", "intra-noc", "inter-noc", "dram", "extended", "hit-rate"},
 	}
-	ndp, err := run(system.DefaultConfig(system.StaticInterleave), "pr", opt)
-	if err != nil {
-		return tbl, err
-	}
-	host, err := run(system.DefaultConfig(system.Host), "pr", opt)
+	results, err := runCells([]cell{
+		{system.DefaultConfig(system.StaticInterleave), "pr"},
+		{system.DefaultConfig(system.Host), "pr"},
+	}, opt)
 	if err != nil {
 		return tbl, err
 	}
@@ -100,7 +107,7 @@ func Fig2(opt Options) (Table, error) {
 			pct(r.CacheHitRate()),
 		}
 	}
-	tbl.Rows = append(tbl.Rows, rowOf("NDP", ndp), rowOf("NUCA-host", host))
+	tbl.Rows = append(tbl.Rows, rowOf("NDP", results[0]), rowOf("NUCA-host", results[1]))
 	return tbl, nil
 }
 
@@ -147,16 +154,18 @@ func Fig6(opt Options) (Table, float64, error) {
 		Title:   "Fig 6: energy, NDPExt vs Nexus (uJ; ratio = Nexus/NDPExt)",
 		Columns: []string{"workload", "design", "static", "ndp-dram", "ext-dram", "noc", "cxl", "sram", "total", "ratio"},
 	}
-	var ratios []float64
+	var cells []cell
 	for _, w := range opt.Workloads {
-		nx, err := run(system.DefaultConfig(system.Nexus), w, opt)
-		if err != nil {
-			return tbl, 0, err
-		}
-		nd, err := run(system.DefaultConfig(system.NDPExt), w, opt)
-		if err != nil {
-			return tbl, 0, err
-		}
+		cells = append(cells, cell{system.DefaultConfig(system.Nexus), w})
+		cells = append(cells, cell{system.DefaultConfig(system.NDPExt), w})
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, 0, err
+	}
+	var ratios []float64
+	for wi, w := range opt.Workloads {
+		nx, nd := results[2*wi], results[2*wi+1]
 		ratio := nx.Energy.Total() / nd.Energy.Total()
 		ratios = append(ratios, ratio)
 		const uJ = 1e6
@@ -182,15 +191,17 @@ func Fig7(opt Options) (Table, error) {
 		Title:   "Fig 7: interconnect latency (ns/access) and miss rate",
 		Columns: []string{"workload", "nexus-ns", "ndpext-ns", "nexus-miss", "ndpext-miss"},
 	}
+	var cells []cell
 	for _, w := range opt.Workloads {
-		nx, err := run(system.DefaultConfig(system.Nexus), w, opt)
-		if err != nil {
-			return tbl, err
-		}
-		nd, err := run(system.DefaultConfig(system.NDPExt), w, opt)
-		if err != nil {
-			return tbl, err
-		}
+		cells = append(cells, cell{system.DefaultConfig(system.Nexus), w})
+		cells = append(cells, cell{system.DefaultConfig(system.NDPExt), w})
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, err
+	}
+	for wi, w := range opt.Workloads {
+		nx, nd := results[2*wi], results[2*wi+1]
 		tbl.Rows = append(tbl.Rows, []string{w,
 			f1(nx.AvgInterconnectNS()), f1(nd.AvgInterconnectNS()),
 			pct(nx.MissRate()), pct(nd.MissRate())})
@@ -221,24 +232,30 @@ func Fig8a(opt Options) (Table, map[string]float64, error) {
 		Title:   "Fig 8(a): NDPExt speedup over Nexus vs core count (stacks x cores/stack)",
 		Columns: []string{"machine", "speedup"},
 	}
+	mk := func(v fig8aVariant, d system.Design) system.Config {
+		cfg := system.DefaultConfig(d)
+		cfg.NoC.StacksX, cfg.NoC.StacksY = v.stacksX, v.stacksY
+		cfg.NoC.UnitsX, cfg.NoC.UnitsY = v.unitsX, v.unitsY
+		return cfg
+	}
+	var cells []cell
+	for _, v := range variants {
+		for _, w := range opt.Workloads {
+			cells = append(cells, cell{mk(v, system.Nexus), w})
+			cells = append(cells, cell{mk(v, system.NDPExt), w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
 	out := map[string]float64{}
+	i := 0
 	for _, v := range variants {
 		var sps []float64
-		for _, w := range opt.Workloads {
-			mk := func(d system.Design) system.Config {
-				cfg := system.DefaultConfig(d)
-				cfg.NoC.StacksX, cfg.NoC.StacksY = v.stacksX, v.stacksY
-				cfg.NoC.UnitsX, cfg.NoC.UnitsY = v.unitsX, v.unitsY
-				return cfg
-			}
-			nx, err := run(mk(system.Nexus), w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			nd, err := run(mk(system.NDPExt), w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
+		for range opt.Workloads {
+			nx, nd := results[i], results[i+1]
+			i += 2
 			sps = append(sps, float64(nx.Time)/float64(nd.Time))
 		}
 		g := stats.Geomean(sps)
@@ -256,23 +273,30 @@ func Fig8b(opt Options) (Table, map[int]float64, error) {
 		Title:   "Fig 8(b): NDPExt speedup over Nexus vs CXL link latency",
 		Columns: []string{"latency-ns", "speedup"},
 	}
-	out := map[int]float64{}
-	for _, ns := range []int{50, 100, 200, 400} {
-		var sps []float64
+	points := []int{50, 100, 200, 400}
+	mk := func(ns int, d system.Design) system.Config {
+		cfg := system.DefaultConfig(d)
+		cfg.CXL.LinkLatency = sim.FromNS(float64(ns))
+		return cfg
+	}
+	var cells []cell
+	for _, ns := range points {
 		for _, w := range opt.Workloads {
-			mk := func(d system.Design) system.Config {
-				cfg := system.DefaultConfig(d)
-				cfg.CXL.LinkLatency = sim.FromNS(float64(ns))
-				return cfg
-			}
-			nx, err := run(mk(system.Nexus), w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			nd, err := run(mk(system.NDPExt), w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
+			cells = append(cells, cell{mk(ns, system.Nexus), w})
+			cells = append(cells, cell{mk(ns, system.NDPExt), w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
+	out := map[int]float64{}
+	i := 0
+	for _, ns := range points {
+		var sps []float64
+		for range opt.Workloads {
+			nx, nd := results[i], results[i+1]
+			i += 2
 			sps = append(sps, float64(nx.Time)/float64(nd.Time))
 		}
 		g := stats.Geomean(sps)
@@ -288,17 +312,25 @@ func ndpextSweep(title, unit string, points []int, ref int,
 	mutate func(cfg *system.Config, v int), opt Options) (Table, map[int]float64, error) {
 
 	tbl := Table{Title: title, Columns: []string{unit, "speedup-vs-default"}}
-	times := map[int]float64{}
+	var cells []cell
 	for _, v := range points {
-		var total float64
 		for _, w := range opt.Workloads {
 			cfg := system.DefaultConfig(system.NDPExt)
 			mutate(&cfg, v)
-			res, err := run(cfg, w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			total += float64(res.Time)
+			cells = append(cells, cell{cfg, w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
+	times := map[int]float64{}
+	i := 0
+	for _, v := range points {
+		var total float64
+		for range opt.Workloads {
+			total += float64(results[i].Time)
+			i++
 		}
 		times[v] = total
 	}
@@ -359,19 +391,27 @@ func Fig9e(opt Options) (Table, map[string]float64, error) {
 		{"Partial", system.ReconfigPartial},
 		{"Full", system.ReconfigFull},
 	}
-	out := map[string]float64{}
-	sums := map[string]float64{}
+	var cells []cell
 	for _, w := range opt.Workloads {
-		times := map[string]float64{}
 		for _, m := range modes {
 			cfg := system.DefaultConfig(system.NDPExt)
 			cfg.Reconfig = m.mode
-			res, err := run(cfg, w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			times[m.name] = float64(res.Time)
-			sums[m.name] += float64(res.Time)
+			cells = append(cells, cell{cfg, w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
+	out := map[string]float64{}
+	sums := map[string]float64{}
+	i := 0
+	for _, w := range opt.Workloads {
+		times := map[string]float64{}
+		for _, m := range modes {
+			times[m.name] = float64(results[i].Time)
+			sums[m.name] += float64(results[i].Time)
+			i++
 		}
 		tbl.Rows = append(tbl.Rows, []string{w,
 			f2(times["Full"] / times["Static"]),
@@ -404,20 +444,21 @@ func SecVD(opt Options) (Table, float64, float64, error) {
 		Title:   "SecV-D: consistent hashing vs bulk invalidation",
 		Columns: []string{"workload", "speedup", "invalidation-reduction"},
 	}
-	var sps, invs []float64
+	var cells []cell
 	for _, w := range opt.Workloads {
 		cons := system.DefaultConfig(system.NDPExt)
 		cons.ConsistentHash = true
 		bulk := system.DefaultConfig(system.NDPExt)
 		bulk.ConsistentHash = false
-		rc, err := run(cons, w, opt)
-		if err != nil {
-			return tbl, 0, 0, err
-		}
-		rb, err := run(bulk, w, opt)
-		if err != nil {
-			return tbl, 0, 0, err
-		}
+		cells = append(cells, cell{cons, w}, cell{bulk, w})
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, 0, 0, err
+	}
+	var sps, invs []float64
+	for wi, w := range opt.Workloads {
+		rc, rb := results[2*wi], results[2*wi+1]
 		sp := float64(rb.Time) / float64(rc.Time)
 		inv := 0.0
 		if rb.ReconfigDropped > 0 {
@@ -451,17 +492,25 @@ func AblationExtAttach(opt Options) (Table, map[string]float64, error) {
 		{"dimm", cxl.DIMMConfig()},
 		{"host-relay", cxl.HostRelayConfig()},
 	}
-	times := map[string]float64{}
+	var cells []cell
 	for _, at := range attaches {
-		var total float64
 		for _, w := range opt.Workloads {
 			cfg := system.DefaultConfig(system.NDPExt)
 			cfg.CXL = at.cfg
-			res, err := run(cfg, w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			total += float64(res.Time)
+			cells = append(cells, cell{cfg, w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
+	times := map[string]float64{}
+	i := 0
+	for _, at := range attaches {
+		var total float64
+		for range opt.Workloads {
+			total += float64(results[i].Time)
+			i++
 		}
 		times[at.name] = total
 	}
@@ -492,18 +541,26 @@ func AblationWayPredict(opt Options) (Table, map[string]float64, error) {
 		{"4-way ideal", 4, false},
 		{"4-way way-predicted", 4, true},
 	}
-	times := map[string]float64{}
+	var cells []cell
 	for _, org := range organizations {
-		var total float64
 		for _, w := range opt.Workloads {
 			cfg := system.DefaultConfig(system.NDPExt)
 			cfg.Stream.IndirectWays = org.ways
 			cfg.Stream.WayPredict = org.predict
-			res, err := run(cfg, w, opt)
-			if err != nil {
-				return tbl, nil, err
-			}
-			total += float64(res.Time)
+			cells = append(cells, cell{cfg, w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, nil, err
+	}
+	times := map[string]float64{}
+	i := 0
+	for _, org := range organizations {
+		var total float64
+		for range opt.Workloads {
+			total += float64(results[i].Time)
+			i++
 		}
 		times[org.name] = total
 	}
@@ -523,12 +580,16 @@ func MetaHitRates(opt Options) (Table, error) {
 		Title:   "SecVII-A: baseline metadata cache hit rate (Nexus)",
 		Columns: []string{"workload", "meta-hit-rate"},
 	}
+	var cells []cell
 	for _, w := range opt.Workloads {
-		res, err := run(system.DefaultConfig(system.Nexus), w, opt)
-		if err != nil {
-			return tbl, err
-		}
-		tbl.Rows = append(tbl.Rows, []string{w, pct(res.MetaHitRate)})
+		cells = append(cells, cell{system.DefaultConfig(system.Nexus), w})
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, err
+	}
+	for wi, w := range opt.Workloads {
+		tbl.Rows = append(tbl.Rows, []string{w, pct(results[wi].MetaHitRate)})
 	}
 	return tbl, nil
 }

@@ -1,0 +1,20 @@
+package cxl
+
+import "ndpext/internal/telemetry"
+
+// ReportTelemetry publishes the device's link counters and the aggregate
+// of its DDR channels into the registry under the given prefix
+// (e.g. "cxl" -> "cxl.reads", "cxl.dram.energy_pj", ...).
+func (d *Device) ReportTelemetry(r *telemetry.Registry, prefix string) {
+	r.PutUint(prefix+".reads", d.stats.Reads)
+	r.PutUint(prefix+".writes", d.stats.Writes)
+	r.PutFloat(prefix+".link_energy_pj", d.stats.LinkEnergyPJ)
+	r.PutTime(prefix+".link_busy", d.stats.LinkBusy)
+	dr := d.DRAMStats()
+	r.PutUint(prefix+".dram.reads", dr.Reads)
+	r.PutUint(prefix+".dram.writes", dr.Writes)
+	r.PutUint(prefix+".dram.row_hits", dr.RowHits)
+	r.PutUint(prefix+".dram.activations", dr.Activations)
+	r.PutFloat(prefix+".dram.energy_pj", dr.EnergyPJ)
+	r.PutTime(prefix+".dram.busy", dr.BusyTime)
+}

@@ -1,0 +1,15 @@
+package dram
+
+import "ndpext/internal/telemetry"
+
+// ReportTelemetry publishes the device's counters into the registry
+// under the given prefix (e.g. "dram.unit003").
+func (d *Device) ReportTelemetry(r *telemetry.Registry, prefix string) {
+	r.PutUint(prefix+".reads", d.stats.Reads)
+	r.PutUint(prefix+".writes", d.stats.Writes)
+	r.PutUint(prefix+".row_hits", d.stats.RowHits)
+	r.PutUint(prefix+".activations", d.stats.Activations)
+	r.PutUint(prefix+".refresh_stalls", d.stats.RefreshStalls)
+	r.PutFloat(prefix+".energy_pj", d.stats.EnergyPJ)
+	r.PutTime(prefix+".busy", d.stats.BusyTime)
+}

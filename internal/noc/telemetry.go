@@ -1,0 +1,14 @@
+package noc
+
+import "ndpext/internal/telemetry"
+
+// ReportTelemetry publishes the network's counters into the registry
+// under the given prefix (e.g. "noc").
+func (n *Network) ReportTelemetry(r *telemetry.Registry, prefix string) {
+	r.PutUint(prefix+".messages", n.stats.Messages)
+	r.PutUint(prefix+".intra_hops", n.stats.IntraHops)
+	r.PutUint(prefix+".inter_hops", n.stats.InterHops)
+	r.PutFloat(prefix+".energy_pj", n.stats.EnergyPJ)
+	r.PutTime(prefix+".intra_delay", n.stats.IntraDelay)
+	r.PutTime(prefix+".inter_delay", n.stats.InterDelay)
+}

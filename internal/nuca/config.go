@@ -348,7 +348,7 @@ func nexusCost(in ConfigInput, streams []policy.StreamInput, degree int) float64
 			deg = degree
 		}
 		// Assume a fair share of total capacity for the estimate.
-		fair := uint64(in.NumUnits) * uint64(in.UnitRows) / uint64(maxInt(len(streams), 1))
+		fair := uint64(in.NumUnits) * uint64(in.UnitRows) / uint64(max(len(streams), 1))
 		perCopy := int64(fair) * int64(in.RowBytes) / int64(deg)
 		mr := s.Curve.MissRateAt(perCopy)
 		// Average closeness of each accessor to its nearest replica
@@ -368,11 +368,4 @@ func nexusCost(in ConfigInput, streams []policy.StreamInput, degree int) float64
 		cost += float64(acc) * (mr*in.MissPenalty + (1-mr)*(1-close))
 	}
 	return cost
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

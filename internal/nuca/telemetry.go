@@ -1,0 +1,14 @@
+package nuca
+
+import "ndpext/internal/telemetry"
+
+// ReportTelemetry publishes the controller's counters into the registry
+// under the given prefix (e.g. "nuca").
+func (c *Controller) ReportTelemetry(r *telemetry.Registry, prefix string) {
+	r.PutUint(prefix+".lookups", c.stats.Lookups)
+	r.PutUint(prefix+".hits", c.stats.Hits)
+	r.PutUint(prefix+".misses", c.stats.Misses)
+	r.PutUint(prefix+".meta_hits", c.stats.MetaHits)
+	r.PutUint(prefix+".meta_misses", c.stats.MetaMisses)
+	r.PutUint(prefix+".writebacks", c.stats.Writebacks)
+}

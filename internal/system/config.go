@@ -12,6 +12,8 @@ package system
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"ndpext/internal/cxl"
 	"ndpext/internal/dram"
@@ -19,6 +21,7 @@ import (
 	"ndpext/internal/sampler"
 	"ndpext/internal/sim"
 	"ndpext/internal/streamcache"
+	"ndpext/internal/telemetry"
 )
 
 // Design selects the cache management scheme under evaluation.
@@ -133,7 +136,27 @@ type Config struct {
 	// library users tuning policies. Nil (the default) costs nothing.
 	OnEpoch func(EpochInfo)
 
+	// Probe, when set, receives a telemetry.Event for every simulated
+	// memory access (core, stream, level served, per-level latency).
+	// Wrap with telemetry.Sampled to subsample; nil costs nothing.
+	Probe telemetry.Probe
+
+	// DebugReconfig enables per-stream reconfiguration tracing at every
+	// epoch boundary, written to DebugWriter. DefaultConfig seeds it
+	// from the NDPEXT_DEBUG environment variable.
+	DebugReconfig bool
+	// DebugWriter receives reconfiguration traces; nil means os.Stdout.
+	DebugWriter io.Writer
+
 	Seed uint64
+}
+
+// debugWriter resolves the reconfiguration trace destination.
+func (c Config) debugWriter() io.Writer {
+	if c.DebugWriter != nil {
+		return c.DebugWriter
+	}
+	return os.Stdout
 }
 
 // EpochInfo summarizes one host-runtime epoch for Config.OnEpoch.
@@ -197,6 +220,8 @@ func DefaultConfig(d Design) Config {
 		HostNoCLat:   3,
 
 		CoreStaticMW: 15,
+
+		DebugReconfig: os.Getenv("NDPEXT_DEBUG") != "",
 
 		Seed: 1,
 	}

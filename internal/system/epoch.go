@@ -2,7 +2,6 @@ package system
 
 import (
 	"fmt"
-	"os"
 	"sort"
 
 	"ndpext/internal/maxflow"
@@ -12,9 +11,6 @@ import (
 	"ndpext/internal/stream"
 	"ndpext/internal/streamcache"
 )
-
-// debugReconfig gates verbose reconfiguration tracing.
-var debugReconfig = os.Getenv("NDPEXT_DEBUG") != ""
 
 // sortedAllocSIDs returns allocation keys in ascending order.
 func sortedAllocSIDs(m map[stream.ID]streamcache.Allocation) []stream.ID {
@@ -258,9 +254,9 @@ func (s *ndpSim) epochBoundary() {
 		}
 		return
 	}
-	reconfigsBefore := s.res.Reconfigs
-	keptBefore := s.res.ReconfigKept
-	droppedBefore := s.res.ReconfigDropped
+	reconfigsBefore := s.tel.Reconfigs
+	keptBefore := s.tel.ReconfigKept
+	droppedBefore := s.tel.ReconfigDropped
 	var acc []map[stream.ID]uint64
 	if s.sc != nil {
 		acc = s.sc.EpochAccesses()
@@ -375,7 +371,7 @@ func (s *ndpSim) epochBoundary() {
 	}
 
 	if s.shouldReconfig() && len(ins) > 0 {
-		s.res.Reconfigs++
+		s.tel.Reconfigs++
 		if s.sc != nil {
 			allocs, rep, err := policy.Optimize(s.policyConfig(), ins)
 			if err != nil {
@@ -400,11 +396,12 @@ func (s *ndpSim) epochBoundary() {
 					delete(allocs, sid)
 				}
 			}
-			if debugReconfig {
+			if s.cfg.DebugReconfig {
+				w := s.cfg.debugWriter()
 				for _, sid := range sortedAllocSIDs(allocs) {
 					a := allocs[sid]
 					old, _ := s.sc.Allocation(sid)
-					fmt.Printf("epoch %d stream %d: rows %d->%d groups %d->%d\n",
+					fmt.Fprintf(w, "epoch %d stream %d: rows %d->%d groups %d->%d\n",
 						s.epoch, sid, old.TotalRows(), a.TotalRows(),
 						len(old.GroupIDs()), len(a.GroupIDs()))
 				}
@@ -413,10 +410,10 @@ func (s *ndpSim) epochBoundary() {
 			if err != nil {
 				panic(err)
 			}
-			s.res.ReconfigKept += rs.ItemsKept
-			s.res.ReconfigDropped += rs.ItemsDropped
-			s.res.ReplicatedRows = rep.ReplicatedRows
-			s.res.RowsAllocated = rep.RowsAllocated
+			s.tel.ReconfigKept += rs.ItemsKept
+			s.tel.ReconfigDropped += rs.ItemsDropped
+			s.tel.ReplicatedRows = rep.ReplicatedRows
+			s.tel.RowsAllocated = rep.RowsAllocated
 		} else {
 			allocs, err := nuca.Configure(nucaKind(s.cfg.Design), s.nucaConfigInput(), ins)
 			if err != nil {
@@ -433,7 +430,7 @@ func (s *ndpSim) epochBoundary() {
 			if err != nil {
 				panic(err)
 			}
-			s.res.ReconfigDropped += inv
+			s.tel.ReconfigDropped += inv
 		}
 	}
 
@@ -505,7 +502,7 @@ func (s *ndpSim) epochBoundary() {
 			install(u, rest[si])
 		}
 	}
-	s.res.SamplerCovered = covered
+	s.tel.SamplerCovered = covered
 	s.uncovered = make(map[stream.ID]bool)
 	for _, si := range assign.Uncovered {
 		s.uncovered[rest[si]] = true
@@ -515,9 +512,9 @@ func (s *ndpSim) epochBoundary() {
 		s.cfg.OnEpoch(EpochInfo{
 			Epoch:          s.epoch,
 			ActiveStreams:  len(totals),
-			Reconfigured:   s.res.Reconfigs > reconfigsBefore,
-			ItemsKept:      s.res.ReconfigKept - keptBefore,
-			ItemsDropped:   s.res.ReconfigDropped - droppedBefore,
+			Reconfigured:   s.tel.Reconfigs > reconfigsBefore,
+			ItemsKept:      s.tel.ReconfigKept - keptBefore,
+			ItemsDropped:   s.tel.ReconfigDropped - droppedBefore,
 			SamplerCovered: covered,
 		})
 	}

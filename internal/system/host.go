@@ -4,6 +4,8 @@ import (
 	"ndpext/internal/cache"
 	"ndpext/internal/dram"
 	"ndpext/internal/sim"
+	"ndpext/internal/stats"
+	"ndpext/internal/telemetry"
 	"ndpext/internal/workloads"
 )
 
@@ -11,7 +13,8 @@ import (
 // with private L1s, a shared Jigsaw-style LLC (modelled as a shared
 // set-associative cache with bank + routing latency), and DDR5 main
 // memory. Traces generated for the NDP core count are folded onto the
-// host cores, preserving per-core access order.
+// host cores, preserving per-core access order. Accounting flows through
+// the same telemetry counters as the NDP designs.
 func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 	nc := cfg.HostCores
 	if nc <= 0 {
@@ -39,6 +42,8 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 	}
 
 	res := &Result{Design: Host, Workload: tr.Name}
+	var tel telemetry.Counters
+	probe := cfg.Probe
 	var q sim.EventQueue
 	idx := make([]int, nc)
 	for c := range perCore {
@@ -51,36 +56,58 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 		ev := q.Pop()
 		c := ev.ID
 		a := perCore[c][idx[c]]
-		res.Accesses++
-		res.Breakdown.Accesses++
+		var snap [telemetry.NumLevels]sim.Time
+		if probe != nil {
+			snap = tel.Levels
+		}
+		tel.Accesses++
+		served := telemetry.LevelCore
 
 		t := ev.When + clock.Cycles(int64(a.Gap)) + clock.Cycles(cfg.L1LatCycles)
 		if hit, _, _ := l1s[c].Access(a.Addr, a.Write); hit {
-			res.Breakdown.Core += t - ev.When
-			res.L1Hits++
+			tel.Add(telemetry.LevelCore, t-ev.When)
+			tel.L1Hits++
 		} else {
-			res.Breakdown.Core += t - ev.When
+			tel.Add(telemetry.LevelCore, t-ev.When)
 			// Shared LLC: bank latency + NUCA routing.
 			l := t
 			t += clock.Cycles(cfg.HostLLCLat + cfg.HostNoCLat)
 			hit, victim, wb := llc.Access(a.Addr, a.Write)
-			res.Breakdown.CacheDRAM += t - l
+			tel.Add(telemetry.LevelCacheDRAM, t-l)
 			if hit {
-				res.CacheHits++
+				served = telemetry.LevelCacheDRAM
+				tel.CacheHits++
 			} else {
-				res.CacheMisses++
+				served = telemetry.LevelExtended
+				tel.CacheMisses++
 				globalRow := a.Addr / rowBytes
 				ch := int(globalRow % uint64(len(chans)))
 				row := int64(globalRow / uint64(len(chans)))
 				e := t
 				t, _ = chans[ch].Access(t, row, cfg.L1LineBytes, false)
-				res.Breakdown.Extended += t - e
+				tel.Add(telemetry.LevelExtended, t-e)
 				if wb {
 					vRow := victim / rowBytes
 					vch := int(vRow % uint64(len(chans)))
 					chans[vch].Access(t, int64(vRow/uint64(len(chans))), cfg.L1LineBytes, true)
 				}
 			}
+		}
+
+		if probe != nil {
+			pev := telemetry.Event{
+				Seq:    tel.Accesses - 1,
+				Core:   c,
+				SID:    -1,
+				Write:  a.Write,
+				Served: served,
+				Start:  ev.When,
+				End:    t,
+			}
+			for l := telemetry.Level(0); l < telemetry.NumLevels; l++ {
+				pev.Levels[l] = tel.Levels[l] - snap[l]
+			}
+			probe.Record(&pev)
 		}
 
 		idx[c]++
@@ -92,5 +119,18 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 		}
 	}
 	res.Time = end
+	res.Accesses = tel.Accesses
+	res.L1Hits = tel.L1Hits
+	res.CacheHits = tel.CacheHits
+	res.CacheMisses = tel.CacheMisses
+	res.Breakdown = stats.Breakdown{
+		Core:      tel.Levels[telemetry.LevelCore],
+		Meta:      tel.Levels[telemetry.LevelMeta],
+		IntraNoC:  tel.Levels[telemetry.LevelIntraNoC],
+		InterNoC:  tel.Levels[telemetry.LevelInterNoC],
+		CacheDRAM: tel.Levels[telemetry.LevelCacheDRAM],
+		Extended:  tel.Levels[telemetry.LevelExtended],
+		Accesses:  tel.Accesses,
+	}
 	return res, nil
 }

@@ -1,0 +1,79 @@
+package system
+
+import (
+	"ndpext/internal/dram"
+	"ndpext/internal/noc"
+	"ndpext/internal/sim"
+	"ndpext/internal/stream"
+	"ndpext/internal/telemetry"
+	"ndpext/internal/workloads"
+)
+
+// MemPath is one pipeline stage arrangement serving post-L1 memory
+// accesses for a design family: the NDPExt stream cache path
+// (streamPath), the NUCA baseline path (nucaPath), or future policies.
+// A path is selected by construction in newNDPSim, not by branching in
+// the hot loop.
+//
+// Access serves the access issued by core at time t and returns its
+// completion time, the level that supplied the data, and the stream the
+// access belongs to (stream.NoStream when none).
+type MemPath interface {
+	Access(t sim.Time, core int, a workloads.Access) (done sim.Time, served telemetry.Level, sid stream.ID)
+}
+
+// pathDeps bundles the hardware and accounting shared by every memory
+// path stage.
+type pathDeps struct {
+	cfg   *Config
+	clock sim.Clock
+	net   *noc.Network
+	devs  []*dram.Device
+	ext   *extPath
+	tel   *telemetry.Counters
+
+	// observe feeds a stream access to the host runtime's samplers.
+	observe func(unit int, sid stream.ID, item uint64)
+}
+
+// serve is the head of the memory pipeline: compute gap + L1, then the
+// design's MemPath on a miss. All accounting flows through s.tel; the
+// optional probe receives a per-access record with per-level latencies.
+func (s *ndpSim) serve(start sim.Time, core int, a workloads.Access) sim.Time {
+	tel := &s.tel
+	var snap [telemetry.NumLevels]sim.Time
+	if s.probe != nil {
+		snap = tel.Levels
+	}
+	tel.Accesses++
+
+	t := start + s.clock.Cycles(int64(a.Gap)) + s.clock.Cycles(s.cfg.L1LatCycles)
+	tel.Add(telemetry.LevelCore, t-start)
+
+	done, served, sid := t, telemetry.LevelCore, stream.NoStream
+	if hit, _, _ := s.l1s[core].Access(a.Addr, a.Write); hit {
+		tel.L1Hits++
+	} else {
+		done, served, sid = s.path.Access(t, core, a)
+	}
+
+	if s.probe != nil {
+		ev := telemetry.Event{
+			Seq:    tel.Accesses - 1,
+			Core:   core,
+			SID:    -1,
+			Write:  a.Write,
+			Served: served,
+			Start:  start,
+			End:    done,
+		}
+		if sid != stream.NoStream {
+			ev.SID = int64(sid)
+		}
+		for l := telemetry.Level(0); l < telemetry.NumLevels; l++ {
+			ev.Levels[l] = tel.Levels[l] - snap[l]
+		}
+		s.probe.Record(&ev)
+	}
+	return done
+}

@@ -1,0 +1,49 @@
+package system
+
+import (
+	"ndpext/internal/cxl"
+	"ndpext/internal/noc"
+	"ndpext/internal/sim"
+	"ndpext/internal/telemetry"
+)
+
+// extPath is the shared tail stage of every memory path: it routes from
+// an NDP unit to the central CXL controller over the stack's dedicated
+// controller link (paper Fig. 1), performs the extended memory access,
+// and routes back, attributing time into the telemetry counters.
+type extPath struct {
+	net *noc.Network
+	ext *cxl.Device
+	tel *telemetry.Counters
+}
+
+// access performs one extended-memory access from the given unit and
+// returns the completion time.
+func (e *extPath) access(t sim.Time, from int, addr uint64, bytes int, write bool) sim.Time {
+	reqBytes := 32
+	if write {
+		reqBytes += bytes
+	}
+	tr1 := e.net.RouteCXL(t, from, reqBytes, true)
+	e.tel.Add(telemetry.LevelIntraNoC, tr1.IntraDelay)
+	e.tel.Add(telemetry.LevelInterNoC, tr1.InterDelay)
+	at := tr1.Arrive
+	done := e.ext.Access(at, addr, bytes, write)
+	e.tel.Add(telemetry.LevelExtended, done-at)
+	respBytes := 32
+	if !write {
+		respBytes += bytes
+	}
+	tr2 := e.net.RouteCXL(done, from, respBytes, false)
+	e.tel.Add(telemetry.LevelIntraNoC, tr2.IntraDelay)
+	e.tel.Add(telemetry.LevelInterNoC, tr2.InterDelay)
+	return tr2.Arrive
+}
+
+// writeback issues a fire-and-forget dirty eviction to the extended
+// memory: it consumes NoC and CXL bandwidth but does not delay the
+// requester.
+func (e *extPath) writeback(t sim.Time, from int, addr uint64, bytes int) {
+	tr := e.net.RouteCXL(t, from, 32+bytes, true)
+	e.ext.Access(tr.Arrive, addr, bytes, true)
+}

@@ -14,10 +14,12 @@ import (
 	"ndpext/internal/stats"
 	"ndpext/internal/stream"
 	"ndpext/internal/streamcache"
+	"ndpext/internal/telemetry"
 	"ndpext/internal/workloads"
 )
 
-// Result summarizes one simulation run.
+// Result summarizes one simulation run. Its counters and breakdown are
+// views computed from the run's telemetry at finishStats time.
 type Result struct {
 	Design   Design
 	Workload string
@@ -45,6 +47,7 @@ type Result struct {
 	SamplerCovered  int    // streams covered by samplers, last epoch
 
 	streams []StreamReport
+	metrics *telemetry.Registry
 }
 
 // CacheHitRate returns the DRAM cache hit rate.
@@ -68,6 +71,11 @@ func (r *Result) MissRate() float64 {
 
 // AvgInterconnectNS is the mean interconnect time per access (Fig. 7).
 func (r *Result) AvgInterconnectNS() float64 { return r.Breakdown.AvgInterconnectNS() }
+
+// Metrics returns the run's full telemetry registry: every component's
+// counters under dotted prefixes ("noc.", "cxl.", "dram.unit003.",
+// "streamcache." / "nuca."). Nil for the Host design.
+func (r *Result) Metrics() *telemetry.Registry { return r.metrics }
 
 // StreamReport is one stream's end-of-run summary (diagnostics).
 type StreamReport struct {
@@ -121,9 +129,15 @@ type ndpSim struct {
 	devs []*dram.Device
 	l1s  []*cache.Cache
 
-	// Exactly one of sc/nc is set, by design.
+	// path serves post-L1 accesses; selected by design at construction.
+	path MemPath
+	// Exactly one of sc/nc is set, by design (epoch logic still needs
+	// the concrete controller).
 	sc *streamcache.Controller
 	nc *nuca.Controller
+
+	tel   telemetry.Counters
+	probe telemetry.Probe
 
 	att [][]float64 // attenuation factors for the policy
 
@@ -134,7 +148,6 @@ type ndpSim struct {
 	hist           map[stream.ID]map[int]float64   // decayed per-unit access history
 	netLatMemo     map[int]float64                 // degree -> mean nearest-replica latency
 	uncovered      map[stream.ID]bool              // streams no sampler covered last epoch (§V-B rotation)
-	observes       uint64                          // sampler updates (for SRAM energy)
 
 	epoch     int
 	nextEpoch sim.Time
@@ -154,6 +167,7 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 		clock:          sim.NewClock(cfg.CoreFreqMHz),
 		net:            noc.New(cfg.NoC),
 		ext:            cxl.New(cfg.CXL),
+		probe:          cfg.Probe,
 		samplers:       make(map[samplerKey]*sampler.Sampler),
 		globalSamplers: make(map[stream.ID]*sampler.Sampler),
 		curves:         make(map[stream.ID]sampler.Curve),
@@ -164,15 +178,26 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 		s.devs = append(s.devs, dram.NewDevice(cfg.Mem, cfg.BanksPerUnit))
 		s.l1s = append(s.l1s, cache.New(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc))
 	}
+	deps := &pathDeps{
+		cfg:     &s.cfg,
+		clock:   s.clock,
+		net:     s.net,
+		devs:    s.devs,
+		ext:     &extPath{net: s.net, ext: s.ext, tel: &s.tel},
+		tel:     &s.tel,
+		observe: s.observe,
+	}
 	switch cfg.Design {
 	case NDPExt, NDPExtStatic:
 		s.sc = streamcache.NewController(cfg.Stream, n, tr.Table)
+		s.path = &streamPath{pathDeps: deps, sc: s.sc, table: tr.Table}
 	case Jigsaw, Whirlpool, Nexus, StaticInterleave:
 		np := nuca.DefaultParams()
 		np.RowBytes = cfg.rowBytes()
 		// The 128 kB metadata cache scales with every other capacity.
-		np.MetaCacheBytes = maxI(np.MetaCacheBytes/CapacityDivisor, 8*np.MetaEntryBytes)
+		np.MetaCacheBytes = max(np.MetaCacheBytes/CapacityDivisor, 8*np.MetaEntryBytes)
 		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, tr.Table)
+		s.path = &nucaPath{pathDeps: deps, nc: s.nc}
 	default:
 		panic(fmt.Sprintf("system: design %v not an NDP design", cfg.Design))
 	}
@@ -221,9 +246,8 @@ func (s *ndpSim) loop() {
 		}
 		c := ev.ID
 		a := s.tr.PerCore[c][s.idx[c]]
-		done := s.access(ev.When, c, a)
+		done := s.serve(ev.When, c, a)
 		s.idx[c]++
-		s.res.Accesses++
 		if done > end {
 			end = done
 		}
@@ -235,258 +259,101 @@ func (s *ndpSim) loop() {
 	s.finishStats()
 }
 
-// access simulates one memory access and returns its completion time.
-func (s *ndpSim) access(start sim.Time, core int, a workloads.Access) sim.Time {
-	bd := &s.res.Breakdown
-	bd.Accesses++
-
-	t := start + s.clock.Cycles(int64(a.Gap)) + s.clock.Cycles(s.cfg.L1LatCycles)
-	if hit, _, _ := s.l1s[core].Access(a.Addr, a.Write); hit {
-		bd.Core += t - start
-		s.res.L1Hits++
-		return t
-	}
-	bd.Core += t - start
-
-	if s.sc != nil {
-		return s.accessStream(t, core, a)
-	}
-	return s.accessNUCA(t, core, a)
-}
-
-// accessStream is the NDPExt path: SLB -> home unit -> ATA/embedded tag
-// -> extended memory on miss.
-func (s *ndpSim) accessStream(t sim.Time, core int, a workloads.Access) sim.Time {
-	bd := &s.res.Breakdown
-	lk := s.sc.Lookup(core, a.Addr, a.Write)
-
-	m := t
-	t += s.clock.Cycles(s.cfg.SLBLatCycles)
-	if lk.SLBMissLocal {
-		t += s.cfg.SLBMissPenalty
-	}
-	if lk.WriteException {
-		t += s.cfg.WriteExceptionLat
-		s.res.Exceptions++
-	}
-	bd.Meta += t - m
-
-	if !lk.Bypass {
-		// Sample before the no-space branch: an unfunded stream must
-		// still be profiled, or it could never earn an allocation.
-		s.observe(core, lk.SID, lk.ItemID)
-	}
-	if lk.Bypass || lk.NoSpace {
-		return s.extAccess(t, core, a.Addr, maxI(lk.FetchBytes, 64), a.Write)
-	}
-
-	// Request to the home unit.
-	tr1 := s.net.Route(t, core, lk.Home, 32)
-	bd.IntraNoC += tr1.IntraDelay
-	bd.InterNoC += tr1.InterDelay
-	t = tr1.Arrive
-	if lk.SLBMissHome {
-		m = t
-		t += s.clock.Cycles(s.cfg.SLBLatCycles) + s.cfg.SLBMissPenalty
-		bd.Meta += t - m
-	}
-
-	accBytes := 64 // column read within an affine block
-	if !lk.Affine {
-		st := s.tr.Table.Get(lk.SID)
-		accBytes = int(st.ElemSize) + s.cfg.Stream.TagBytes
-	}
-	if lk.Hit {
-		d := t
-		t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, a.Write)
-		if lk.WayMispredict {
-			// Way-predicted associative organization: a misprediction
-			// costs a second DRAM access to read the right way.
-			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, false)
-		}
-		bd.CacheDRAM += t - d
-		s.res.CacheHits++
-	} else {
-		s.res.CacheMisses++
-		if !lk.Affine {
-			// Indirect streams discover the miss by reading the
-			// embedded tag: one DRAM access before going off-device.
-			d := t
-			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, accBytes, false)
-			bd.CacheDRAM += t - d
-		}
-		t = s.extAccess(t, lk.Home, a.Addr, lk.FetchBytes, false)
-		// Fill the DRAM cache off the critical path.
-		s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
-		if lk.WritebackBytes > 0 {
-			s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
-		}
-	}
-
-	// Response with the data.
-	tr2 := s.net.Route(t, lk.Home, core, 96)
-	bd.IntraNoC += tr2.IntraDelay
-	bd.InterNoC += tr2.InterDelay
-	return tr2.Arrive
-}
-
-// accessNUCA is the baseline path: metadata cache -> (DRAM metadata on
-// miss) -> data home -> extended memory on miss.
-func (s *ndpSim) accessNUCA(t sim.Time, core int, a workloads.Access) sim.Time {
-	bd := &s.res.Breakdown
-	lk := s.nc.Lookup(core, a.Addr, a.Write)
-
-	m := t
-	t += s.clock.Cycles(s.cfg.MetaLatCycles)
-	bd.Meta += t - m
-	if lk.SID != stream.NoStream {
-		s.observe(core, lk.SID, a.Addr/uint64(64))
-	}
-
-	if !lk.MetaHit {
-		// Walk to the home unit for the DRAM metadata access.
-		tr1 := s.net.Route(t, core, lk.Home, 32)
-		bd.IntraNoC += tr1.IntraDelay
-		bd.InterNoC += tr1.InterDelay
-		t = tr1.Arrive
-		m = t
-		t, _ = s.devs[lk.Home].Access(t, lk.MetaDRAMRow, 64, false)
-		bd.Meta += t - m
-		if lk.Hit {
-			d := t
-			t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, 64, a.Write)
-			bd.CacheDRAM += t - d
-			s.res.CacheHits++
-		} else {
-			s.res.CacheMisses++
-			t = s.extAccess(t, lk.Home, a.Addr, lk.FetchBytes, false)
-			s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
-			if lk.WritebackBytes > 0 {
-				s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
-			}
-		}
-		tr2 := s.net.Route(t, lk.Home, core, 96)
-		bd.IntraNoC += tr2.IntraDelay
-		bd.InterNoC += tr2.InterDelay
-		return tr2.Arrive
-	}
-
-	// Metadata hit at the requester: the location and tag are known.
-	if lk.Hit {
-		tr1 := s.net.Route(t, core, lk.Home, 32)
-		bd.IntraNoC += tr1.IntraDelay
-		bd.InterNoC += tr1.InterDelay
-		t = tr1.Arrive
-		d := t
-		t, _ = s.devs[lk.Home].Access(t, lk.HomeRow, 64, a.Write)
-		bd.CacheDRAM += t - d
-		s.res.CacheHits++
-		tr2 := s.net.Route(t, lk.Home, core, 96)
-		bd.IntraNoC += tr2.IntraDelay
-		bd.InterNoC += tr2.InterDelay
-		return tr2.Arrive
-	}
-	s.res.CacheMisses++
-	t = s.extAccess(t, core, a.Addr, lk.FetchBytes, a.Write)
-	s.devs[lk.Home].Access(t, lk.HomeRow, lk.FetchBytes, true)
-	if lk.WritebackBytes > 0 {
-		s.extWriteback(t, lk.Home, a.Addr, lk.WritebackBytes)
-	}
-	return t
-}
-
-// extAccess routes from the unit to the central CXL controller over the
-// stack's dedicated controller link (paper Fig. 1), performs the extended
-// memory access, and routes back, attributing time to the breakdown. It
-// returns the completion time.
-func (s *ndpSim) extAccess(t sim.Time, from int, addr uint64, bytes int, write bool) sim.Time {
-	bd := &s.res.Breakdown
-	reqBytes := 32
-	if write {
-		reqBytes += bytes
-	}
-	tr1 := s.net.RouteCXL(t, from, reqBytes, true)
-	bd.IntraNoC += tr1.IntraDelay
-	bd.InterNoC += tr1.InterDelay
-	e := tr1.Arrive
-	done := s.ext.Access(e, addr, bytes, write)
-	bd.Extended += done - e
-	respBytes := 32
-	if !write {
-		respBytes += bytes
-	}
-	tr2 := s.net.RouteCXL(done, from, respBytes, false)
-	bd.IntraNoC += tr2.IntraDelay
-	bd.InterNoC += tr2.InterDelay
-	return tr2.Arrive
-}
-
-// extWriteback issues a fire-and-forget dirty eviction to the extended
-// memory: it consumes NoC and CXL bandwidth but does not delay the
-// requester.
-func (s *ndpSim) extWriteback(t sim.Time, from int, addr uint64, bytes int) {
-	tr := s.net.RouteCXL(t, from, 32+bytes, true)
-	s.ext.Access(tr.Arrive, addr, bytes, true)
-}
-
 // observe feeds the access to the stream's samplers: the local sampler
 // (this epoch's assigned unit only -- the per-core reuse view) and the
 // global one (the home sets see traffic from every core, §V-A).
 func (s *ndpSim) observe(unit int, sid stream.ID, item uint64) {
 	if smp := s.samplers[samplerKey{unit, sid}]; smp != nil {
 		smp.Observe(item)
-		s.observes++
+		s.tel.Observes++
 	}
 	if smp := s.globalSamplers[sid]; smp != nil {
 		smp.Observe(item)
-		s.observes++
+		s.tel.Observes++
 	}
 }
 
-// finishStats fills the run-level statistics after the event loop.
+// collectMetrics publishes every component's counters into one registry.
+func (s *ndpSim) collectMetrics() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	for i, d := range s.devs {
+		d.ReportTelemetry(reg, fmt.Sprintf("dram.unit%03d", i))
+	}
+	s.ext.ReportTelemetry(reg, "cxl")
+	s.net.ReportTelemetry(reg, "noc")
+	if s.sc != nil {
+		s.sc.ReportTelemetry(reg, "streamcache")
+	}
+	if s.nc != nil {
+		s.nc.ReportTelemetry(reg, "nuca")
+	}
+	return reg
+}
+
+// finishStats derives the run-level Result from the telemetry after the
+// event loop: the Breakdown view from the hot-path counters, and the
+// hit-rate and energy summaries from the component registry.
 func (s *ndpSim) finishStats() {
 	r := &s.res
+	tel := &s.tel
+	reg := s.collectMetrics()
+	r.metrics = reg
+
+	r.Breakdown = stats.Breakdown{
+		Core:      tel.Levels[telemetry.LevelCore],
+		Meta:      tel.Levels[telemetry.LevelMeta],
+		IntraNoC:  tel.Levels[telemetry.LevelIntraNoC],
+		InterNoC:  tel.Levels[telemetry.LevelInterNoC],
+		CacheDRAM: tel.Levels[telemetry.LevelCacheDRAM],
+		Extended:  tel.Levels[telemetry.LevelExtended],
+		Accesses:  tel.Accesses,
+	}
+	r.Accesses = tel.Accesses
+	r.L1Hits = tel.L1Hits
+	r.Exceptions = tel.Exceptions
+	r.Reconfigs = tel.Reconfigs
+	r.ReconfigKept = tel.ReconfigKept
+	r.ReconfigDropped = tel.ReconfigDropped
+	r.ReplicatedRows = tel.ReplicatedRows
+	r.RowsAllocated = tel.RowsAllocated
+	r.SamplerCovered = tel.SamplerCovered
+
 	if s.sc != nil {
-		st := s.sc.Stats()
-		if t := st.SLBHits + st.SLBMisses; t > 0 {
-			r.SLBHitRate = float64(st.SLBHits) / float64(t)
+		if t := reg.Uint("streamcache.slb_hits") + reg.Uint("streamcache.slb_misses"); t > 0 {
+			r.SLBHitRate = float64(reg.Uint("streamcache.slb_hits")) / float64(t)
 		}
 	}
 	if s.nc != nil {
 		r.MetaHitRate = s.nc.MetaHitRate()
 	}
-	// Energy (Fig. 6 breakdown).
-	var ndpDram float64
-	for _, d := range s.devs {
-		ndpDram += d.Stats().EnergyPJ
-	}
-	extD := s.ext.DRAMStats()
+	// Energy (Fig. 6 breakdown), computed from the registry. Per-device
+	// energies are summed in registration (device) order so the floating-
+	// point result matches the pre-telemetry accumulation exactly.
+	ndpDram := reg.SumFloat("dram.unit")
 	staticMW := float64(s.cfg.NumUnits())*(s.cfg.Mem.StaticMWPerU+s.cfg.CoreStaticMW) +
 		float64(s.cfg.CXL.Channels)*s.cfg.CXL.DRAM.StaticMWPerU
 	// SRAM access energy (§VI: the paper models SLB/ATA/samplers with
 	// CACTI; the baselines' metadata caches get the same treatment).
 	var sram float64
-	sram += float64(r.Breakdown.Accesses) * energy.L1AccessPJ
-	sram += float64(s.observes) * energy.SamplerUpdatePJ
+	sram += float64(tel.Accesses) * energy.L1AccessPJ
+	sram += float64(tel.Observes) * energy.SamplerUpdatePJ
 	if s.sc != nil {
-		st := s.sc.Stats()
-		sram += float64(st.SLBHits+st.SLBMisses) * energy.SLBAccessPJ
-		sram += float64(st.Hits+st.Misses) * energy.ATAAccessPJ
+		sram += float64(reg.Uint("streamcache.slb_hits")+reg.Uint("streamcache.slb_misses")) * energy.SLBAccessPJ
+		sram += float64(reg.Uint("streamcache.hits")+reg.Uint("streamcache.misses")) * energy.ATAAccessPJ
 	}
 	if s.nc != nil {
-		st := s.nc.Stats()
-		sram += float64(st.MetaHits+st.MetaMisses) * energy.MetaCachePJ
+		sram += float64(reg.Uint("nuca.meta_hits")+reg.Uint("nuca.meta_misses")) * energy.MetaCachePJ
 	}
 	r.Energy = energy.Breakdown{
 		StaticPJ:  energy.Static(staticMW, r.Time),
 		NDPDramPJ: ndpDram,
-		ExtDramPJ: extD.EnergyPJ,
-		NoCPJ:     s.net.Stats().EnergyPJ,
-		CXLLinkPJ: s.ext.Stats().LinkEnergyPJ,
+		ExtDramPJ: reg.Float("cxl.dram.energy_pj"),
+		NoCPJ:     reg.Float("noc.energy_pj"),
+		CXLLinkPJ: reg.Float("cxl.link_energy_pj"),
 		SRAMPJ:    sram,
 	}
-	r.CacheHits = cacheHits(s)
-	r.CacheMisses = cacheMisses(s)
+	r.CacheHits = cacheHits(reg, s.sc != nil)
+	r.CacheMisses = cacheMisses(reg, s.sc != nil)
 
 	for _, st := range s.tr.Table.All() {
 		sr := StreamReport{
@@ -510,29 +377,22 @@ func (s *ndpSim) finishStats() {
 	}
 }
 
-// cacheHits/cacheMisses read the authoritative controller counters (the
-// running tallies in res track the same values; the controllers are the
-// source of truth).
-func cacheHits(s *ndpSim) uint64 {
-	if s.sc != nil {
-		return s.sc.Stats().Hits
+// cacheHits/cacheMisses read the authoritative controller counters from
+// the telemetry registry (the running tallies in the hot-path counters
+// track the same values; the controllers are the source of truth).
+func cacheHits(reg *telemetry.Registry, streamCache bool) uint64 {
+	if streamCache {
+		return reg.Uint("streamcache.hits")
 	}
-	return s.nc.Stats().Hits
+	return reg.Uint("nuca.hits")
 }
 
-func cacheMisses(s *ndpSim) uint64 {
-	if s.sc != nil {
-		st := s.sc.Stats()
-		return st.Misses + st.NoSpace + st.Bypasses
+func cacheMisses(reg *telemetry.Registry, streamCache bool) uint64 {
+	if streamCache {
+		return reg.Uint("streamcache.misses") +
+			reg.Uint("streamcache.no_space") + reg.Uint("streamcache.bypasses")
 	}
-	return s.nc.Stats().Misses
+	return reg.Uint("nuca.misses")
 }
 
 func (s *ndpSim) result() *Result { return &s.res }
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the wire form of an Event: one JSON object per line with
+// latencies in nanoseconds and the served level by name.
+type jsonEvent struct {
+	Seq     uint64             `json:"seq"`
+	Core    int                `json:"core"`
+	SID     int64              `json:"sid"`
+	Write   bool               `json:"write"`
+	Served  string             `json:"served"`
+	StartNS float64            `json:"start_ns"`
+	EndNS   float64            `json:"end_ns"`
+	LatNS   map[string]float64 `json:"lat_ns"`
+}
+
+// JSONLProbe writes each recorded event as one JSON line. It buffers
+// internally; call Flush before reading the output. The first write error
+// is sticky and surfaced by Flush.
+type JSONLProbe struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a probe emitting JSONL to w.
+func NewJSONL(w io.Writer) *JSONLProbe {
+	return &JSONLProbe{w: bufio.NewWriter(w)}
+}
+
+// Record implements Probe.
+func (p *JSONLProbe) Record(ev *Event) {
+	if p.err != nil {
+		return
+	}
+	je := jsonEvent{
+		Seq:     ev.Seq,
+		Core:    ev.Core,
+		SID:     ev.SID,
+		Write:   ev.Write,
+		Served:  ev.Served.String(),
+		StartNS: ev.Start.NS(),
+		EndNS:   ev.End.NS(),
+		LatNS:   make(map[string]float64, NumLevels),
+	}
+	for l := Level(0); l < NumLevels; l++ {
+		if ev.Levels[l] != 0 {
+			je.LatNS[l.String()] = ev.Levels[l].NS()
+		}
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		p.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (p *JSONLProbe) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import "ndpext/internal/sim"
+
+// Event is one sampled per-access trace record. Start/End bound the whole
+// access (including core time); Levels attributes its latency to the
+// memory-path buckets; Served names the level that supplied the data
+// (LevelCore for an L1 hit, LevelCacheDRAM for a DRAM cache hit,
+// LevelExtended for extended-memory service).
+type Event struct {
+	Seq    uint64 // global access sequence number within the run
+	Core   int
+	SID    int64 // stream ID, -1 when the access belongs to no stream
+	Write  bool
+	Served Level
+	Start  sim.Time
+	End    sim.Time
+	Levels [NumLevels]sim.Time
+}
+
+// Probe receives sampled access events. Implementations must not retain
+// the *Event past the call (the simulator reuses the backing storage).
+// A probe is only invoked from the simulation goroutine.
+type Probe interface {
+	Record(ev *Event)
+}
+
+// sampledProbe forwards every nth event to the wrapped probe.
+type sampledProbe struct {
+	p     Probe
+	every uint64
+	n     uint64
+}
+
+// Sampled wraps p so only one in every `every` events is forwarded
+// (the first event of each stride is kept). every <= 1 forwards all;
+// a nil p yields nil so the hot path keeps its probe==nil fast path.
+func Sampled(p Probe, every uint64) Probe {
+	if p == nil {
+		return nil
+	}
+	if every <= 1 {
+		return p
+	}
+	return &sampledProbe{p: p, every: every}
+}
+
+func (s *sampledProbe) Record(ev *Event) {
+	if s.n%s.every == 0 {
+		s.p.Record(ev)
+	}
+	s.n++
+}
+
+// FuncProbe adapts a function to the Probe interface.
+type FuncProbe func(ev *Event)
+
+// Record implements Probe.
+func (f FuncProbe) Record(ev *Event) { f(ev) }

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ndpext/internal/sim"
+)
+
+// Kind discriminates the scalar type of a registry value.
+type Kind int
+
+const (
+	KindUint Kind = iota
+	KindFloat
+	KindTime
+)
+
+// Value is one exported scalar metric.
+type Value struct {
+	Kind Kind
+	U    uint64
+	F    float64
+	T    sim.Time
+}
+
+// Registry is an ordered set of named scalar metrics. Components publish
+// their end-of-run counters into it (typically under a dotted prefix such
+// as "noc." or "dram.unit003."), and consumers read them back by name.
+// Registration order is preserved so derived floating-point sums are
+// reproducible.
+type Registry struct {
+	names []string
+	vals  map[string]Value
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: make(map[string]Value)}
+}
+
+func (r *Registry) put(name string, v Value) {
+	if _, ok := r.vals[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vals[name] = v
+}
+
+// PutUint publishes an integer counter.
+func (r *Registry) PutUint(name string, v uint64) { r.put(name, Value{Kind: KindUint, U: v}) }
+
+// PutFloat publishes a floating-point accumulator (e.g. energy in pJ).
+func (r *Registry) PutFloat(name string, v float64) { r.put(name, Value{Kind: KindFloat, F: v}) }
+
+// PutTime publishes a simulated-time accumulator.
+func (r *Registry) PutTime(name string, v sim.Time) { r.put(name, Value{Kind: KindTime, T: v}) }
+
+// Uint reads an integer counter (0 when absent).
+func (r *Registry) Uint(name string) uint64 { return r.vals[name].U }
+
+// Float reads a floating-point accumulator (0 when absent).
+func (r *Registry) Float(name string) float64 { return r.vals[name].F }
+
+// Time reads a simulated-time accumulator (0 when absent).
+func (r *Registry) Time(name string) sim.Time { return r.vals[name].T }
+
+// Has reports whether name was published.
+func (r *Registry) Has(name string) bool { _, ok := r.vals[name]; return ok }
+
+// Names returns the metric names in registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// SumFloat sums, in registration order, every float metric whose name
+// matches the prefix (used e.g. to total per-device energies).
+func (r *Registry) SumFloat(prefix string) float64 {
+	var s float64
+	for _, n := range r.names {
+		if strings.HasPrefix(n, prefix) && r.vals[n].Kind == KindFloat {
+			s += r.vals[n].F
+		}
+	}
+	return s
+}
+
+// SumUint sums every integer metric whose name matches the prefix.
+func (r *Registry) SumUint(prefix string) uint64 {
+	var s uint64
+	for _, n := range r.names {
+		if strings.HasPrefix(n, prefix) && r.vals[n].Kind == KindUint {
+			s += r.vals[n].U
+		}
+	}
+	return s
+}
+
+// Each visits every metric in registration order.
+func (r *Registry) Each(f func(name string, v Value)) {
+	for _, n := range r.names {
+		f(n, r.vals[n])
+	}
+}
+
+// String renders the registry sorted by name, one metric per line
+// (diagnostic output; the canonical order for math is registration order).
+func (r *Registry) String() string {
+	names := r.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		v := r.vals[n]
+		switch v.Kind {
+		case KindUint:
+			fmt.Fprintf(&b, "%s %d\n", n, v.U)
+		case KindFloat:
+			fmt.Fprintf(&b, "%s %g\n", n, v.F)
+		case KindTime:
+			fmt.Fprintf(&b, "%s %v\n", n, v.T)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ndpext/internal/sim"
+)
+
+func TestLevelStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for l := Level(0); l < NumLevels; l++ {
+		s := l.String()
+		if s == "" || seen[s] {
+			t.Fatalf("level %d string %q empty or duplicated", l, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var c Counters
+	c.Add(LevelCore, 10)
+	c.Add(LevelCore, 5)
+	c.Add(LevelExtended, 7)
+	if c.Levels[LevelCore] != 15 || c.Levels[LevelExtended] != 7 {
+		t.Fatalf("levels = %v", c.Levels)
+	}
+}
+
+func TestSampledNilAndPassthrough(t *testing.T) {
+	if Sampled(nil, 100) != nil {
+		t.Fatal("Sampled(nil) must stay nil so the hot path keeps its fast path")
+	}
+	var got int
+	p := FuncProbe(func(*Event) { got++ })
+	if s := Sampled(p, 0); s == nil {
+		t.Fatal("every=0 dropped the probe")
+	} else {
+		s.Record(&Event{})
+	}
+	Sampled(p, 1).Record(&Event{})
+	if got != 2 {
+		t.Fatalf("passthrough forwarded %d of 2 events", got)
+	}
+}
+
+func TestSampledStride(t *testing.T) {
+	var seqs []uint64
+	p := Sampled(FuncProbe(func(ev *Event) { seqs = append(seqs, ev.Seq) }), 3)
+	for i := uint64(0); i < 10; i++ {
+		p.Record(&Event{Seq: i})
+	}
+	want := []uint64{0, 3, 6, 9} // first of each stride
+	if len(seqs) != len(want) {
+		t.Fatalf("forwarded %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("forwarded %v, want %v", seqs, want)
+		}
+	}
+}
+
+func TestRegistryOrderAndSums(t *testing.T) {
+	r := NewRegistry()
+	r.PutFloat("dram.unit001.energy_pj", 2)
+	r.PutFloat("dram.unit000.energy_pj", 1) // registered later, sorts earlier
+	r.PutUint("dram.unit001.reads", 10)
+	r.PutUint("dram.unit000.reads", 20)
+	r.PutFloat("noc.energy_pj", 100)
+	r.PutTime("noc.busy", 5*sim.Microsecond)
+
+	names := r.Names()
+	if names[0] != "dram.unit001.energy_pj" || names[1] != "dram.unit000.energy_pj" {
+		t.Fatalf("registration order not preserved: %v", names)
+	}
+	if got := r.SumFloat("dram.unit"); got != 3 {
+		t.Fatalf("SumFloat = %v, want 3 (uints must not leak in)", got)
+	}
+	if got := r.SumUint("dram.unit"); got != 30 {
+		t.Fatalf("SumUint = %v, want 30", got)
+	}
+	if r.Time("noc.busy") != 5*sim.Microsecond {
+		t.Fatal("Time readback wrong")
+	}
+	if !r.Has("noc.energy_pj") || r.Has("missing") {
+		t.Fatal("Has wrong")
+	}
+	// Overwriting keeps the original position and does not duplicate.
+	r.PutFloat("dram.unit001.energy_pj", 7)
+	if len(r.Names()) != len(names) || r.Float("dram.unit001.energy_pj") != 7 {
+		t.Fatal("overwrite duplicated or lost the value")
+	}
+	if !strings.Contains(r.String(), "noc.energy_pj 100") {
+		t.Fatalf("String missing metric:\n%s", r.String())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewJSONL(&buf)
+	ev := Event{Seq: 3, Core: 7, SID: 12, Write: true, Served: LevelExtended,
+		Start: 1000 * sim.Picosecond, End: 5000 * sim.Picosecond}
+	ev.Levels[LevelCore] = 1000 * sim.Picosecond
+	ev.Levels[LevelExtended] = 3000 * sim.Picosecond
+	p.Record(&ev)
+	p.Record(&Event{Seq: 4, SID: -1, Served: LevelCore})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec struct {
+		Seq    uint64             `json:"seq"`
+		Core   int                `json:"core"`
+		SID    int64              `json:"sid"`
+		Write  bool               `json:"write"`
+		Served string             `json:"served"`
+		LatNS  map[string]float64 `json:"lat_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not valid JSON: %v", err)
+	}
+	if rec.Seq != 3 || rec.Core != 7 || rec.SID != 12 || !rec.Write || rec.Served != LevelExtended.String() {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.LatNS) != 2 || rec.LatNS[LevelCore.String()] != 1 || rec.LatNS[LevelExtended.String()] != 3 {
+		t.Fatalf("lat_ns = %v (zero levels must be omitted)", rec.LatNS)
+	}
+}
