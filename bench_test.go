@@ -276,3 +276,16 @@ func BenchmarkAblationWayPredict(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkFaultSweep(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.FaultSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}

@@ -8,13 +8,14 @@
 //	experiments -quick -fig 5a     # subset workloads, shorter traces
 //
 // Figures: 2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a..9f, vd (consistent hashing),
-// meta (metadata hit rates).
+// meta (metadata hit rates), faults (degraded-mode sweep).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -25,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	fig := flag.String("fig", "", "figure to reproduce (2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a-9f, vd, meta)")
+	fig := flag.String("fig", "", "figure to reproduce (2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a-9f, vd, meta, faults)")
 	all := flag.Bool("all", false, "run the full matrix")
 	quick := flag.Bool("quick", false, "reduced workload set and trace length")
 	accesses := flag.Int("accesses", 0, "override per-core access budget")
@@ -41,7 +42,7 @@ func main() {
 	}
 
 	figs := []string{"2", "4b", "5a", "5b", "6", "7", "8a", "8b",
-		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred"}
+		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred", "faults"}
 	if !*all {
 		if *fig == "" {
 			log.Fatal("pass -fig <id> or -all")
@@ -49,22 +50,33 @@ func main() {
 		figs = []string{strings.ToLower(*fig)}
 	}
 
+	// One failing figure must not kill the rest of the matrix: report it,
+	// keep going, and exit non-zero at the end.
+	failed := 0
 	for _, f := range figs {
 		start := time.Now()
 		tbl, err := dispatch(f, opt)
 		if err != nil {
-			log.Fatalf("fig %s: %v", f, err)
+			log.Printf("fig %s: %v", f, err)
+			failed++
+			continue
 		}
 		if *asJSON {
 			out, err := tbl.JSON()
 			if err != nil {
-				log.Fatalf("fig %s: %v", f, err)
+				log.Printf("fig %s: %v", f, err)
+				failed++
+				continue
 			}
 			fmt.Println(string(out))
 		} else {
 			fmt.Print(tbl.String())
 			fmt.Printf("(%s in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if failed > 0 {
+		log.Printf("%d of %d figures failed", failed, len(figs))
+		os.Exit(1)
 	}
 }
 
@@ -121,6 +133,8 @@ func dispatch(fig string, opt bench.Options) (bench.Table, error) {
 	case "waypred":
 		tbl, _, err := bench.AblationWayPredict(opt)
 		return tbl, err
+	case "faults":
+		return bench.FaultSweep(opt)
 	default:
 		return bench.Table{}, fmt.Errorf("unknown figure %q", fig)
 	}

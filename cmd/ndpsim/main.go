@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"ndpext/internal/fault"
 	"ndpext/internal/system"
 	"ndpext/internal/telemetry"
 	"ndpext/internal/workloads"
@@ -44,6 +45,10 @@ func main() {
 	loadTrace := flag.String("load-trace", "", "replay a trace file instead of generating")
 	traceSample := flag.Uint64("trace-sample", 0, "emit every Nth access as a JSONL record (0 disables)")
 	traceOut := flag.String("trace-out", "-", "JSONL access trace destination (\"-\" = stdout)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "vault-fail,unit=3,at=40us;cxl-retry,rate=0.01" (see internal/fault)`)
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (deterministic per (spec, seed))")
+	maxWall := flag.Duration("max-wall", 0, "abort after this much wall-clock time, flushing partial results (0 disables)")
+	maxCycles := flag.Int64("max-cycles", 0, "abort once simulated time passes this many core cycles (0 disables)")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +80,15 @@ func main() {
 	default:
 		log.Fatalf("unknown reconfig mode %q", *reconfig)
 	}
+
+	spec, err := fault.Parse(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Faults = spec
+	cfg.FaultSeed = *faultSeed
+	cfg.MaxWall = *maxWall
+	cfg.MaxCycles = *maxCycles
 
 	genStart := time.Now()
 	var tr *workloads.Trace
@@ -133,6 +147,12 @@ func main() {
 	}
 	simDur := time.Since(simStart)
 	if jsonl != nil {
+		if res.Truncated {
+			jsonl.Note(struct {
+				Truncated bool   `json:"truncated"`
+				Reason    string `json:"reason"`
+			}{true, res.TruncateReason})
+		}
 		if err := jsonl.Flush(); err != nil {
 			log.Fatalf("trace: %v", err)
 		}
@@ -148,6 +168,14 @@ func main() {
 	fmt.Printf("cache hits    %.1f%% (interconnect %.1f ns/access)\n",
 		100*res.CacheHitRate(), res.AvgInterconnectNS())
 	fmt.Printf("energy        %v\n", res.Energy)
+	if res.Truncated {
+		fmt.Printf("TRUNCATED     %s (partial results above)\n", res.TruncateReason)
+	}
+	if m := res.Metrics(); m != nil && !spec.Empty() {
+		fmt.Printf("faults        injected=%d retries=%d redirects=%d remapped=%d degraded-epochs=%d\n",
+			m.Uint("fault.injected"), m.Uint("fault.retries"), m.Uint("fault.vault_redirects"),
+			m.Uint("fault.remapped_streams"), m.Uint("fault.degraded_epochs"))
+	}
 	if *verbose {
 		fmt.Printf("L1 hits       %d / %d\n", res.L1Hits, res.Accesses)
 		fmt.Printf("meta hit rate %.2f   slb hit rate %.2f\n", res.MetaHitRate, res.SLBHitRate)

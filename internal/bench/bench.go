@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"ndpext/internal/system"
@@ -86,8 +87,15 @@ func trace(name string, cores int, opt Options) (*workloads.Trace, error) {
 	return e.tr.Clone(), nil
 }
 
+// testRunHook, when non-nil, runs before each cell's simulation. Tests
+// use it to poison specific rows and exercise the pool's panic recovery.
+var testRunHook func(cfg system.Config, name string)
+
 // run simulates one (workload, config) pair.
 func run(cfg system.Config, name string, opt Options) (*system.Result, error) {
+	if testRunHook != nil {
+		testRunHook(cfg, name)
+	}
 	cores := cfg.NumUnits()
 	if cfg.Design == system.Host {
 		// Host folds any trace; generate at the NDP core count of the
@@ -107,15 +115,63 @@ type cell struct {
 	name string
 }
 
+// RowError describes one failed cell of an experiment matrix: which row
+// it was, the (design, workload) configuration, and what went wrong. A
+// recovered worker panic is reported with Panicked set.
+type RowError struct {
+	Index    int
+	Design   string
+	Workload string
+	Panicked bool
+	Err      error
+}
+
+func (e *RowError) Error() string {
+	kind := "error"
+	if e.Panicked {
+		kind = "panic"
+	}
+	return fmt.Sprintf("row %d (%s, %s): %s: %v", e.Index, e.Design, e.Workload, kind, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// BatchError aggregates every failed row of one runCells batch. The
+// surviving rows' results are still returned alongside it, in order.
+type BatchError struct {
+	Rows []*RowError
+}
+
+func (e *BatchError) Error() string {
+	msgs := make([]string, len(e.Rows))
+	for i, r := range e.Rows {
+		msgs[i] = r.Error()
+	}
+	return fmt.Sprintf("%d failed cells: %s", len(e.Rows), strings.Join(msgs, "; "))
+}
+
+// ByIndex returns the failure for cell i, or nil if that cell survived.
+func (e *BatchError) ByIndex(i int) *RowError {
+	for _, r := range e.Rows {
+		if r.Index == i {
+			return r
+		}
+	}
+	return nil
+}
+
 // runCells simulates every cell of an experiment matrix concurrently on
 // a bounded worker pool (GOMAXPROCS workers) and returns the results in
 // input order, so table rows stay deterministic regardless of
 // scheduling. Each simulation is independent (per-run state, cloned
 // traces; the trace cache is once-guarded), so concurrency cannot change
-// any result. The first error aborts the batch.
+// any result. A failing or panicking row does not kill the batch: every
+// other cell still completes and keeps its slot, and the failures come
+// back aggregated in a *BatchError (failed slots hold nil).
 func runCells(cells []cell, opt Options) ([]*system.Result, error) {
 	results := make([]*system.Result, len(cells))
 	errs := make([]error, len(cells))
+	panicked := make([]bool, len(cells))
 	sem := make(chan struct{}, max(runtime.GOMAXPROCS(0), 1))
 	var wg sync.WaitGroup
 	for i := range cells {
@@ -124,14 +180,31 @@ func runCells(cells []cell, opt Options) ([]*system.Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = fmt.Errorf("%v", v)
+					panicked[i] = true
+					results[i] = nil
+				}
+			}()
 			results[i], errs[i] = run(cells[i].cfg, cells[i].name, opt)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var be BatchError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			be.Rows = append(be.Rows, &RowError{
+				Index:    i,
+				Design:   cells[i].cfg.Design.String(),
+				Workload: cells[i].name,
+				Panicked: panicked[i],
+				Err:      err,
+			})
 		}
+	}
+	if len(be.Rows) > 0 {
+		return results, &be
 	}
 	return results, nil
 }

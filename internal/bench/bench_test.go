@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -210,5 +211,64 @@ func TestRunCellsPropagatesErrors(t *testing.T) {
 	}
 	if _, err := runCells([]cell{{system.DefaultConfig(system.NDPExt), "no-such-workload"}}, opt); err == nil {
 		t.Fatal("unknown workload did not surface an error")
+	}
+}
+
+// One poisoned cell must not take down the batch: its panic is
+// recovered into a typed RowError carrying the cell's (design,
+// workload), and every other cell still returns its result in place.
+func TestRunCellsRecoversPoisonedRow(t *testing.T) {
+	testRunHook = func(cfg system.Config, name string) {
+		if cfg.Design == system.Nexus {
+			panic("poisoned cell")
+		}
+	}
+	defer func() { testRunHook = nil }()
+
+	opt := Options{Workloads: []string{"pr"}, AccessesPerCore: 500, Seed: 7}
+	cfg := system.DefaultConfig(system.NDPExt)
+	cfg.UnitRows = 64 // shrink for test speed
+	ncfg := system.DefaultConfig(system.Nexus)
+	ncfg.UnitRows = 64
+	cells := []cell{{cfg, "pr"}, {ncfg, "pr"}, {cfg, "pr"}}
+	results, err := runCells(cells, opt)
+	if err == nil {
+		t.Fatal("poisoned row surfaced no error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if len(be.Rows) != 1 {
+		t.Fatalf("got %d failed rows, want 1: %v", len(be.Rows), be)
+	}
+	re := be.Rows[0]
+	if re.Index != 1 || !re.Panicked || re.Design != "Nexus" || re.Workload != "pr" {
+		t.Fatalf("bad row error: %+v", re)
+	}
+	if !strings.Contains(re.Error(), "poisoned cell") || !strings.Contains(re.Error(), "panic") {
+		t.Fatalf("row error hides the panic value: %q", re.Error())
+	}
+	if be.ByIndex(1) != re || be.ByIndex(0) != nil {
+		t.Fatal("ByIndex lookup wrong")
+	}
+
+	// Survivors keep their slots; the poisoned slot is nil.
+	if results[1] != nil {
+		t.Fatal("poisoned slot holds a result")
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("surviving cells lost their results")
+	}
+	if results[0].Time != results[2].Time {
+		t.Fatal("identical surviving cells diverged")
+	}
+	// And the survivors match an unpoisoned serial run exactly.
+	want, err2 := run(cfg, "pr", opt)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if results[0].Time != want.Time || results[0].Energy != want.Energy {
+		t.Fatal("survivor result diverged from serial run")
 	}
 }

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"ndpext/internal/cxl"
+	"ndpext/internal/fault"
 	"ndpext/internal/maxflow"
 	"ndpext/internal/sim"
 	"ndpext/internal/stats"
@@ -42,8 +44,19 @@ func Fig5(hmc bool, opt Options) (Table, map[string]float64, float64, error) {
 		}
 	}
 	results, err := runCells(cells, opt)
-	if err != nil {
+	// A failed or panicked row becomes a FAILED cell in the table (and
+	// drops out of the geomeans) instead of killing the whole figure.
+	var be *BatchError
+	if err != nil && !errors.As(err, &be) {
 		return tbl, nil, 0, err
+	}
+	failText := func(ci int) string {
+		re := be.ByIndex(ci)
+		kind := "error"
+		if re.Panicked {
+			kind = "panic"
+		}
+		return fmt.Sprintf("FAILED(%s: %v)", kind, re.Err)
 	}
 
 	perDesign := map[string][]float64{}
@@ -51,10 +64,18 @@ func Fig5(hmc bool, opt Options) (Table, map[string]float64, float64, error) {
 	stride := 1 + len(designs)
 	for wi, w := range opt.Workloads {
 		host := results[wi*stride]
+		if host == nil {
+			tbl.Rows = append(tbl.Rows, []string{w, "host " + failText(wi*stride)})
+			continue
+		}
 		row := []string{w}
 		var nexusT, ndpextT sim.Time
 		for di, d := range designs {
 			res := results[wi*stride+1+di]
+			if res == nil {
+				row = append(row, failText(wi*stride+1+di))
+				continue
+			}
 			sp := float64(host.Time) / float64(res.Time)
 			perDesign[d.String()] = append(perDesign[d.String()], sp)
 			row = append(row, f2(sp))
@@ -590,6 +611,72 @@ func MetaHitRates(opt Options) (Table, error) {
 	}
 	for wi, w := range opt.Workloads {
 		tbl.Rows = append(tbl.Rows, []string{w, pct(results[wi].MetaHitRate)})
+	}
+	return tbl, nil
+}
+
+// FaultSweep answers the robustness question raised by the fault model:
+// how much of NDPExt's advantage survives a lossy CXL fabric? Each
+// regime injects a deterministic fault pattern (internal/fault) into
+// NDPExt and Nexus on one representative workload and reports the
+// slowdown versus that design's healthy run, plus the injector's
+// telemetry tallies (retries on the CXL link, accesses redirected off a
+// failed vault, streams remapped at epoch boundaries).
+func FaultSweep(opt Options) (Table, error) {
+	opt = sweepSubset(opt, "pr")
+	opt.Workloads = opt.Workloads[:1]
+	w := opt.Workloads[0]
+	tbl := Table{
+		Title:   fmt.Sprintf("Degraded-mode sweep (%s): slowdown vs healthy under injected faults", w),
+		Columns: []string{"regime", "design", "slowdown", "retries", "redirects", "remapped", "degraded-epochs"},
+	}
+	regimes := []struct {
+		name string
+		spec string
+	}{
+		{"healthy", ""},
+		{"flit-retry", "cxl-retry,rate=0.05,lat=200ns"},
+		{"link-degrade", "cxl-degrade,at=0,factor=4"},
+		{"vault-fail", "vault-fail,unit=5,at=300us"},
+		{"lossy-fabric", "cxl-retry,rate=0.05,lat=200ns;cxl-degrade,at=0,factor=4;vault-fail,unit=5,at=300us"},
+	}
+	designs := []system.Design{system.NDPExt, system.Nexus}
+	var cells []cell
+	for _, rg := range regimes {
+		spec, err := fault.Parse(rg.spec)
+		if err != nil {
+			return tbl, fmt.Errorf("regime %s: %w", rg.name, err)
+		}
+		for _, d := range designs {
+			cfg := system.DefaultConfig(d)
+			cfg.Faults = spec
+			cfg.FaultSeed = 1
+			cells = append(cells, cell{cfg, w})
+		}
+	}
+	results, err := runCells(cells, opt)
+	if err != nil {
+		return tbl, err
+	}
+	healthy := map[system.Design]sim.Time{}
+	for di, d := range designs {
+		healthy[d] = results[di].Time
+	}
+	for ri, rg := range regimes {
+		for di, d := range designs {
+			res := results[ri*len(designs)+di]
+			row := []string{rg.name, d.String(), f2(float64(res.Time) / float64(healthy[d]))}
+			if m := res.Metrics(); m != nil {
+				row = append(row,
+					fmt.Sprintf("%d", m.Uint("fault.retries")),
+					fmt.Sprintf("%d", m.Uint("fault.vault_redirects")),
+					fmt.Sprintf("%d", m.Uint("fault.remapped_streams")),
+					fmt.Sprintf("%d", m.Uint("fault.degraded_epochs")))
+			} else {
+				row = append(row, "-", "-", "-", "-")
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
 	}
 	return tbl, nil
 }

@@ -47,21 +47,31 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// New builds a cache of sizeBytes capacity with the given line size and
-// associativity. Size must be a multiple of lineBytes*assoc; the set
-// count need not be a power of two.
-func New(sizeBytes, lineBytes, assoc int) *Cache {
+// NewChecked builds a cache of sizeBytes capacity with the given line
+// size and associativity, returning an error on invalid geometry. Size
+// must be a multiple of lineBytes*assoc; the set count need not be a
+// power of two.
+func NewChecked(sizeBytes, lineBytes, assoc int) (*Cache, error) {
 	if sizeBytes <= 0 || lineBytes <= 0 || assoc <= 0 {
-		panic(fmt.Sprintf("cache: invalid geometry size=%d line=%d assoc=%d", sizeBytes, lineBytes, assoc))
+		return nil, fmt.Errorf("cache: invalid geometry size=%d line=%d assoc=%d", sizeBytes, lineBytes, assoc)
 	}
 	lines := sizeBytes / lineBytes
 	if lines == 0 || lines%assoc != 0 {
-		panic(fmt.Sprintf("cache: size %d not divisible into %d-byte lines x %d ways", sizeBytes, lineBytes, assoc))
+		return nil, fmt.Errorf("cache: size %d not divisible into %d-byte lines x %d ways", sizeBytes, lineBytes, assoc)
 	}
 	numSets := lines / assoc
 	c := &Cache{lineBytes: lineBytes, assoc: assoc, numSets: numSets, sets: make([]set, numSets)}
 	for i := range c.sets {
 		c.sets[i].ways = make([]way, assoc)
+	}
+	return c, nil
+}
+
+// New builds a cache like NewChecked but panics on invalid geometry.
+func New(sizeBytes, lineBytes, assoc int) *Cache {
+	c, err := NewChecked(sizeBytes, lineBytes, assoc)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+func TestNewCheckedRejectsBadGeometry(t *testing.T) {
+	if _, err := NewChecked(1<<15, 64, 4); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := [][3]int{
+		{0, 64, 4},       // no capacity
+		{1 << 15, 0, 4},  // no line size
+		{1 << 15, 64, 0}, // no ways
+		{-64, 64, 1},     // negative capacity
+		{32, 64, 1},      // smaller than one line
+		{1 << 15, 64, 7}, // lines not divisible into ways
+	}
+	for _, g := range bad {
+		if _, err := NewChecked(g[0], g[1], g[2]); err == nil {
+			t.Errorf("geometry %v accepted", g)
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted invalid geometry without panicking")
+		}
+	}()
+	New(0, 64, 4)
+}

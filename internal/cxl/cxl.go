@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ndpext/internal/dram"
+	"ndpext/internal/fault"
 	"ndpext/internal/sim"
 )
 
@@ -74,6 +75,11 @@ func (c Config) Validate() error {
 	if c.Channels <= 0 || c.BanksPerChannel <= 0 {
 		return fmt.Errorf("cxl: channels and banks must be positive")
 	}
+	// Bound the organization so a corrupt config cannot demand an absurd
+	// allocation.
+	if c.Channels > 1<<12 || c.BanksPerChannel > 1<<16 {
+		return fmt.Errorf("cxl: organization %dx%d exceeds supported bounds", c.Channels, c.BanksPerChannel)
+	}
 	if c.LinkGBps <= 0 {
 		return fmt.Errorf("cxl: link bandwidth must be positive")
 	}
@@ -94,20 +100,36 @@ type Device struct {
 	down  sim.Resource // NDP -> device (requests, write payloads)
 	up    sim.Resource // device -> NDP (read payloads, acks)
 	chans []*dram.Device
+	inj   *fault.Injector
 	stats Stats
 }
 
-// New builds a device from cfg; it panics on invalid configuration.
-func New(cfg Config) *Device {
+// NewChecked builds a device from cfg, returning an error on invalid
+// configuration. Use it at API boundaries where the configuration is
+// runtime input.
+func NewChecked(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	d := &Device{cfg: cfg}
 	for i := 0; i < cfg.Channels; i++ {
 		d.chans = append(d.chans, dram.NewDevice(cfg.DRAM, cfg.BanksPerChannel))
 	}
+	return d, nil
+}
+
+// New builds a device from cfg; it panics on invalid configuration.
+func New(cfg Config) *Device {
+	d, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
+
+// SetFaults attaches a fault injector consulted on every access; nil
+// (the default) disables injection.
+func (d *Device) SetFaults(inj *fault.Injector) { d.inj = inj }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -121,15 +143,34 @@ const reqBytes = 32
 func (d *Device) Access(t sim.Time, addr uint64, bytes int, write bool) sim.Time {
 	ch, row := d.mapAddr(addr)
 
+	// A degraded link (fault injection) serves the whole access at
+	// reduced bandwidth; retries re-send the request flit after the
+	// downstream leg, paying latency and link energy per retry.
+	bw := d.cfg.LinkGBps
+	if d.inj != nil {
+		if f := d.inj.CXLBWFactor(t); f > 1 {
+			bw /= f
+			d.inj.CountDegraded()
+		}
+	}
+
 	// Request flit downstream. Writes carry their payload downstream.
 	downBytes := reqBytes
 	if write {
 		downBytes += bytes
 	}
-	ser := sim.FromNS(float64(downBytes) / d.cfg.LinkGBps)
+	ser := sim.FromNS(float64(downBytes) / bw)
 	_, end := d.down.Acquire(t, ser)
 	d.stats.LinkBusy += ser
 	atDev := end + d.cfg.LinkLatency
+
+	extraBits := 0
+	if d.inj != nil {
+		if n, extra := d.inj.CXLRetry(atDev); n > 0 {
+			atDev += extra
+			extraBits = n * reqBytes * 8 // each retry re-sends the request flit
+		}
+	}
 
 	// DRAM access on the channel.
 	done, _ := d.chans[ch].Access(atDev, row, bytes, write)
@@ -139,12 +180,12 @@ func (d *Device) Access(t sim.Time, addr uint64, bytes int, write bool) sim.Time
 	if !write {
 		upBytes += bytes
 	}
-	ser = sim.FromNS(float64(upBytes) / d.cfg.LinkGBps)
+	ser = sim.FromNS(float64(upBytes) / bw)
 	_, end = d.up.Acquire(done, ser)
 	d.stats.LinkBusy += ser
 	finish := end + d.cfg.LinkLatency
 
-	d.stats.LinkEnergyPJ += float64((downBytes+upBytes)*8) * d.cfg.PJPerBit
+	d.stats.LinkEnergyPJ += float64((downBytes+upBytes)*8+extraBits) * d.cfg.PJPerBit
 	if write {
 		d.stats.Writes++
 	} else {

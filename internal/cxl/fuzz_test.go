@@ -1,0 +1,62 @@
+package cxl
+
+import (
+	"testing"
+)
+
+func TestNewCheckedRejectsBadConfigs(t *testing.T) {
+	good := DefaultConfig()
+	if _, err := NewChecked(good); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.BanksPerChannel = -1 },
+		func(c *Config) { c.LinkGBps = 0 },
+		func(c *Config) { c.Channels = 1 << 20 },
+		func(c *Config) { c.BanksPerChannel = 1 << 30 },
+	}
+	for i, m := range mutate {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if _, err := NewChecked(cfg); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config without panicking")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Channels = 0
+	New(cfg)
+}
+
+// FuzzConfigValidate checks that config validation never panics and
+// that NewChecked constructs a device exactly when Validate accepts.
+func FuzzConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.Channels, d.BanksPerChannel, d.LinkGBps, d.PJPerBit)
+	f.Add(0, 0, 0.0, 0.0)
+	f.Add(-1, 1<<30, -5.5, 1.0)
+	f.Add(1<<13, 8, 64.0, 6.0)
+	f.Fuzz(func(t *testing.T, channels, banks int, linkGBps, pjPerBit float64) {
+		cfg := DefaultConfig()
+		cfg.Channels = channels
+		cfg.BanksPerChannel = banks
+		cfg.LinkGBps = linkGBps
+		cfg.PJPerBit = pjPerBit
+		err := cfg.Validate()
+		dev, cerr := NewChecked(cfg)
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("Validate err=%v but NewChecked err=%v", err, cerr)
+		}
+		if cerr == nil && dev == nil {
+			t.Fatal("NewChecked returned nil device without error")
+		}
+	})
+}

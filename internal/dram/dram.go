@@ -13,6 +13,7 @@ package dram
 import (
 	"fmt"
 
+	"ndpext/internal/fault"
 	"ndpext/internal/sim"
 )
 
@@ -95,6 +96,8 @@ type Device struct {
 	clock  sim.Clock
 	banks  []bank
 	bus    sim.Resource // shared data bus: bursts serialize across banks
+	inj    *fault.Injector
+	vault  int
 	stats  Stats
 }
 
@@ -114,6 +117,21 @@ func NewDevice(p Params, numBanks int) *Device {
 		d.banks[i].openRow = -1
 	}
 	return d
+}
+
+// SetFaults attaches a fault injector and identifies which NDP unit's
+// vault this device backs, so Offline can answer vault-fail queries.
+// nil (the default) disables injection.
+func (d *Device) SetFaults(inj *fault.Injector, vault int) {
+	d.inj = inj
+	d.vault = vault
+}
+
+// Offline reports whether this device's vault is failed at time t.
+// Callers (the memory path) must redirect accesses elsewhere; the model
+// itself keeps working so off-path bookkeeping cannot crash.
+func (d *Device) Offline(t sim.Time) bool {
+	return d.inj != nil && d.inj.VaultFailed(d.vault, t)
 }
 
 // Params returns the device's technology parameters.

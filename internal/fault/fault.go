@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"sort"
+
+	"ndpext/internal/sim"
+	"ndpext/internal/telemetry"
+)
+
+// Stats counts the perturbations an Injector actually applied. All
+// counts are deterministic for a fixed (Spec, seed) and access sequence.
+type Stats struct {
+	// Injected is the total number of perturbation events applied:
+	// retry episodes, flap-delayed hops, and failed-vault redirects.
+	Injected uint64
+	// Retries is the number of CXL flit retries (one episode may retry
+	// several times).
+	Retries uint64
+	// RetryTime is the latency added by retries.
+	RetryTime sim.Time
+	// DegradedAccesses counts CXL accesses served at reduced bandwidth.
+	DegradedAccesses uint64
+	// FlapDelays counts NoC hops delayed by a flapping link.
+	FlapDelays uint64
+	// FlapTime is the latency added by link flaps.
+	FlapTime sim.Time
+	// VaultRedirects counts accesses redirected to extended memory
+	// because their home vault was offline.
+	VaultRedirects uint64
+}
+
+// Injector evaluates a Spec against simulated time. It is not safe for
+// concurrent use; each simulation run owns its own Injector (a nil
+// *Injector simply means injection is disabled — every consumer guards
+// with a nil check, which is the entire disabled-path cost).
+type Injector struct {
+	rng     *sim.RNG
+	retries []Clause // CXLRetry clauses
+	degrade []Clause // CXLDegrade clauses
+	vaults  []Clause // VaultFail clauses
+	flaps   []Clause // NoCFlap clauses
+	stats   Stats
+}
+
+// New builds an injector for spec. Fault randomness comes from a
+// dedicated substream of the simulator RNG seeded with seed, so fault
+// draws never perturb workload or placement randomness. Returns nil for
+// an empty spec: injection disabled.
+func New(spec Spec, seed uint64) *Injector {
+	if spec.Empty() {
+		return nil
+	}
+	inj := &Injector{rng: sim.NewRNG(seed).Split(0xFA_01)}
+	for _, c := range spec.Clauses {
+		switch c.Kind {
+		case CXLRetry:
+			inj.retries = append(inj.retries, c)
+		case CXLDegrade:
+			inj.degrade = append(inj.degrade, c)
+		case VaultFail:
+			inj.vaults = append(inj.vaults, c)
+		case NoCFlap:
+			inj.flaps = append(inj.flaps, c)
+		}
+	}
+	return inj
+}
+
+// CXLRetry draws the retry episode for one extended-memory access at
+// time t: n retries adding extra total latency. n == 0 for most calls.
+// Each active cxl-retry clause contributes geometrically distributed
+// retries capped at its Max.
+func (i *Injector) CXLRetry(t sim.Time) (n int, extra sim.Time) {
+	for _, c := range i.retries {
+		if c.Rate <= 0 || !c.active(t) {
+			continue
+		}
+		for r := 0; r < c.Max && i.rng.Float64() < c.Rate; r++ {
+			n++
+			extra += c.Lat
+		}
+	}
+	if n > 0 {
+		i.stats.Injected++
+		i.stats.Retries += uint64(n)
+		i.stats.RetryTime += extra
+	}
+	return n, extra
+}
+
+// CXLBWFactor returns the bandwidth divisor in effect at t (>= 1; 1
+// means the link is healthy). Pure: draws no randomness and mutates no
+// stats, so epoch logic may probe it freely.
+func (i *Injector) CXLBWFactor(t sim.Time) float64 {
+	f := 1.0
+	for _, c := range i.degrade {
+		if c.active(t) && c.Factor > f {
+			f = c.Factor
+		}
+	}
+	return f
+}
+
+// CountDegraded records one CXL access served at reduced bandwidth.
+func (i *Injector) CountDegraded() { i.stats.DegradedAccesses++ }
+
+// VaultFailed reports whether unit's DRAM vault is offline at t.
+func (i *Injector) VaultFailed(unit int, t sim.Time) bool {
+	for _, c := range i.vaults {
+		if c.Unit == unit && t >= c.At {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedUnits returns the sorted unit indices whose vaults are offline
+// at t.
+func (i *Injector) FailedUnits(t sim.Time) []int {
+	var out []int
+	for _, c := range i.vaults {
+		if t < c.At {
+			continue
+		}
+		dup := false
+		for _, u := range out {
+			if u == c.Unit {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c.Unit)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecordRedirect records one access redirected to extended memory
+// because its home vault was offline.
+func (i *Injector) RecordRedirect() {
+	i.stats.Injected++
+	i.stats.VaultRedirects++
+}
+
+// NoCFlapDelay returns the extra latency a hop through (stack, dir)
+// pays at time t, and accounts it.
+func (i *Injector) NoCFlapDelay(stack, dir int, t sim.Time) sim.Time {
+	var d sim.Time
+	for _, c := range i.flaps {
+		if !c.active(t) {
+			continue
+		}
+		if (c.Stack == -1 || c.Stack == stack) && (c.Dir == -1 || c.Dir == dir) {
+			d += c.Lat
+		}
+	}
+	if d > 0 {
+		i.stats.Injected++
+		i.stats.FlapDelays++
+		i.stats.FlapTime += d
+	}
+	return d
+}
+
+// Stats returns the perturbations applied so far.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// ReportTelemetry publishes the injector's counters under the "fault."
+// prefix.
+func (i *Injector) ReportTelemetry(r *telemetry.Registry) {
+	s := i.Stats()
+	r.PutUint("fault.injected", s.Injected)
+	r.PutUint("fault.retries", s.Retries)
+	r.PutTime("fault.retry_time", s.RetryTime)
+	r.PutUint("fault.degraded_accesses", s.DegradedAccesses)
+	r.PutUint("fault.flap_delays", s.FlapDelays)
+	r.PutTime("fault.flap_time", s.FlapTime)
+	r.PutUint("fault.vault_redirects", s.VaultRedirects)
+}

@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"testing"
+)
+
+func TestNewCheckedRejectsBadConfigs(t *testing.T) {
+	if _, err := NewChecked(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.StacksX = 0 },
+		func(c *Config) { c.UnitsY = -3 },
+		func(c *Config) { c.InterGBps = 0 },
+		func(c *Config) { c.IntraGBps = -1 },
+		func(c *Config) { c.StacksX = 1 << 20 },
+		func(c *Config) { c.StacksX, c.StacksY, c.UnitsX, c.UnitsY = 1<<10, 1<<10, 1<<10, 1<<10 },
+	}
+	for i, m := range mutate {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if _, err := NewChecked(cfg); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config without panicking")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.UnitsX = 0
+	New(cfg)
+}
+
+// FuzzConfigValidate checks that topology validation never panics, that
+// accepted configs have a sane unit count, and that NewChecked
+// constructs a network exactly when Validate accepts.
+func FuzzConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.StacksX, d.StacksY, d.UnitsX, d.UnitsY, d.IntraGBps, d.InterGBps)
+	f.Add(0, 0, 0, 0, 0.0, 0.0)
+	f.Add(-1, 2, 1<<30, 2, 64.0, 32.0)
+	f.Add(1<<11, 1<<11, 1<<11, 1<<11, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, sx, sy, ux, uy int, intra, inter float64) {
+		cfg := DefaultConfig()
+		cfg.StacksX, cfg.StacksY = sx, sy
+		cfg.UnitsX, cfg.UnitsY = ux, uy
+		cfg.IntraGBps, cfg.InterGBps = intra, inter
+		err := cfg.Validate()
+		if err == nil {
+			if n := cfg.NumUnits(); n <= 0 || n > 1<<20 {
+				t.Fatalf("accepted config has %d units: %+v", n, cfg)
+			}
+		}
+		net, cerr := NewChecked(cfg)
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("Validate err=%v but NewChecked err=%v", err, cerr)
+		}
+		if cerr == nil && net == nil {
+			t.Fatal("NewChecked returned nil network without error")
+		}
+	})
+}

@@ -16,6 +16,7 @@ package noc
 import (
 	"fmt"
 
+	"ndpext/internal/fault"
 	"ndpext/internal/sim"
 )
 
@@ -49,6 +50,15 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.StacksX <= 0 || c.StacksY <= 0 || c.UnitsX <= 0 || c.UnitsY <= 0 {
 		return fmt.Errorf("noc: topology dimensions must be positive: %+v", c)
+	}
+	// Bound the topology so a corrupt config cannot demand an absurd
+	// allocation (and the unit count cannot overflow int).
+	const maxDim = 1 << 12
+	if c.StacksX > maxDim || c.StacksY > maxDim || c.UnitsX > maxDim || c.UnitsY > maxDim {
+		return fmt.Errorf("noc: topology dimension exceeds %d: %+v", maxDim, c)
+	}
+	if units := int64(c.StacksX) * int64(c.StacksY) * int64(c.UnitsX) * int64(c.UnitsY); units > 1<<20 {
+		return fmt.Errorf("noc: %d units exceeds the supported 2^20", units)
 	}
 	if c.InterGBps <= 0 || c.IntraGBps <= 0 {
 		return fmt.Errorf("noc: bandwidths must be positive")
@@ -97,14 +107,15 @@ type Network struct {
 	// 1 = back. Extended-memory traffic uses these instead of crossing
 	// the stack mesh.
 	cxlLink [][2]sim.Resource
+	inj     *fault.Injector
 	stats   Stats
 }
 
-// New builds a network from cfg. It panics if cfg is invalid (topology is
-// construction-time configuration, not runtime input).
-func New(cfg Config) *Network {
+// NewChecked builds a network from cfg, returning an error on invalid
+// configuration.
+func NewChecked(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := &Network{cfg: cfg}
 	n.interLink = make([][]sim.Resource, cfg.NumStacks())
@@ -112,8 +123,22 @@ func New(cfg Config) *Network {
 		n.interLink[i] = make([]sim.Resource, 4)
 	}
 	n.cxlLink = make([][2]sim.Resource, cfg.NumStacks())
+	return n, nil
+}
+
+// New builds a network from cfg. It panics if cfg is invalid (topology is
+// construction-time configuration, not runtime input).
+func New(cfg Config) *Network {
+	n, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
+
+// SetFaults attaches a fault injector whose noc-flap clauses delay
+// inter-stack hops; nil (the default) disables injection.
+func (n *Network) SetFaults(inj *fault.Injector) { n.inj = inj }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -253,6 +278,9 @@ func (n *Network) Route(t sim.Time, from, to int, bytes int) Transit {
 			s := sy*n.cfg.StacksX + sx
 			start, _ := n.interLink[s][d].Acquire(head, ser)
 			head = start + n.cfg.InterHopLat
+			if n.inj != nil {
+				head += n.inj.NoCFlapDelay(s, d, start)
+			}
 			switch d {
 			case 0:
 				sx++

@@ -78,6 +78,11 @@ type Config struct {
 	// (§V-C). Nil NetLatNS disables the latency term.
 	MissLatNS float64
 	NetLatNS  func(degree int) float64
+
+	// DeadUnits lists units whose DRAM vault is offline (fault
+	// injection); they contribute no capacity, so the optimizer places
+	// every stream on surviving units only.
+	DeadUnits []int
 }
 
 // Validate reports whether the configuration is usable.
@@ -90,6 +95,14 @@ func (c Config) Validate() error {
 	}
 	if c.MaxGroups <= 0 || c.MaxGroups > 1<<streamcache.RGroupsBits {
 		return fmt.Errorf("policy: MaxGroups %d outside (0, %d]", c.MaxGroups, 1<<streamcache.RGroupsBits)
+	}
+	for _, u := range c.DeadUnits {
+		if u < 0 || u >= c.NumUnits {
+			return fmt.Errorf("policy: dead unit %d out of range [0,%d)", u, c.NumUnits)
+		}
+	}
+	if len(c.DeadUnits) >= c.NumUnits {
+		return fmt.Errorf("policy: all %d units dead", c.NumUnits)
 	}
 	return nil
 }
@@ -161,6 +174,12 @@ func Optimize(cfg Config, ins []StreamInput) (map[stream.ID]streamcache.Allocati
 		if cfg.AffineCapRows == 0 || cfg.AffineCapRows > cfg.UnitRows {
 			o.affineFree[u] = int64(cfg.UnitRows)
 		}
+	}
+	// Dead vaults offer no capacity: every allocation path gates on
+	// free[]/affineFree[], so zeroing them excludes the units entirely.
+	for _, u := range cfg.DeadUnits {
+		o.free[u] = 0
+		o.affineFree[u] = 0
 	}
 	var accTotal uint64
 	for i := range ins {

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"ndpext/internal/cxl"
 	"ndpext/internal/dram"
+	"ndpext/internal/fault"
 	"ndpext/internal/noc"
 	"ndpext/internal/sampler"
 	"ndpext/internal/sim"
@@ -148,6 +150,21 @@ type Config struct {
 	// DebugWriter receives reconfiguration traces; nil means os.Stdout.
 	DebugWriter io.Writer
 
+	// Faults selects the fault models injected into the memory path
+	// (see internal/fault). Empty (the default) disables injection and
+	// leaves every simulated result bit-identical to a fault-free build.
+	Faults fault.Spec
+	// FaultSeed seeds the injector's RNG substream; 0 falls back to Seed.
+	FaultSeed uint64
+
+	// Watchdog limits. MaxWall aborts a runaway run after that much
+	// wall-clock time (inherently nondeterministic: use for protection,
+	// not reproducible truncation); MaxCycles aborts deterministically
+	// once simulated time passes that many core cycles. Either trip
+	// flushes partial results with Result.Truncated set. Zero disables.
+	MaxWall   time.Duration
+	MaxCycles int64
+
 	Seed uint64
 }
 
@@ -167,6 +184,11 @@ type EpochInfo struct {
 	ItemsKept      int // survived reconfiguration in place
 	ItemsDropped   int // invalidated by reconfiguration
 	SamplerCovered int // streams assigned a sampler for the next epoch
+
+	// Degraded-mode fields (fault injection).
+	Degraded        bool // a vault failure or link degradation was active
+	FailedUnits     int  // vaults offline at this boundary
+	RemappedStreams int  // streams remapped off failed vaults this epoch
 }
 
 // DefaultConfig returns the Table II machine at model scale with the
@@ -259,6 +281,12 @@ func (c Config) Validate() error {
 	}
 	if c.Stream.RowBytes != c.rowBytes() {
 		return fmt.Errorf("system: stream cache row size %d disagrees with %d", c.Stream.RowBytes, c.rowBytes())
+	}
+	if err := c.Faults.Validate(c.NumUnits()); err != nil {
+		return err
+	}
+	if c.MaxWall < 0 || c.MaxCycles < 0 {
+		return fmt.Errorf("system: watchdog limits must be non-negative")
 	}
 	return nil
 }

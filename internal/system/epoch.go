@@ -245,15 +245,30 @@ func (s *ndpSim) cacheFootprint(st *stream.Stream) int64 {
 
 // epochBoundary is the host runtime (§V): harvest the epoch's access
 // bitvectors and sampler curves, derive and install the next
-// configuration, and reassign samplers via max-flow.
+// configuration, and reassign samplers via max-flow. Under fault
+// injection the boundary is also where degraded-mode reconfiguration
+// happens: dead vaults are excluded from the optimizer and the sampler
+// assignment, and streams stranded on them are force-remapped.
 func (s *ndpSim) epochBoundary() {
 	s.epoch++
+	// Degraded-mode telemetry: the boundary inspects fault state at its
+	// nominal time, so a vault that died mid-epoch is seen here.
+	var failed []int
+	degraded := false
+	if s.inj != nil {
+		failed = s.inj.FailedUnits(s.nextEpoch)
+		degraded = len(failed) > 0 || s.inj.CXLBWFactor(s.nextEpoch) > 1
+		if degraded {
+			s.tel.DegradedEpochs++
+		}
+	}
 	if !s.profiles() {
 		if s.cfg.OnEpoch != nil {
-			s.cfg.OnEpoch(EpochInfo{Epoch: s.epoch})
+			s.cfg.OnEpoch(EpochInfo{Epoch: s.epoch, Degraded: degraded, FailedUnits: len(failed)})
 		}
 		return
 	}
+	remappedBefore := s.tel.FaultRemappedStreams
 	reconfigsBefore := s.tel.Reconfigs
 	keptBefore := s.tel.ReconfigKept
 	droppedBefore := s.tel.ReconfigDropped
@@ -370,10 +385,28 @@ func (s *ndpSim) epochBoundary() {
 		})
 	}
 
+	// onFailed reports whether an allocation holds rows on a dead vault.
+	onFailed := func(a streamcache.Allocation) bool {
+		for _, u := range failed {
+			if u < len(a.Shares) && a.Shares[u] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
 	if s.shouldReconfig() && len(ins) > 0 {
 		s.tel.Reconfigs++
+		pcfg := s.policyConfig()
+		if s.inj != nil {
+			// Dead vaults contribute no capacity, and a degraded CXL
+			// link raises the real miss penalty the degree chooser
+			// trades against.
+			pcfg.DeadUnits = failed
+			pcfg.MissLatNS *= s.inj.CXLBWFactor(s.nextEpoch)
+		}
 		if s.sc != nil {
-			allocs, rep, err := policy.Optimize(s.policyConfig(), ins)
+			allocs, rep, err := policy.Optimize(pcfg, ins)
 			if err != nil {
 				panic(err)
 			}
@@ -390,9 +423,20 @@ func (s *ndpSim) epochBoundary() {
 			}
 			// Damping: a near-identical allocation is not worth the
 			// invalidations its installation would cause (every moved
-			// row is a string of extended-memory refetches).
+			// row is a string of extended-memory refetches). A stream
+			// holding rows on a dead vault is never damped — keeping
+			// its old allocation would strand it on failed hardware —
+			// and installing its rebuilt allocation counts as a remap.
 			for sid, a := range allocs {
-				if old, had := s.sc.Allocation(sid); had && allocationsClose(old, a) {
+				old, had := s.sc.Allocation(sid)
+				if !had {
+					continue
+				}
+				if onFailed(old) {
+					s.tel.FaultRemappedStreams++
+					continue
+				}
+				if allocationsClose(old, a) {
 					delete(allocs, sid)
 				}
 			}
@@ -415,14 +459,41 @@ func (s *ndpSim) epochBoundary() {
 			s.tel.ReplicatedRows = rep.ReplicatedRows
 			s.tel.RowsAllocated = rep.RowsAllocated
 		} else {
-			allocs, err := nuca.Configure(nucaKind(s.cfg.Design), s.nucaConfigInput(), ins)
+			nci := s.nucaConfigInput()
+			if s.inj != nil {
+				nci.MissPenalty *= s.inj.CXLBWFactor(s.nextEpoch)
+			}
+			allocs, err := nuca.Configure(nucaKind(s.cfg.Design), nci, ins)
 			if err != nil {
 				panic(err)
 			}
-			// The baselines damp churn the same way (Jigsaw-class
-			// systems also keep stable partitions stable).
+			// The baseline configurators have no dead-unit notion, so
+			// degraded mode zeroes any shares they place on failed
+			// vaults; freed rows just go unused for the epoch.
 			for sid, a := range allocs {
-				if old, had := s.nc.Allocation(sid); had && allocationsClose(old, a) {
+				if !onFailed(a) {
+					continue
+				}
+				for _, u := range failed {
+					if u < len(a.Shares) {
+						a.Shares[u] = 0
+					}
+				}
+				allocs[sid] = a
+			}
+			// The baselines damp churn the same way (Jigsaw-class
+			// systems also keep stable partitions stable), with the
+			// same dead-vault override.
+			for sid, a := range allocs {
+				old, had := s.nc.Allocation(sid)
+				if !had {
+					continue
+				}
+				if onFailed(old) {
+					s.tel.FaultRemappedStreams++
+					continue
+				}
+				if allocationsClose(old, a) {
 					delete(allocs, sid)
 				}
 			}
@@ -456,6 +527,11 @@ func (s *ndpSim) epochBoundary() {
 	caps := make([]int, s.cfg.NumUnits())
 	for u := range caps {
 		caps[u] = s.cfg.Sampler.SamplersPerUnit
+	}
+	// Dead vaults host no samplers: the max-flow assignment runs over
+	// surviving units only.
+	for _, u := range failed {
+		caps[u] = 0
 	}
 	s.samplers = make(map[samplerKey]*sampler.Sampler)
 	s.globalSamplers = make(map[stream.ID]*sampler.Sampler)
@@ -510,12 +586,15 @@ func (s *ndpSim) epochBoundary() {
 
 	if s.cfg.OnEpoch != nil {
 		s.cfg.OnEpoch(EpochInfo{
-			Epoch:          s.epoch,
-			ActiveStreams:  len(totals),
-			Reconfigured:   s.tel.Reconfigs > reconfigsBefore,
-			ItemsKept:      s.tel.ReconfigKept - keptBefore,
-			ItemsDropped:   s.tel.ReconfigDropped - droppedBefore,
-			SamplerCovered: covered,
+			Epoch:           s.epoch,
+			ActiveStreams:   len(totals),
+			Reconfigured:    s.tel.Reconfigs > reconfigsBefore,
+			ItemsKept:       s.tel.ReconfigKept - keptBefore,
+			ItemsDropped:    s.tel.ReconfigDropped - droppedBefore,
+			SamplerCovered:  covered,
+			Degraded:        degraded,
+			FailedUnits:     len(failed),
+			RemappedStreams: s.tel.FaultRemappedStreams - remappedBefore,
 		})
 	}
 }

@@ -1,6 +1,8 @@
 package system
 
 import (
+	"time"
+
 	"ndpext/internal/cache"
 	"ndpext/internal/dram"
 	"ndpext/internal/sim"
@@ -23,9 +25,16 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 	clock := sim.NewClock(cfg.CoreFreqMHz)
 	l1s := make([]*cache.Cache, nc)
 	for i := range l1s {
-		l1s[i] = cache.New(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc)
+		l1, err := cache.NewChecked(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc)
+		if err != nil {
+			return nil, err
+		}
+		l1s[i] = l1
 	}
-	llc := cache.New(cfg.HostLLCBytes, cfg.L1LineBytes, cfg.HostLLCAssoc)
+	llc, err := cache.NewChecked(cfg.HostLLCBytes, cfg.L1LineBytes, cfg.HostLLCAssoc)
+	if err != nil {
+		return nil, err
+	}
 	// DDR5 main memory: same channel organization as the extended
 	// memory, minus the CXL link.
 	chans := make([]*dram.Device, cfg.CXL.Channels)
@@ -51,9 +60,26 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 			q.Push(0, c)
 		}
 	}
+	// Watchdog limits (same semantics as ndpSim.loop).
+	var cycleBudget sim.Time
+	if cfg.MaxCycles > 0 {
+		cycleBudget = clock.Cycles(cfg.MaxCycles)
+	}
+	var deadline time.Time
+	if cfg.MaxWall > 0 {
+		deadline = time.Now().Add(cfg.MaxWall)
+	}
 	var end sim.Time
-	for q.Len() > 0 {
+	for n := 0; q.Len() > 0; n++ {
 		ev := q.Pop()
+		if cycleBudget > 0 && ev.When >= cycleBudget {
+			res.Truncated, res.TruncateReason = true, "cycle budget exceeded"
+			break
+		}
+		if cfg.MaxWall > 0 && n&1023 == 0 && !time.Now().Before(deadline) {
+			res.Truncated, res.TruncateReason = true, "wall-clock limit exceeded"
+			break
+		}
 		c := ev.ID
 		a := perCore[c][idx[c]]
 		var snap [telemetry.NumLevels]sim.Time

@@ -2,6 +2,7 @@ package system
 
 import (
 	"ndpext/internal/dram"
+	"ndpext/internal/fault"
 	"ndpext/internal/noc"
 	"ndpext/internal/sim"
 	"ndpext/internal/stream"
@@ -34,6 +35,10 @@ type pathDeps struct {
 
 	// observe feeds a stream access to the host runtime's samplers.
 	observe func(unit int, sid stream.ID, item uint64)
+
+	// inj, when non-nil, injects faults; paths consult it to redirect
+	// accesses whose home vault is offline to extended memory.
+	inj *fault.Injector
 }
 
 // serve is the head of the memory pipeline: compute gap + L1, then the

@@ -27,6 +27,14 @@ func (p *nucaPath) Access(t sim.Time, core int, a workloads.Access) (sim.Time, t
 		p.observe(core, lk.SID, a.Addr/uint64(64))
 	}
 
+	if p.inj != nil && p.devs[lk.Home].Offline(t) {
+		// Dead home vault (fault injection): fall back to extended
+		// memory and skip the fill, as in streamPath.
+		p.inj.RecordRedirect()
+		return p.ext.access(t, core, a.Addr, max(lk.FetchBytes, 64), a.Write),
+			telemetry.LevelExtended, lk.SID
+	}
+
 	if !lk.MetaHit {
 		// Walk to the home unit for the DRAM metadata access.
 		tr1 := p.net.Route(t, core, lk.Home, 32)

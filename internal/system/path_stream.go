@@ -41,6 +41,15 @@ func (p *streamPath) Access(t sim.Time, core int, a workloads.Access) (sim.Time,
 		return p.ext.access(t, core, a.Addr, max(lk.FetchBytes, 64), a.Write),
 			telemetry.LevelExtended, lk.SID
 	}
+	if p.inj != nil && p.devs[lk.Home].Offline(t) {
+		// The home vault is dead (fault injection): serve from extended
+		// memory until the next reconfiguration remaps the stream. The
+		// SLB/ATA are logic-die SRAM and keep answering, so the lookup
+		// above stands; skipping the fill keeps the dead vault cold.
+		p.inj.RecordRedirect()
+		return p.ext.access(t, core, a.Addr, max(lk.FetchBytes, 64), a.Write),
+			telemetry.LevelExtended, lk.SID
+	}
 
 	// Request to the home unit.
 	tr1 := p.net.Route(t, core, lk.Home, 32)

@@ -2,11 +2,13 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"ndpext/internal/cache"
 	"ndpext/internal/cxl"
 	"ndpext/internal/dram"
 	"ndpext/internal/energy"
+	"ndpext/internal/fault"
 	"ndpext/internal/noc"
 	"ndpext/internal/nuca"
 	"ndpext/internal/sampler"
@@ -45,6 +47,12 @@ type Result struct {
 	ReplicatedRows  uint64 // last epoch's replicated rows (NDPExt)
 	RowsAllocated   uint64 // last epoch's total allocation (NDPExt)
 	SamplerCovered  int    // streams covered by samplers, last epoch
+
+	// Truncated is set when a watchdog (Config.MaxWall / MaxCycles)
+	// aborted the run early; the counters then cover only the simulated
+	// prefix. TruncateReason names which limit tripped.
+	Truncated      bool
+	TruncateReason string
 
 	streams []StreamReport
 	metrics *telemetry.Registry
@@ -106,7 +114,10 @@ func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
 		return nil, fmt.Errorf("system: trace has %d cores, machine has %d units",
 			len(tr.PerCore), cfg.NumUnits())
 	}
-	s := newNDPSim(cfg, tr)
+	s, err := newNDPSim(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
 	s.bootstrap()
 	s.loop()
 	return s.result(), nil
@@ -128,6 +139,7 @@ type ndpSim struct {
 	ext  *cxl.Device
 	devs []*dram.Device
 	l1s  []*cache.Cache
+	inj  *fault.Injector // nil unless Config.Faults is non-empty
 
 	// path serves post-L1 accesses; selected by design at construction.
 	path MemPath
@@ -159,14 +171,22 @@ type ndpSim struct {
 	res Result
 }
 
-func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
+func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 	n := cfg.NumUnits()
+	net, err := noc.NewChecked(cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := cxl.NewChecked(cfg.CXL)
+	if err != nil {
+		return nil, err
+	}
 	s := &ndpSim{
 		cfg:            cfg,
 		tr:             tr,
 		clock:          sim.NewClock(cfg.CoreFreqMHz),
-		net:            noc.New(cfg.NoC),
-		ext:            cxl.New(cfg.CXL),
+		net:            net,
+		ext:            ext,
 		probe:          cfg.Probe,
 		samplers:       make(map[samplerKey]*sampler.Sampler),
 		globalSamplers: make(map[stream.ID]*sampler.Sampler),
@@ -176,7 +196,23 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 	}
 	for i := 0; i < n; i++ {
 		s.devs = append(s.devs, dram.NewDevice(cfg.Mem, cfg.BanksPerUnit))
-		s.l1s = append(s.l1s, cache.New(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc))
+		l1, err := cache.NewChecked(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Assoc)
+		if err != nil {
+			return nil, err
+		}
+		s.l1s = append(s.l1s, l1)
+	}
+	if !cfg.Faults.Empty() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		s.inj = fault.New(cfg.Faults, seed)
+		s.ext.SetFaults(s.inj)
+		s.net.SetFaults(s.inj)
+		for i, d := range s.devs {
+			d.SetFaults(s.inj, i)
+		}
 	}
 	deps := &pathDeps{
 		cfg:     &s.cfg,
@@ -186,6 +222,7 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 		ext:     &extPath{net: s.net, ext: s.ext, tel: &s.tel},
 		tel:     &s.tel,
 		observe: s.observe,
+		inj:     s.inj,
 	}
 	switch cfg.Design {
 	case NDPExt, NDPExtStatic:
@@ -199,7 +236,7 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, tr.Table)
 		s.path = &nucaPath{pathDeps: deps, nc: s.nc}
 	default:
-		panic(fmt.Sprintf("system: design %v not an NDP design", cfg.Design))
+		return nil, fmt.Errorf("system: design %v not an NDP design", cfg.Design)
 	}
 	// Attenuation factors (§V-C): DRAM latency over DRAM+interconnect.
 	dramNS := s.devs[0].RawLatency(false, 64).NS()
@@ -214,7 +251,7 @@ func newNDPSim(cfg Config, tr *workloads.Trace) *ndpSim {
 	s.nextEpoch = s.epochDur
 	s.res.Design = cfg.Design
 	s.res.Workload = tr.Name
-	return s
+	return s, nil
 }
 
 func nucaKind(d Design) nuca.Kind {
@@ -230,16 +267,36 @@ func nucaKind(d Design) nuca.Kind {
 	}
 }
 
-// loop runs the event queue to completion.
+// loop runs the event queue to completion, or until a watchdog limit
+// (simulated-cycle budget or wall-clock deadline) trips; a tripped
+// watchdog still flushes partial statistics via finishStats.
 func (s *ndpSim) loop() {
 	for c := range s.tr.PerCore {
 		if len(s.tr.PerCore[c]) > 0 {
 			s.q.Push(0, c)
 		}
 	}
+	var cycleBudget sim.Time
+	if s.cfg.MaxCycles > 0 {
+		cycleBudget = s.clock.Cycles(s.cfg.MaxCycles)
+	}
+	var deadline time.Time
+	if s.cfg.MaxWall > 0 {
+		deadline = time.Now().Add(s.cfg.MaxWall)
+	}
 	var end sim.Time
-	for s.q.Len() > 0 {
+	for n := 0; s.q.Len() > 0; n++ {
 		ev := s.q.Pop()
+		if cycleBudget > 0 && ev.When >= cycleBudget {
+			s.res.Truncated, s.res.TruncateReason = true, "cycle budget exceeded"
+			break
+		}
+		// The wall check is amortized over event batches; it includes
+		// n == 0 so a tiny budget truncates before any work.
+		if s.cfg.MaxWall > 0 && n&1023 == 0 && !time.Now().Before(deadline) {
+			s.res.Truncated, s.res.TruncateReason = true, "wall-clock limit exceeded"
+			break
+		}
 		for ev.When >= s.nextEpoch {
 			s.epochBoundary()
 			s.nextEpoch += s.epochDur
@@ -286,6 +343,11 @@ func (s *ndpSim) collectMetrics() *telemetry.Registry {
 	}
 	if s.nc != nil {
 		s.nc.ReportTelemetry(reg, "nuca")
+	}
+	if s.inj != nil {
+		s.inj.ReportTelemetry(reg)
+		reg.PutUint("fault.degraded_epochs", uint64(s.tel.DegradedEpochs))
+		reg.PutUint("fault.remapped_streams", uint64(s.tel.FaultRemappedStreams))
 	}
 	return reg
 }

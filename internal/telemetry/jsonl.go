@@ -63,6 +63,23 @@ func (p *JSONLProbe) Record(ev *Event) {
 	}
 }
 
+// Note writes v as one out-of-band JSON line, e.g. a
+// {"truncated":true} marker when a watchdog cut the run short.
+func (p *JSONLProbe) Note(v any) {
+	if p.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		p.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}
+
 // Flush drains the buffer and returns the first error encountered.
 func (p *JSONLProbe) Flush() error {
 	if p.err != nil {

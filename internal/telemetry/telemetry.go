@@ -75,6 +75,10 @@ type Counters struct {
 	ReplicatedRows  uint64 // last epoch's replicated rows
 	RowsAllocated   uint64 // last epoch's total allocation
 	SamplerCovered  int    // streams covered by samplers, last epoch
+
+	// Degraded-mode (fault injection) tallies.
+	DegradedEpochs       int // epochs that began with a fault active
+	FaultRemappedStreams int // streams remapped off failed vaults
 }
 
 // Add accumulates latency d into level l.

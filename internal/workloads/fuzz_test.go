@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceLoad checks that Load never panics on arbitrary bytes and
+// that anything it accepts survives a Save/Load round trip.
+func FuzzTraceLoad(f *testing.F) {
+	// Seed with a real serialized trace plus structured garbage.
+	gen, err := Get("mv")
+	if err != nil {
+		f.Fatal(err)
+	}
+	sc := TinyScale()
+	sc.AccessesPerCore = 20 // keep the seed corpus small so mutation is fast
+	tr, err := gen(2, 1, sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not a trace"))
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Save(&out); err != nil {
+			t.Fatalf("accepted trace does not re-save: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("re-saved trace does not re-load: %v", err)
+		}
+		if again.TotalAccesses() != got.TotalAccesses() || again.Table.Len() != got.Table.Len() {
+			t.Fatal("round trip changed the trace shape")
+		}
+	})
+}
