@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ndpext/internal/bench"
@@ -41,6 +44,12 @@ func main() {
 		opt.AccessesPerCore = *accesses
 	}
 
+	// ^C / SIGTERM cancels in-flight simulations cooperatively: the
+	// current figure aborts mid-matrix instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	opt.Ctx = ctx
+
 	figs := []string{"2", "4b", "5a", "5b", "6", "7", "8a", "8b",
 		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred", "faults"}
 	if !*all {
@@ -54,8 +63,14 @@ func main() {
 	// keep going, and exit non-zero at the end.
 	failed := 0
 	for _, f := range figs {
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted; skipping remaining figures")
+		}
 		start := time.Now()
 		tbl, err := dispatch(f, opt)
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted during fig %s", f)
+		}
 		if err != nil {
 			log.Printf("fig %s: %v", f, err)
 			failed++

@@ -1,0 +1,98 @@
+// Command ndpserve exposes the simulator as a long-running HTTP/JSON
+// service: submit jobs, poll status, stream live progress over SSE, and
+// share results through a content-addressed cache that survives
+// restarts.
+//
+// Usage:
+//
+//	ndpserve [-addr :8080] [-workers N] [-queue 64]
+//	         [-cache-entries 1024] [-cache-ttl 0]
+//	         [-cache-index /path/to/index.json]
+//	         [-max-wall 0] [-max-cycles 0] [-retry-after 1s]
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued
+// and running jobs finish (running ones are checkpointed if -drain-wait
+// expires), and the cache index is persisted for a warm restart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndpext/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndpserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job bound before 429 backpressure")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (LRU)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0: never expires)")
+	cacheIndex := flag.String("cache-index", "", "persist the cache index here on drain; warm-load it on start")
+	maxWall := flag.Duration("max-wall", 0, "default per-job wall-clock watchdog (0 disables)")
+	maxCycles := flag.Int64("max-cycles", 0, "default per-job simulated-cycle watchdog (0 disables)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "grace period for running jobs on shutdown before checkpointing")
+	flag.Parse()
+
+	srv, err := server.New(server.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+		CachePath:    *cacheIndex,
+		RetryAfter:   *retryAfter,
+		MaxWall:      *maxWall,
+		MaxCycles:    *maxCycles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	if n := srv.CacheStats().Entries; n > 0 {
+		log.Printf("warm-loaded %d cached results from %s", n, *cacheIndex)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (grace %v)", *drainWait)
+
+	// Stop the listener first so no new submissions race the drain, then
+	// let the engine finish or checkpoint every accepted job.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel2()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Fatal(err)
+	}
+	if *cacheIndex != "" {
+		log.Printf("cache index persisted to %s (%d entries)", *cacheIndex, srv.CacheStats().Entries)
+	}
+	log.Printf("drained cleanly")
+}

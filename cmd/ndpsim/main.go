@@ -5,8 +5,11 @@
 // Usage:
 //
 //	ndpsim -workload pr -design NDPExt [-mem hbm|hmc] [-seed 1]
-//	       [-accesses 30000] [-scale 1.0] [-verbose]
+//	       [-accesses 30000] [-scale 1.0] [-verbose] [-json]
 //	       [-trace-sample 100 [-trace-out trace.jsonl]]
+//
+// With -json, the run emits the canonical JSON result document — the
+// same bytes ndpserve caches and serves — as one object on stdout.
 //
 // With -trace-sample=N, every Nth simulated memory access is emitted as
 // a JSONL record (core, stream, level served, per-level latency in ns)
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"ndpext/internal/fault"
+	"ndpext/internal/server"
 	"ndpext/internal/system"
 	"ndpext/internal/telemetry"
 	"ndpext/internal/workloads"
@@ -39,6 +43,7 @@ func main() {
 	accesses := flag.Int("accesses", 30000, "per-core access budget")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	list := flag.Bool("list", false, "list workloads and exit")
+	jsonOut := flag.Bool("json", false, "emit the canonical JSON result document instead of text")
 	verbose := flag.Bool("verbose", false, "print per-component detail")
 	reconfig := flag.String("reconfig", "full", "reconfiguration mode: full, partial, static")
 	saveTrace := flag.String("save-trace", "", "write the generated trace to this file and exit")
@@ -56,7 +61,7 @@ func main() {
 		return
 	}
 
-	d, err := parseDesign(*design)
+	d, err := system.ParseDesign(*design)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,15 +75,9 @@ func main() {
 		log.Fatalf("unknown memory type %q", *mem)
 	}
 
-	switch strings.ToLower(*reconfig) {
-	case "full":
-		cfg.Reconfig = system.ReconfigFull
-	case "partial":
-		cfg.Reconfig = system.ReconfigPartial
-	case "static":
-		cfg.Reconfig = system.ReconfigStatic
-	default:
-		log.Fatalf("unknown reconfig mode %q", *reconfig)
+	cfg.Reconfig, err = system.ParseReconfigMode(*reconfig)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	spec, err := fault.Parse(*faults)
@@ -146,6 +145,22 @@ func main() {
 		log.Fatal(err)
 	}
 	simDur := time.Since(simStart)
+	if *jsonOut {
+		// The same canonical document the serving layer caches and
+		// returns from GET /v1/jobs/{id}/result: scripts can diff
+		// ndpsim output against served results byte for byte.
+		doc, err := server.EncodeResult(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(doc, '\n'))
+		if jsonl != nil {
+			if err := jsonl.Flush(); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+		}
+		return
+	}
 	if jsonl != nil {
 		if res.Truncated {
 			jsonl.Note(struct {
@@ -192,13 +207,4 @@ func main() {
 				sr.SID, sr.Type, sr.ReadOnly, sr.Bytes, sr.KneeBytes, sr.Rows, sr.Groups, sr.Hits+sr.Misses, mr)
 		}
 	}
-}
-
-func parseDesign(s string) (system.Design, error) {
-	for _, d := range append(system.NDPDesigns(), system.Host) {
-		if strings.EqualFold(d.String(), s) {
-			return d, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown design %q", s)
 }

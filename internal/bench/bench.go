@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"ndpext/internal/simcache"
 	"ndpext/internal/system"
 	"ndpext/internal/workloads"
 )
@@ -22,6 +24,18 @@ type Options struct {
 	Workloads       []string // subset of workloads.Names()
 	AccessesPerCore int
 	Seed            uint64
+	// Ctx, when set, cancels in-flight simulations cooperatively:
+	// cmd/experiments wires SIGINT/SIGTERM here so a mid-matrix ^C
+	// aborts cleanly instead of waiting out the current figure.
+	Ctx context.Context
+}
+
+// context returns Ctx or Background.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Default runs the full paper matrix (all 13 workloads).
@@ -91,22 +105,43 @@ func trace(name string, cores int, opt Options) (*workloads.Trace, error) {
 // use it to poison specific rows and exercise the pool's panic recovery.
 var testRunHook func(cfg system.Config, name string)
 
-// run simulates one (workload, config) pair.
+// resultCache dedups identical (config, workload) cells across figures:
+// the matrix reuses e.g. the NDPExt/hbm baseline in Figs. 5, 6, 8, and 9,
+// so -all avoids re-simulating it once per figure. Results are treated
+// as immutable by every consumer; errors and canceled runs never enter
+// the cache (simcache.Do only stores successes).
+var resultCache = simcache.New[*system.Result](512, 0)
+
+// run simulates one (workload, config) pair, deduplicating identical
+// cells through resultCache.
 func run(cfg system.Config, name string, opt Options) (*system.Result, error) {
-	if testRunHook != nil {
-		testRunHook(cfg, name)
-	}
 	cores := cfg.NumUnits()
 	if cfg.Design == system.Host {
 		// Host folds any trace; generate at the NDP core count of the
 		// default machine so all designs replay identical traces.
 		cores = system.DefaultConfig(system.NDPExt).NumUnits()
 	}
-	tr, err := trace(name, cores, opt)
-	if err != nil {
-		return nil, err
+	sim := func() (*system.Result, error) {
+		tr, err := trace(name, cores, opt)
+		if err != nil {
+			return nil, err
+		}
+		return system.RunContext(opt.context(), cfg, tr)
 	}
-	return system.Run(cfg, tr)
+	if testRunHook != nil || cfg.OnEpoch != nil || cfg.Probe != nil {
+		// Hooks are excluded from the canonical config bytes (they don't
+		// change results) but must still fire on every run, so hooked
+		// configs — and test-poisoned cells — bypass the cache.
+		if testRunHook != nil {
+			testRunHook(cfg, name)
+		}
+		return sim()
+	}
+	key := simcache.Sum(cfg.CanonicalBytes(),
+		[]byte(fmt.Sprintf("bench/v1|w=%s|cores=%d|seed=%d|acc=%d",
+			name, cores, opt.Seed, opt.AccessesPerCore)))
+	res, _, err := resultCache.Do(key, sim)
+	return res, err
 }
 
 // cell identifies one (machine config, workload) simulation in a batch.
@@ -173,8 +208,16 @@ func runCells(cells []cell, opt Options) ([]*system.Result, error) {
 	errs := make([]error, len(cells))
 	panicked := make([]bool, len(cells))
 	sem := make(chan struct{}, max(runtime.GOMAXPROCS(0), 1))
+	ctx := opt.context()
 	var wg sync.WaitGroup
 	for i := range cells {
+		// A canceled batch stops launching new cells; already-running
+		// ones abort cooperatively inside system.RunContext and report
+		// the cancellation through their own error slots.
+		if err := ctx.Err(); err != nil {
+			errs[i] = context.Cause(ctx)
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {

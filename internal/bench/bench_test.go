@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -270,5 +271,59 @@ func TestRunCellsRecoversPoisonedRow(t *testing.T) {
 	}
 	if results[0].Time != want.Time || results[0].Energy != want.Energy {
 		t.Fatal("survivor result diverged from serial run")
+	}
+}
+
+func TestRunCellsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Workloads: []string{"pr"}, AccessesPerCore: 500, Seed: 1, Ctx: ctx}
+	cells := []cell{
+		{system.DefaultConfig(system.NDPExt), "pr"},
+		{system.DefaultConfig(system.Nexus), "pr"},
+	}
+	results, err := runCells(cells, opt)
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Rows) != len(cells) {
+		t.Fatalf("canceled batch: err = %v, want a BatchError covering all %d cells", err, len(cells))
+	}
+	for i, r := range be.Rows {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("row %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		_ = results[i] // slots exist; canceled cells may hold nil
+	}
+}
+
+func TestRunDedupsIdenticalCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine simulations")
+	}
+	opt := Options{Workloads: []string{"pr"}, AccessesPerCore: 600, Seed: 99}
+	cfg := system.DefaultConfig(system.NDPExt)
+	before := resultCache.Stats()
+	a, err := run(cfg, "pr", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(cfg, "pr", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := resultCache.Stats()
+	if hits := after.Hits - before.Hits; hits < 1 {
+		t.Errorf("second identical run missed the result cache (hits delta %d)", hits)
+	}
+	if a != b {
+		t.Error("deduped runs returned distinct result objects")
+	}
+	// A different seed must not alias the cached cell.
+	opt.Seed = 100
+	c, err := run(cfg, "pr", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different seed returned the cached result")
 	}
 }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ndpext/internal/workloads"
+)
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs              submit a JobSpec; 202 with the job status
+//	                           (200 immediately when served from cache),
+//	                           429 + Retry-After under backpressure,
+//	                           503 while draining
+//	GET  /v1/jobs              list all jobs (newest last)
+//	GET  /v1/jobs/{id}         one job's status (result inlined when done)
+//	GET  /v1/jobs/{id}/result  the raw canonical result document
+//	GET  /v1/jobs/{id}/events  live progress as Server-Sent Events
+//	GET  /v1/workloads         available workload generators
+//	GET  /v1/stats             queue, cache, and dedup counters
+//	GET  /v1/healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, workloads.Names())
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// errorDoc is the uniform error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorDoc{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.State().terminal() {
+		code = http.StatusOK // cache hit: already complete
+	}
+	writeJSON(w, code, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		st := j.Status()
+		st.Result = nil // listings stay small; fetch results per job
+		out[i] = st
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	st := job.Status()
+	if len(st.Result) == 0 {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; no result yet", job.ID, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(st.Result)
+}
+
+// handleEvents streams the job's progress as SSE: the full history is
+// replayed first, then live events follow until the job finishes or the
+// client disconnects. Piggybacked jobs stream their leader's progress.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, unsub := job.progressTarget().subscribe()
+	defer unsub()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal event delivered; stream complete
+			}
+			data, err := json.Marshal(ev.Data)
+			if err != nil {
+				data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// statsDoc is the GET /v1/stats body.
+type statsDoc struct {
+	Workers    int            `json:"workers"`
+	Queued     int            `json:"queued"`
+	QueueCap   int            `json:"queue_cap"`
+	Jobs       int            `json:"jobs"`
+	SimsRun    uint64         `json:"sims_run"`
+	Rejected   uint64         `json:"rejected"`
+	Cache      map[string]any `json:"cache"`
+	StatesById map[State]int  `json:"job_states"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, capn := s.QueueDepth()
+	cs := s.CacheStats()
+	states := make(map[State]int)
+	for _, j := range s.Jobs() {
+		states[j.State()]++
+	}
+	writeJSON(w, http.StatusOK, statsDoc{
+		Workers:  s.opt.Workers,
+		Queued:   queued,
+		QueueCap: capn,
+		Jobs:     totalJobs(states),
+		SimsRun:  s.SimsRun(),
+		Rejected: s.Rejected(),
+		Cache: map[string]any{
+			"hits": cs.Hits, "misses": cs.Misses, "dedups": cs.Dedups,
+			"evictions": cs.Evictions, "expirations": cs.Expirations,
+			"entries": cs.Entries,
+		},
+		StatesById: states,
+	})
+}
+
+func totalJobs(states map[State]int) int {
+	n := 0
+	for _, c := range states {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"ndpext/internal/simcache"
+	"ndpext/internal/system"
+	"ndpext/internal/telemetry"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is simulating it (or it piggybacks on an
+	// identical in-flight job).
+	StateRunning State = "running"
+	// StateDone: finished; the result document is available.
+	StateDone State = "done"
+	// StateFailed: the simulation errored; Error explains.
+	StateFailed State = "failed"
+	// StateTruncated: a watchdog or drain checkpoint cut the run short;
+	// a partial result document is available.
+	StateTruncated State = "truncated"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateTruncated
+}
+
+// Event is one progress record on a job's stream. Type is the SSE event
+// name: "state" (lifecycle transition), "epoch" (an epoch boundary with
+// a counter snapshot), "fault" (degraded-mode activity), or a terminal
+// "done"/"failed"/"truncated" carrying the final status.
+type Event struct {
+	Type string
+	Data any // JSON-marshalable payload
+}
+
+// EpochEvent is the payload of "epoch" progress events.
+type EpochEvent struct {
+	Epoch          int                `json:"epoch"`
+	ActiveStreams  int                `json:"active_streams"`
+	Reconfigured   bool               `json:"reconfigured"`
+	SamplerCovered int                `json:"sampler_covered"`
+	Degraded       bool               `json:"degraded,omitempty"`
+	Counters       telemetry.Snapshot `json:"counters"`
+}
+
+// FaultEvent is the payload of "fault" progress events.
+type FaultEvent struct {
+	Epoch           int  `json:"epoch"`
+	FailedUnits     int  `json:"failed_units"`
+	RemappedStreams int  `json:"remapped_streams"`
+	Degraded        bool `json:"degraded"`
+}
+
+// Job is one accepted submission. All mutable state is behind mu; the
+// event history plus subscriber set implement replay-then-follow
+// semantics for SSE.
+type Job struct {
+	ID   string
+	Key  simcache.Key
+	Spec JobSpec // normalized
+	cfg  system.Config
+
+	// leader, when non-nil, is the identical in-flight job this one
+	// piggybacks on: it never occupies a queue slot or a worker, and
+	// finishes when the leader finishes.
+	leader *Job
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	cacheHit  bool // served straight from the result cache at submit
+	deduped   bool // piggybacked on an identical in-flight job
+	result    []byte
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	live      telemetry.Live
+	history   []Event
+	subs      map[chan Event]struct{}
+	followers []*Job // jobs piggybacking on this one
+	done      chan struct{}
+}
+
+func newJob(id string, key simcache.Key, spec JobSpec, cfg system.Config) *Job {
+	return &Job{
+		ID:      id,
+		Key:     key,
+		Spec:    spec,
+		cfg:     cfg,
+		state:   StateQueued,
+		created: time.Now(),
+		subs:    make(map[chan Event]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// publish appends ev to the history and fans it out to subscribers.
+// Slow subscribers are skipped rather than blocking the simulation
+// goroutine; they still see every event via replay on reconnection.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	j.history = append(j.history, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe returns a channel that first replays the event history and
+// then follows live events, plus an unsubscribe func. The channel is
+// closed after the terminal event once the job finishes.
+func (j *Job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	replay := make([]Event, len(j.history))
+	copy(replay, j.history)
+	ch := make(chan Event, len(replay)+64)
+	for _, ev := range replay {
+		ch <- ev
+	}
+	terminal := j.state.terminal()
+	if !terminal {
+		j.subs[ch] = struct{}{}
+	}
+	j.mu.Unlock()
+	if terminal {
+		close(ch)
+		return ch, func() {}
+	}
+	var once sync.Once
+	unsub := func() {
+		once.Do(func() {
+			j.mu.Lock()
+			delete(j.subs, ch)
+			j.mu.Unlock()
+		})
+	}
+	return ch, unsub
+}
+
+// setRunning transitions queued -> running and announces it.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.publish(Event{Type: "state", Data: map[string]string{"state": string(StateRunning)}})
+}
+
+// finish moves the job to a terminal state, records the outcome, emits
+// the terminal event, closes subscriber channels, and releases waiters.
+func (j *Job) finish(state State, result []byte, errMsg string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+
+	j.publish(Event{Type: string(state), Data: j.Status()})
+	j.mu.Lock()
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// progressTarget is the job whose event stream carries this job's
+// progress: the leader for piggybacked jobs, itself otherwise.
+func (j *Job) progressTarget() *Job {
+	if j.leader != nil {
+		return j.leader
+	}
+	return j
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID         string              `json:"id"`
+	Key        string              `json:"key"`
+	State      State               `json:"state"`
+	CacheHit   bool                `json:"cache_hit,omitempty"`
+	Deduped    bool                `json:"deduped,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	CreatedAt  time.Time           `json:"created_at"`
+	StartedAt  *time.Time          `json:"started_at,omitempty"`
+	FinishedAt *time.Time          `json:"finished_at,omitempty"`
+	Progress   *telemetry.Snapshot `json:"progress,omitempty"`
+	Spec       JobSpec             `json:"spec"`
+	Result     json.RawMessage     `json:"result,omitempty"`
+}
+
+// Status snapshots the job for API responses.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	st := JobStatus{
+		ID:        j.ID,
+		Key:       j.Key.String(),
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Deduped:   j.deduped,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+		Spec:      j.Spec,
+		Result:    json.RawMessage(j.result),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	j.mu.Unlock()
+	if snap, ok := j.progressTarget().live.Load(); ok {
+		st.Progress = &snap
+	}
+	return st
+}

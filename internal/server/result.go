@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+
+	"ndpext/internal/system"
+	"ndpext/internal/telemetry"
+)
+
+// resultSchemaVersion tags the result document layout.
+const resultSchemaVersion = 1
+
+// ResultDoc is the canonical machine-readable form of one simulation's
+// outcome, shared verbatim by the serving layer's result cache, job
+// responses, and `ndpsim -json`. Latencies are nanoseconds, energies
+// picojoules.
+type ResultDoc struct {
+	SchemaVersion int    `json:"schema_version"`
+	Design        string `json:"design"`
+	Workload      string `json:"workload"`
+
+	MakespanNS  float64 `json:"makespan_ns"`
+	Accesses    uint64  `json:"accesses"`
+	L1Hits      uint64  `json:"l1_hits"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	AvgAccessNS       float64 `json:"avg_access_ns"`
+	AvgInterconnectNS float64 `json:"avg_interconnect_ns"`
+	SLBHitRate        float64 `json:"slb_hit_rate,omitempty"`
+	MetaHitRate       float64 `json:"meta_hit_rate,omitempty"`
+
+	BreakdownNS BreakdownDoc `json:"breakdown_ns"`
+	EnergyPJ    EnergyDoc    `json:"energy_pj"`
+
+	Reconfigs  int    `json:"reconfigs,omitempty"`
+	Exceptions uint64 `json:"exceptions,omitempty"`
+
+	Truncated      bool   `json:"truncated,omitempty"`
+	TruncateReason string `json:"truncate_reason,omitempty"`
+
+	// Metrics is the run's full telemetry registry as a flat object
+	// (dotted names, sorted keys). Absent for the Host design.
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// BreakdownDoc is the per-level latency attribution in nanoseconds,
+// using the telemetry level names.
+type BreakdownDoc struct {
+	Core      float64 `json:"core"`
+	Meta      float64 `json:"meta"`
+	IntraNoC  float64 `json:"intra-noc"`
+	InterNoC  float64 `json:"inter-noc"`
+	CacheDRAM float64 `json:"dram"`
+	Extended  float64 `json:"extended"`
+}
+
+// EnergyDoc is the Fig. 6 energy decomposition in picojoules.
+type EnergyDoc struct {
+	Static  float64 `json:"static"`
+	NDPDram float64 `json:"ndp_dram"`
+	ExtDram float64 `json:"ext_dram"`
+	NoC     float64 `json:"noc"`
+	CXLLink float64 `json:"cxl_link"`
+	SRAM    float64 `json:"sram"`
+	Total   float64 `json:"total"`
+}
+
+// NewResultDoc flattens a run result into the canonical document.
+func NewResultDoc(res *system.Result) ResultDoc {
+	doc := ResultDoc{
+		SchemaVersion: resultSchemaVersion,
+		Design:        res.Design.String(),
+		Workload:      res.Workload,
+
+		MakespanNS:  res.Time.NS(),
+		Accesses:    res.Accesses,
+		L1Hits:      res.L1Hits,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+
+		CacheHitRate:      res.CacheHitRate(),
+		AvgAccessNS:       res.Breakdown.AvgAccessNS(),
+		AvgInterconnectNS: res.AvgInterconnectNS(),
+		SLBHitRate:        res.SLBHitRate,
+		MetaHitRate:       res.MetaHitRate,
+
+		BreakdownNS: BreakdownDoc{
+			Core:      res.Breakdown.Core.NS(),
+			Meta:      res.Breakdown.Meta.NS(),
+			IntraNoC:  res.Breakdown.IntraNoC.NS(),
+			InterNoC:  res.Breakdown.InterNoC.NS(),
+			CacheDRAM: res.Breakdown.CacheDRAM.NS(),
+			Extended:  res.Breakdown.Extended.NS(),
+		},
+		EnergyPJ: EnergyDoc{
+			Static:  res.Energy.StaticPJ,
+			NDPDram: res.Energy.NDPDramPJ,
+			ExtDram: res.Energy.ExtDramPJ,
+			NoC:     res.Energy.NoCPJ,
+			CXLLink: res.Energy.CXLLinkPJ,
+			SRAM:    res.Energy.SRAMPJ,
+			Total:   res.Energy.Total(),
+		},
+
+		Reconfigs:  res.Reconfigs,
+		Exceptions: res.Exceptions,
+
+		Truncated:      res.Truncated,
+		TruncateReason: res.TruncateReason,
+	}
+	if reg := res.Metrics(); reg != nil {
+		doc.Metrics = make(map[string]any, len(reg.Names()))
+		reg.Each(func(name string, v telemetry.Value) {
+			switch v.Kind {
+			case telemetry.KindUint:
+				doc.Metrics[name] = v.U
+			case telemetry.KindFloat:
+				doc.Metrics[name] = v.F
+			case telemetry.KindTime:
+				doc.Metrics[name] = v.T.NS()
+			}
+		})
+	}
+	return doc
+}
+
+// EncodeResult renders the canonical JSON result document for res: one
+// object, no indentation, object keys in Go's deterministic order
+// (struct fields in declaration order, map keys sorted). Equal results
+// encode to identical bytes, which is what makes the document
+// content-addressable and diff-able across runs.
+func EncodeResult(res *system.Result) ([]byte, error) {
+	return json.Marshal(NewResultDoc(res))
+}

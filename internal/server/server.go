@@ -1,0 +1,407 @@
+// Package server turns the simulator into shared infrastructure: an
+// HTTP/JSON service that accepts simulation jobs, runs them on a
+// bounded worker pool, deduplicates identical work (content-addressed
+// result cache + submit-time piggybacking + singleflight), streams live
+// progress over Server-Sent Events, and drains gracefully — finishing
+// or checkpointing running jobs and persisting the cache index for warm
+// restarts.
+//
+// Job lifecycle: queued -> running -> done | failed | truncated. A
+// submission whose key is already cached completes instantly
+// (cache_hit); one whose key is already queued/running piggybacks on
+// that job (deduped) without consuming a queue slot. A full queue
+// rejects with HTTP 429 and a Retry-After hint.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndpext/internal/simcache"
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+// Options configures a Server. Zero values take the documented defaults.
+type Options struct {
+	// Workers bounds concurrent simulations; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; default 64. A full
+	// queue is backpressure: submissions get 429 + Retry-After.
+	QueueDepth int
+	// CacheEntries bounds the result cache; default 1024.
+	CacheEntries int
+	// CacheTTL expires cached results; default 0 (never).
+	CacheTTL time.Duration
+	// CachePath, when set, persists the cache index there on Drain and
+	// warm-loads it in New.
+	CachePath string
+	// RetryAfter is the hint returned with 429; default 1s.
+	RetryAfter time.Duration
+	// MaxWall / MaxCycles are per-job watchdog defaults applied when a
+	// spec does not set its own (0 disables).
+	MaxWall   time.Duration
+	MaxCycles int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Server is the simulation-as-a-service engine, independent of HTTP
+// wiring (Handler attaches the routes; tests can drive it directly).
+type Server struct {
+	opt    Options
+	cache  *simcache.Cache[[]byte]
+	traces *simcache.Cache[*workloads.Trace]
+
+	queue chan *Job
+
+	mu        sync.Mutex
+	accepting bool
+	jobs      map[string]*Job
+	order     []string               // submission order, for listing
+	active    map[simcache.Key]*Job  // queued/running leaders by key
+	nextID    int
+
+	wg        sync.WaitGroup
+	runCtx    context.Context    // canceled to checkpoint running sims
+	runCancel context.CancelFunc
+
+	simsRun  atomic.Uint64 // simulations actually executed
+	rejected atomic.Uint64 // submissions bounced with 429
+
+	// testJobStarted, when non-nil, is invoked at the top of runJob —
+	// tests use it to hold a worker and fill the queue deterministically.
+	testJobStarted func(*Job)
+}
+
+// New builds a server and warm-loads the cache index from
+// Options.CachePath if present. Call Start to launch the workers.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	runCtx, runCancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:       opt,
+		cache:     simcache.New[[]byte](opt.CacheEntries, opt.CacheTTL),
+		traces:    simcache.New[*workloads.Trace](32, 0),
+		queue:     make(chan *Job, opt.QueueDepth),
+		accepting: true,
+		jobs:      make(map[string]*Job),
+		active:    make(map[simcache.Key]*Job),
+		runCtx:    runCtx,
+		runCancel: runCancel,
+	}
+	if opt.CachePath != "" {
+		if _, err := simcache.LoadFile(s.cache, opt.CachePath); err != nil {
+			runCancel()
+			return nil, fmt.Errorf("server: warm-load cache: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.opt.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// ErrQueueFull is returned by Submit when backpressure applies.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// Submit validates, keys, and admits one job. The fast paths — result
+// already cached, or an identical job already in flight — never consume
+// a queue slot; otherwise the job is enqueued or, when the queue is
+// full, rejected with ErrQueueFull.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec = spec.normalize()
+	cfg, err := spec.build(s.opt.MaxWall, s.opt.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	key := spec.key(cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j-%06d", s.nextID), key, spec, cfg)
+
+	if doc, ok := s.cache.Get(key); ok {
+		// Content-addressed hit: done before it ever queued.
+		job.cacheHit = true
+		s.register(job)
+		job.finish(stateForDoc(doc), doc, "")
+		return job, nil
+	}
+	if leader, ok := s.active[key]; ok {
+		// Identical job already in flight: piggyback, costing nothing.
+		job.leader = leader
+		job.deduped = true
+		s.register(job)
+		leader.mu.Lock()
+		leader.followers = append(leader.followers, job)
+		leader.mu.Unlock()
+		job.publish(Event{Type: "state", Data: map[string]string{
+			"state": string(StateQueued), "piggyback_on": leader.ID}})
+		return job, nil
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.active[key] = job
+	s.register(job)
+	job.publish(Event{Type: "state", Data: map[string]string{"state": string(StateQueued)}})
+	return job, nil
+}
+
+// register records the job for lookup/listing. Caller holds s.mu.
+func (s *Server) register(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// SimsRun counts simulations actually executed (cache hits and
+// piggybacked submissions excluded) — the denominator for verifying
+// deduplication.
+func (s *Server) SimsRun() uint64 { return s.simsRun.Load() }
+
+// CacheStats exposes the result cache counters.
+func (s *Server) CacheStats() simcache.Stats { return s.cache.Stats() }
+
+// QueueDepth returns (queued, capacity).
+func (s *Server) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// Rejected counts submissions bounced by backpressure.
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+
+// errNotCacheable marks outcomes that must not enter the result cache:
+// wall-clock truncation (nondeterministic) and drain checkpoints.
+var errNotCacheable = errors.New("server: result not cacheable")
+
+// runJob executes one leader job on the calling worker.
+func (s *Server) runJob(job *Job) {
+	if s.testJobStarted != nil {
+		s.testJobStarted(job)
+	}
+	job.setRunning()
+
+	doc, _, err := s.cache.Do(job.Key, func() ([]byte, error) {
+		return s.simulate(job)
+	})
+
+	var state State
+	var errMsg string
+	switch {
+	case err == nil:
+		state = stateForDoc(doc)
+	case errors.Is(err, errNotCacheable) || errors.Is(err, context.Canceled):
+		// Checkpoint: a partial document exists, keep it with the job
+		// even though it never enters the cache.
+		if doc != nil {
+			state = StateTruncated
+		} else {
+			state, errMsg = StateFailed, err.Error()
+		}
+	default:
+		state, errMsg, doc = StateFailed, err.Error(), nil
+	}
+
+	// Release the key and collect piggybackers before finishing, so a
+	// new submission of the same key either sees the cache entry or
+	// starts fresh — never a finished "leader".
+	s.mu.Lock()
+	delete(s.active, job.Key)
+	job.mu.Lock()
+	followers := append([]*Job(nil), job.followers...)
+	job.mu.Unlock()
+	s.mu.Unlock()
+
+	job.finish(state, doc, errMsg)
+	for _, f := range followers {
+		f.finish(state, doc, errMsg)
+	}
+}
+
+// simulate runs the job's simulation, publishing progress events, and
+// returns the canonical result document. Errors wrap errNotCacheable
+// when the outcome is nondeterministic (wall truncation, cancellation).
+func (s *Server) simulate(job *Job) ([]byte, error) {
+	s.simsRun.Add(1)
+	tr, err := s.trace(job.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := job.cfg
+	cfg.OnEpoch = func(ei system.EpochInfo) {
+		job.live.Publish(ei.Counters)
+		job.publish(Event{Type: "epoch", Data: EpochEvent{
+			Epoch:          ei.Epoch,
+			ActiveStreams:  ei.ActiveStreams,
+			Reconfigured:   ei.Reconfigured,
+			SamplerCovered: ei.SamplerCovered,
+			Degraded:       ei.Degraded,
+			Counters:       ei.Counters,
+		}})
+		if ei.Degraded || ei.RemappedStreams > 0 {
+			job.publish(Event{Type: "fault", Data: FaultEvent{
+				Epoch:           ei.Epoch,
+				FailedUnits:     ei.FailedUnits,
+				RemappedStreams: ei.RemappedStreams,
+				Degraded:        ei.Degraded,
+			}})
+		}
+	}
+	res, err := system.RunContext(s.runCtx, cfg, tr)
+	if err != nil {
+		if res == nil {
+			return nil, err
+		}
+		// Drain checkpoint: encode the partial result but keep it out
+		// of the cache.
+		doc, encErr := EncodeResult(res)
+		if encErr != nil {
+			return nil, encErr
+		}
+		return doc, fmt.Errorf("%w: %w", errNotCacheable, err)
+	}
+	doc, err := EncodeResult(res)
+	if err != nil {
+		return nil, err
+	}
+	if res.Truncated && res.TruncateReason == "wall-clock limit exceeded" {
+		// Wall truncation depends on machine speed; never cache it.
+		return doc, fmt.Errorf("%w: %s", errNotCacheable, res.TruncateReason)
+	}
+	return doc, nil
+}
+
+// trace builds (or reuses) the workload trace for a spec. Distinct
+// machine configs share traces when their workload parameters and unit
+// counts agree; each use gets a Clone so runs stay independent.
+func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
+	d, err := system.ParseDesign(spec.Design)
+	if err != nil {
+		return nil, err
+	}
+	cores := system.DefaultConfig(system.NDPExt).NumUnits()
+	if d != system.Host {
+		cores = system.DefaultConfig(d).NumUnits()
+	}
+	key := simcache.Sum(spec.workloadCanon(), []byte(fmt.Sprintf("cores=%d", cores)))
+	tr, _, err := s.traces.Do(key, func() (*workloads.Trace, error) {
+		gen, err := workloads.Get(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		sc := workloads.DefaultScale()
+		sc.AccessesPerCore = spec.Accesses
+		sc.Mult = spec.Scale
+		return gen(cores, spec.Seed, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr.Clone(), nil
+}
+
+// stateForDoc distinguishes done from truncated for a (possibly cached)
+// result document without decoding the whole thing.
+func stateForDoc(doc []byte) State {
+	var probe struct {
+		Truncated bool `json:"truncated"`
+	}
+	if err := json.Unmarshal(doc, &probe); err == nil && probe.Truncated {
+		return StateTruncated
+	}
+	return StateDone
+}
+
+// Drain gracefully shuts the engine down: stop accepting submissions,
+// let the workers finish every queued and running job, then persist the
+// cache index. If ctx expires first, running simulations are canceled —
+// they checkpoint partial results and finish as truncated — and Drain
+// still waits for the workers to wind down before persisting. No
+// accepted job is ever lost: every one reaches a terminal state.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := !s.accepting
+	s.accepting = false
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.runCancel() // checkpoint running sims
+		<-done
+	}
+	s.runCancel()
+
+	if s.opt.CachePath != "" {
+		if err := simcache.SaveFile(s.cache, s.opt.CachePath); err != nil {
+			return fmt.Errorf("server: persist cache: %w", err)
+		}
+	}
+	return nil
+}

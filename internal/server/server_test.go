@@ -1,0 +1,598 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastSpec is a spec small enough to simulate in well under a second.
+func fastSpec(seed uint64) JobSpec {
+	return JobSpec{Workload: "pr", Seed: seed, Accesses: 1000}
+}
+
+func waitJob(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in state %s", j.ID, j.State())
+	}
+}
+
+func newTestServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return s
+}
+
+// TestDedupSixteenSubmissionsFourSims is the headline e2e property: 16
+// concurrent submissions spanning 4 distinct configs must finish with
+// exactly 4 simulations executed — every duplicate is served by the
+// result cache or piggybacks on the identical in-flight job.
+func TestDedupSixteenSubmissionsFourSims(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 4, QueueDepth: 32})
+	defer s.Drain(context.Background())
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var (
+		mu  sync.Mutex
+		ids []string
+		wg  sync.WaitGroup
+	)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := fastSpec(uint64(i%4) + 1)
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submit %d: got HTTP %d", i, resp.StatusCode)
+				return
+			}
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, st.ID)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if len(ids) != 16 {
+		t.Fatalf("accepted %d of 16 submissions", len(ids))
+	}
+	leaders := 0
+	for _, id := range ids {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		waitJob(t, j)
+		st := j.Status()
+		if st.State != StateDone {
+			t.Errorf("job %s: state %s (err %q), want done", id, st.State, st.Error)
+		}
+		if len(st.Result) == 0 {
+			t.Errorf("job %s: no result document", id)
+		}
+		if !st.CacheHit && !st.Deduped {
+			leaders++
+		}
+	}
+	if got := s.SimsRun(); got != 4 {
+		t.Errorf("SimsRun = %d, want exactly 4", got)
+	}
+	if leaders != 4 {
+		t.Errorf("%d jobs ran fresh (neither cache_hit nor deduped), want 4", leaders)
+	}
+
+	// Identical configs must produce byte-identical result documents.
+	docs := map[uint64][]byte{}
+	for _, id := range ids {
+		j, _ := s.Job(id)
+		st := j.Status()
+		seed := j.Spec.Seed
+		if prev, ok := docs[seed]; ok {
+			if !bytes.Equal(prev, st.Result) {
+				t.Errorf("seed %d: result documents differ across duplicates", seed)
+			}
+		} else {
+			docs[seed] = st.Result
+		}
+	}
+}
+
+// TestQueueFullBackpressure fills the queue behind a deliberately held
+// worker and checks both the engine error and the HTTP 429 + Retry-After
+// surface.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan *Job, 1)
+	release := make(chan struct{})
+	s, err := New(Options{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testJobStarted = func(j *Job) {
+		started <- j
+		<-release
+	}
+	s.Start()
+	defer func() {
+		s.Drain(context.Background())
+	}()
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First job occupies the only worker...
+	a, err := s.Submit(fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+	// ...second fills the single queue slot...
+	b, err := s.Submit(fastSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...third bounces.
+	if _, err := s.Submit(fastSpec(3)); err != ErrQueueFull {
+		t.Fatalf("Submit with full queue: err = %v, want ErrQueueFull", err)
+	}
+	body, _ := json.Marshal(fastSpec(4))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue over HTTP: got %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", got)
+	}
+	if got := s.Rejected(); got != 2 {
+		t.Errorf("Rejected = %d, want 2", got)
+	}
+
+	// A duplicate of a queued job piggybacks instead of bouncing, even
+	// with the queue full.
+	dup, err := s.Submit(fastSpec(2))
+	if err != nil {
+		t.Fatalf("duplicate of queued job: %v", err)
+	}
+	if !dup.Status().Deduped {
+		t.Error("duplicate of queued job did not piggyback")
+	}
+
+	close(release)
+	for _, j := range []*Job{a, b, dup} {
+		waitJob(t, j)
+		if st := j.State(); st != StateDone {
+			t.Errorf("job %s finished %s, want done", j.ID, st)
+		}
+	}
+}
+
+// TestSSEStreamsEpochEvents submits a job whose epoch length guarantees
+// several boundaries and asserts the SSE stream delivers at least one
+// epoch progress event with sane counters, then a terminal done event.
+func TestSSEStreamsEpochEvents(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	defer s.Drain(context.Background())
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := fastSpec(1)
+	spec.EpochCycles = 20_000 // short epochs: plenty of boundaries
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ev, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Body.Close()
+	if ct := ev.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	var epochs, terminals int
+	var lastEpochData string
+	sc := bufio.NewScanner(ev.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: epoch":
+			epochs++
+		case line == "event: done" || line == "event: failed" || line == "event: truncated":
+			terminals++
+		case strings.HasPrefix(line, "data: ") && epochs > 0 && lastEpochData == "":
+			lastEpochData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if epochs < 1 {
+		t.Errorf("saw %d epoch events, want >= 1", epochs)
+	}
+	if terminals != 1 {
+		t.Errorf("saw %d terminal events, want exactly 1", terminals)
+	}
+	var ep EpochEvent
+	if err := json.Unmarshal([]byte(lastEpochData), &ep); err != nil {
+		t.Fatalf("epoch event payload: %v (%s)", err, lastEpochData)
+	}
+	if ep.Counters.Accesses == 0 {
+		t.Error("epoch event carries a zero-access counter snapshot")
+	}
+
+	// Late subscribers replay the full history: the same stream read
+	// after completion still contains the epoch events.
+	j, _ := s.Job(st.ID)
+	waitJob(t, j)
+	replay, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Body.Close()
+	var replayEpochs int
+	sc = bufio.NewScanner(replay.Body)
+	for sc.Scan() {
+		if sc.Text() == "event: epoch" {
+			replayEpochs++
+		}
+	}
+	if replayEpochs != epochs {
+		t.Errorf("replayed %d epoch events, live stream had %d", replayEpochs, epochs)
+	}
+}
+
+// TestDrainNoLostJobs submits a batch, immediately drains, and checks
+// every accepted job still reaches a terminal state.
+func TestDrainNoLostJobs(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(fastSpec(uint64(i) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if st := j.State(); !st.terminal() {
+			t.Errorf("job %s lost in drain: state %s", j.ID, st)
+		}
+	}
+	if _, err := s.Submit(fastSpec(1)); err != ErrDraining {
+		t.Errorf("Submit after drain: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestDrainCheckpointsRunningJob forces the drain deadline to expire
+// while a large job is mid-flight: the simulation must be canceled,
+// checkpointed as truncated with a partial result, and never cached.
+func TestDrainCheckpointsRunningJob(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	// Big enough to still be mid-flight when the drain fires; short
+	// epochs so the first epoch event (our "simulation is live" signal)
+	// arrives quickly.
+	big := JobSpec{Workload: "pr", Seed: 1, Accesses: 150_000, EpochCycles: 20_000}
+	j, err := s.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, unsub := j.subscribe()
+	defer unsub()
+	deadline := time.After(60 * time.Second)
+	for live := false; !live; {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("job finished before the drain could interrupt it")
+			}
+			live = ev.Type == "epoch"
+		case <-deadline:
+			t.Fatal("no epoch event; simulation never got going")
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already expired: checkpoint immediately
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	st := j.Status()
+	if st.State != StateTruncated {
+		t.Fatalf("checkpointed job state = %s (err %q), want truncated", st.State, st.Error)
+	}
+	var doc ResultDoc
+	if err := json.Unmarshal(st.Result, &doc); err != nil {
+		t.Fatalf("partial result document: %v", err)
+	}
+	if !doc.Truncated || doc.TruncateReason != "canceled" {
+		t.Errorf("partial doc truncated=%v reason=%q, want canceled", doc.Truncated, doc.TruncateReason)
+	}
+	if doc.Accesses == 0 {
+		t.Error("checkpoint carries zero completed accesses")
+	}
+	if n := s.CacheStats().Entries; n != 0 {
+		t.Errorf("canceled result entered the cache (%d entries)", n)
+	}
+}
+
+// TestPersistWarmRestart drains a server with a populated cache, then
+// starts a fresh one from the same index file and checks an identical
+// submission is served instantly from cache without simulating.
+func TestPersistWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.json")
+
+	s1 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, CachePath: path})
+	j, err := s1.Submit(fastSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache index not persisted: %v", err)
+	}
+
+	s2 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, CachePath: path})
+	defer s2.Drain(context.Background())
+	j2, err := s2.Submit(fastSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j2) // cache hits are terminal at submit; this is instant
+	st := j2.Status()
+	if !st.CacheHit {
+		t.Error("warm-restarted server missed the persisted cache entry")
+	}
+	if st.State != StateDone {
+		t.Errorf("state = %s, want done", st.State)
+	}
+	if got := s2.SimsRun(); got != 0 {
+		t.Errorf("warm restart ran %d simulations, want 0", got)
+	}
+	if !bytes.Equal(st.Result, j.Status().Result) {
+		t.Error("persisted result differs from the original document")
+	}
+}
+
+// TestHTTPSurface covers the remaining read endpoints and error paths.
+func TestHTTPSurface(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(v any) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Bad specs are 400 with a JSON error body.
+	for _, bad := range []any{
+		JobSpec{Workload: "no-such-workload"},
+		JobSpec{Workload: "pr", Design: "warp-core"},
+		JobSpec{Workload: "pr", Mem: "sram"},
+		JobSpec{Workload: "pr", Faults: "flux-capacitor,rate=1"},
+		map[string]any{"workload": "pr", "unknown_field": 1},
+	} {
+		resp := post(bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad spec %+v: got %d, want 400", bad, resp.StatusCode)
+		}
+		var ed errorDoc
+		if err := json.NewDecoder(resp.Body).Decode(&ed); err != nil || ed.Error == "" {
+			t.Errorf("bad spec %+v: error body missing (%v)", bad, err)
+		}
+		resp.Body.Close()
+	}
+
+	resp := post(fastSpec(1))
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	j, _ := s.Job(st.ID)
+	waitJob(t, j)
+
+	// Status and result endpoints.
+	r2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 JobStatus
+	if err := json.NewDecoder(r2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if st2.State != StateDone || len(st2.Result) == 0 {
+		t.Errorf("status: state=%s result=%d bytes", st2.State, len(st2.Result))
+	}
+	r3, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ResultDoc
+	if err := json.NewDecoder(r3.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if doc.SchemaVersion != resultSchemaVersion || doc.Accesses == 0 {
+		t.Errorf("result doc: schema=%d accesses=%d", doc.SchemaVersion, doc.Accesses)
+	}
+
+	// Unknown job is 404; stats and workloads respond.
+	r4, _ := http.Get(ts.URL + "/v1/jobs/j-999999")
+	if r4.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: got %d, want 404", r4.StatusCode)
+	}
+	r4.Body.Close()
+	r5, _ := http.Get(ts.URL + "/v1/stats")
+	var stats statsDoc
+	if err := json.NewDecoder(r5.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	r5.Body.Close()
+	if stats.Jobs < 1 || stats.SimsRun < 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+	r6, _ := http.Get(ts.URL + "/v1/workloads")
+	var names []string
+	if err := json.NewDecoder(r6.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	r6.Body.Close()
+	if len(names) != 13 {
+		t.Errorf("workloads: got %d names, want 13", len(names))
+	}
+
+	// Listings strip the result payload.
+	r7, _ := http.Get(ts.URL + "/v1/jobs")
+	var list []JobStatus
+	if err := json.NewDecoder(r7.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	r7.Body.Close()
+	for _, item := range list {
+		if len(item.Result) != 0 {
+			t.Errorf("listing inlines result for %s", item.ID)
+		}
+	}
+}
+
+func TestJobSpecNormalizeAndKey(t *testing.T) {
+	def := JobSpec{Workload: "pr"}.normalize()
+	want := JobSpec{Workload: "pr", Design: "NDPExt", Mem: "hbm", Seed: 1,
+		Accesses: 30000, Scale: 1, Reconfig: "full", FaultSeed: 1}
+	if def != want {
+		t.Errorf("normalize() = %+v, want %+v", def, want)
+	}
+
+	// An omitted field and its explicit default must address the same
+	// cache entry.
+	keyOf := func(js JobSpec) string {
+		t.Helper()
+		js = js.normalize()
+		cfg, err := js.build(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js.key(cfg).String()
+	}
+	if keyOf(JobSpec{Workload: "pr"}) != keyOf(want) {
+		t.Error("defaulted and explicit specs hash differently")
+	}
+	base := keyOf(JobSpec{Workload: "pr"})
+	for name, js := range map[string]JobSpec{
+		"workload":  {Workload: "bfs"},
+		"design":    {Workload: "pr", Design: "Nexus"},
+		"mem":       {Workload: "pr", Mem: "hmc"},
+		"seed":      {Workload: "pr", Seed: 2},
+		"accesses":  {Workload: "pr", Accesses: 40000},
+		"scale":     {Workload: "pr", Scale: 2},
+		"reconfig":  {Workload: "pr", Reconfig: "partial"},
+		"epoch":     {Workload: "pr", EpochCycles: 123456},
+		"faults":    {Workload: "pr", Faults: "cxl-retry,rate=0.01"},
+		"faultseed": {Workload: "pr", FaultSeed: 9},
+		"maxcycles": {Workload: "pr", MaxCycles: 5_000_000},
+	} {
+		if keyOf(js) == base {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+}
+
+func TestEncodeResultDeterministic(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	defer s.Drain(context.Background())
+	j, err := s.Submit(fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	doc := j.Status().Result
+	var parsed ResultDoc
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-tripping through the struct reproduces the exact bytes —
+	// the document is canonical.
+	if got, want := string(re), string(doc); got != want {
+		// Metrics is map[string]any: numbers decode as float64, so a
+		// full byte round-trip only holds without the metrics block.
+		parsed.Metrics = nil
+		var orig ResultDoc
+		json.Unmarshal(doc, &orig)
+		orig.Metrics = nil
+		a, _ := json.Marshal(parsed)
+		b, _ := json.Marshal(orig)
+		if !bytes.Equal(a, b) {
+			t.Errorf("result doc not canonical:\n got %s\nwant %s", got, want)
+		}
+	}
+	if !bytes.Contains(doc, []byte(fmt.Sprintf(`"schema_version":%d`, resultSchemaVersion))) {
+		t.Error("schema_version missing from canonical document")
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"ndpext/internal/fault"
+	"ndpext/internal/simcache"
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+// JobSpec is the submission body of POST /v1/jobs: which machine to
+// simulate, on which workload, under which fault scenario. Zero-valued
+// optional fields take the documented defaults, applied by normalize()
+// BEFORE the cache key is computed, so "seed omitted" and "seed": 1
+// address the same cache entry.
+type JobSpec struct {
+	// Workload names a generator from internal/workloads (see
+	// GET /v1/workloads).
+	Workload string `json:"workload"`
+	// Design is a system design name: NDPExt, NDPExt-static, Nexus,
+	// Whirlpool, Jigsaw, Static, or Host. Default NDPExt.
+	Design string `json:"design,omitempty"`
+	// Mem picks the NDP stack memory: "hbm" (default) or "hmc".
+	Mem string `json:"mem,omitempty"`
+	// Seed seeds workload generation (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Accesses is the per-core access budget (default 30000).
+	Accesses int `json:"accesses,omitempty"`
+	// Scale multiplies workload footprints (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Reconfig is the reconfiguration mode: "full" (default),
+	// "partial", or "static".
+	Reconfig string `json:"reconfig,omitempty"`
+	// EpochCycles overrides the host-runtime epoch length in core
+	// cycles (default: the machine's DefaultConfig value).
+	EpochCycles int64 `json:"epoch_cycles,omitempty"`
+	// Faults is a fault-injection spec in the internal/fault grammar,
+	// e.g. "vault-fail,unit=3,at=40us;cxl-retry,rate=0.01".
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed seeds the fault injector (default 1, like ndpsim).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// MaxCycles aborts the run deterministically after this many
+	// simulated core cycles (0: server default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// MaxWallMS aborts the run after this much wall-clock time
+	// (0: server default). Wall-truncated results are never cached.
+	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+}
+
+// normalize fills defaults in place; the result is what gets hashed,
+// echoed in job status, and simulated.
+func (js JobSpec) normalize() JobSpec {
+	if js.Design == "" {
+		js.Design = system.NDPExt.String()
+	}
+	if js.Mem == "" {
+		js.Mem = "hbm"
+	}
+	if js.Seed == 0 {
+		js.Seed = 1
+	}
+	if js.Accesses == 0 {
+		js.Accesses = 30000
+	}
+	if js.Scale == 0 {
+		js.Scale = 1
+	}
+	if js.Reconfig == "" {
+		js.Reconfig = "full"
+	}
+	if js.FaultSeed == 0 {
+		js.FaultSeed = 1
+	}
+	return js
+}
+
+// build validates the spec and assembles the machine configuration. The
+// returned config carries no hooks (the worker adds its own progress
+// hooks after keying, so hooks never perturb the cache key).
+func (js JobSpec) build(defMaxWall time.Duration, defMaxCycles int64) (system.Config, error) {
+	d, err := system.ParseDesign(js.Design)
+	if err != nil {
+		return system.Config{}, err
+	}
+	var cfg system.Config
+	switch js.Mem {
+	case "hbm":
+		cfg = system.DefaultConfig(d)
+	case "hmc":
+		cfg = system.HMCConfig(d)
+	default:
+		return system.Config{}, fmt.Errorf("unknown mem %q (want hbm or hmc)", js.Mem)
+	}
+	cfg.Reconfig, err = system.ParseReconfigMode(js.Reconfig)
+	if err != nil {
+		return system.Config{}, err
+	}
+	if js.EpochCycles < 0 {
+		return system.Config{}, fmt.Errorf("epoch_cycles must be >= 0")
+	}
+	if js.EpochCycles > 0 {
+		cfg.EpochCycles = js.EpochCycles
+	}
+	if _, err := workloads.Get(js.Workload); err != nil {
+		return system.Config{}, err
+	}
+	if js.Accesses < 0 || js.Scale < 0 {
+		return system.Config{}, fmt.Errorf("accesses and scale must be >= 0")
+	}
+	spec, err := fault.Parse(js.Faults)
+	if err != nil {
+		return system.Config{}, err
+	}
+	cfg.Faults = spec
+	cfg.FaultSeed = js.FaultSeed
+	cfg.MaxWall = defMaxWall
+	if js.MaxWallMS > 0 {
+		cfg.MaxWall = time.Duration(js.MaxWallMS) * time.Millisecond
+	}
+	cfg.MaxCycles = defMaxCycles
+	if js.MaxCycles > 0 {
+		cfg.MaxCycles = js.MaxCycles
+	}
+	if err := cfg.Validate(); err != nil {
+		return system.Config{}, err
+	}
+	return cfg, nil
+}
+
+// workloadCanon is the canonical serialization of the workload half of a
+// job's inputs; together with Config.CanonicalBytes it fully determines
+// the simulated result.
+func (js JobSpec) workloadCanon() []byte {
+	return []byte(fmt.Sprintf("ndpext-workload/v1|name=%s|seed=%d|accesses=%d|scale=%g",
+		js.Workload, js.Seed, js.Accesses, js.Scale))
+}
+
+// key content-addresses the job: SHA-256 over the canonical machine
+// config and workload parameters.
+func (js JobSpec) key(cfg system.Config) simcache.Key {
+	return simcache.Sum(cfg.CanonicalBytes(), js.workloadCanon())
+}

@@ -1,0 +1,51 @@
+package simcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSum measures cache-key hashing over a canonical-config-sized
+// input (~1 kB), the per-submission cost of content addressing.
+func BenchmarkSum(b *testing.B) {
+	cfg := make([]byte, 1024)
+	for i := range cfg {
+		cfg[i] = byte(i)
+	}
+	wl := []byte("workload=pr|seed=1|accesses=30000|scale=1")
+	b.SetBytes(int64(len(cfg) + len(wl)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Sum(cfg, wl)
+	}
+}
+
+// BenchmarkGetHit measures the steady-state hit path.
+func BenchmarkGetHit(b *testing.B) {
+	c := New[[]byte](1024, 0)
+	keys := make([]Key, 256)
+	for i := range keys {
+		keys[i] = Sum([]byte(fmt.Sprintf("k%d", i)))
+		c.Put(keys[i], []byte("{}"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkDoHit measures Do on a warm key (the repeat-submission path).
+func BenchmarkDoHit(b *testing.B) {
+	c := New[[]byte](16, 0)
+	k := Sum([]byte("job"))
+	c.Put(k, []byte("{}"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, hit, _ := c.Do(k, func() ([]byte, error) { return nil, nil }); !hit {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package simcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// indexVersion bumps when the persisted index layout changes.
+const indexVersion = 1
+
+// indexFile is the on-disk form of a []byte cache: the entries in
+// most-recently-used-first order, each with its absolute expiry so
+// remaining TTLs survive a restart.
+type indexFile struct {
+	Version int          `json:"version"`
+	SavedAt time.Time    `json:"saved_at"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	Key     string          `json:"key"`
+	Expires time.Time       `json:"expires,omitzero"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// SaveIndex writes every resident, unexpired entry of a []byte cache to
+// w as a JSON index. Values must themselves be valid JSON documents
+// (the serving layer stores canonical result docs), keeping the index
+// human-inspectable.
+func SaveIndex(c *Cache[[]byte], w io.Writer) error {
+	idx := indexFile{Version: indexVersion, SavedAt: time.Now()}
+	c.Each(func(k Key, v []byte, expires time.Time) {
+		idx.Entries = append(idx.Entries, indexEntry{
+			Key: k.String(), Expires: expires, Value: json.RawMessage(v),
+		})
+	})
+	// No indentation: the encoder would reformat the embedded raw value
+	// documents, and persisted entries must stay byte-identical.
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(&idx); err != nil {
+		return fmt.Errorf("simcache: save index: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reads an index written by SaveIndex into c, skipping entries
+// that expired while the server was down. It returns how many entries
+// were restored.
+func LoadIndex(c *Cache[[]byte], r io.Reader) (int, error) {
+	var idx indexFile
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&idx); err != nil {
+		return 0, fmt.Errorf("simcache: load index: %w", err)
+	}
+	if idx.Version != indexVersion {
+		return 0, fmt.Errorf("simcache: index version %d, want %d", idx.Version, indexVersion)
+	}
+	now := time.Now()
+	n := 0
+	// Insert in reverse so the file's MRU-first order is reconstructed.
+	for i := len(idx.Entries) - 1; i >= 0; i-- {
+		e := idx.Entries[i]
+		if !e.Expires.IsZero() && !now.Before(e.Expires) {
+			continue
+		}
+		k, err := ParseKey(e.Key)
+		if err != nil {
+			return n, err
+		}
+		c.PutWithExpiry(k, []byte(e.Value), e.Expires)
+		n++
+	}
+	return n, nil
+}
+
+// SaveFile persists the index to path atomically (write + rename).
+func SaveFile(c *Cache[[]byte], path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveIndex(c, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the index from path; a missing file is not an error
+// (cold start) and restores zero entries.
+func LoadFile(c *Cache[[]byte], path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return LoadIndex(c, f)
+}

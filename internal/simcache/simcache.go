@@ -1,0 +1,236 @@
+// Package simcache is the content-addressed result cache behind the
+// serving layer and the experiment matrix: simulation inputs (canonical
+// config bytes, workload parameters, fault specs) hash to a Key, and a
+// bounded LRU cache with optional TTL maps keys to finished results.
+// Do() adds singleflight deduplication so N concurrent requests for the
+// same key cost one simulation — the rest block and share the leader's
+// result.
+//
+// The cache is generic over the stored value: the server keeps
+// canonical JSON result documents ([]byte, persistable across restarts
+// via SaveIndex/LoadIndex), while the experiment matrix keeps decoded
+// *system.Result values in-process.
+package simcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Key is a content address: the SHA-256 of a job's canonical inputs.
+type Key [sha256.Size]byte
+
+// Sum hashes the given canonical input parts into a Key. Each part is
+// length-prefixed so part boundaries are unambiguous ("ab","c" never
+// collides with "a","bc").
+func Sum(parts ...[]byte) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// String renders the key as lowercase hex (the wire/API form).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("simcache: invalid key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Stats counts cache activity since construction.
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Dedups      uint64 `json:"dedups"` // Do calls that piggybacked on an in-flight computation
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"`
+	Entries     int    `json:"entries"`
+}
+
+// entry is one resident cache slot.
+type entry[V any] struct {
+	key     Key
+	val     V
+	expires time.Time // zero: never expires
+}
+
+// flight is one in-progress Do computation.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a bounded LRU + TTL map from Key to V with singleflight
+// deduplication. All methods are safe for concurrent use.
+type Cache[V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	ttl        time.Duration
+	ll         *list.List // front = most recently used; values are *entry[V]
+	items      map[Key]*list.Element
+	inflight   map[Key]*flight[V]
+	stats      Stats
+	now        func() time.Time // injectable for TTL tests
+}
+
+// New returns a cache holding at most maxEntries values (>= 1).
+// ttl <= 0 disables expiry.
+func New[V any](maxEntries int, ttl time.Duration) *Cache[V] {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache[V]{
+		maxEntries: maxEntries,
+		ttl:        ttl,
+		ll:         list.New(),
+		items:      make(map[Key]*list.Element),
+		inflight:   make(map[Key]*flight[V]),
+		now:        time.Now,
+	}
+}
+
+// Get returns the cached value for k, bumping its recency.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(k)
+}
+
+func (c *Cache[V]) getLocked(k Key) (V, bool) {
+	var zero V
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		c.removeLocked(el)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return e.val, true
+}
+
+// Put stores v under k with the cache's default TTL.
+func (c *Cache[V]) Put(k Key, v V) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	c.PutWithExpiry(k, v, expires)
+}
+
+// PutWithExpiry stores v with an explicit expiry instant (zero: never).
+// Used when reloading a persisted index so remaining lifetimes survive
+// the restart.
+func (c *Cache[V]) PutWithExpiry(k Key, v V, expires time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry[V])
+		e.val, e.expires = v, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[V]{key: k, val: v, expires: expires})
+	c.items[k] = el
+	for c.ll.Len() > c.maxEntries {
+		back := c.ll.Back()
+		c.removeLocked(back)
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+}
+
+// Do returns the cached value for k, or computes it with fn exactly once
+// no matter how many goroutines ask concurrently: the first caller runs
+// fn, the rest block until it finishes and share its value. hit reports
+// whether the value came from cache (true) rather than this or a
+// piggybacked computation (false). Errors are returned to every waiter
+// and are NOT cached — a later Do retries.
+func (c *Cache[V]) Do(k Key, fn func() (V, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.getLocked(k); ok {
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.stats.Dedups++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, false, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	if f.err == nil {
+		c.Put(k, f.val)
+	}
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Len returns the resident entry count (including not-yet-expired TTLs).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}
+
+// Each visits every resident, unexpired entry from most to least
+// recently used without changing recency. The callback must not call
+// back into the cache.
+func (c *Cache[V]) Each(f func(k Key, v V, expires time.Time)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[V])
+		if !e.expires.IsZero() && !now.Before(e.expires) {
+			continue
+		}
+		f(e.key, e.val, e.expires)
+	}
+}

@@ -1,0 +1,81 @@
+package system
+
+import (
+	"testing"
+
+	"ndpext/internal/workloads"
+)
+
+// benchTrace generates one small trace outside the timed region.
+func benchTrace(b *testing.B, cores int) *workloads.Trace {
+	b.Helper()
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := workloads.TinyScale()
+	sc.CoresPerProc = 4
+	tr, err := gen(cores, 42, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkPerAccess measures the simulator's per-access hot path — the
+// cost of pushing one memory access through placement lookup, cache
+// model, NoC, and accounting — as ns/access (custom metric) on the
+// small 8-unit machine. This is the number the serving layer's capacity
+// planning leans on: jobs/sec scales inversely with it.
+func BenchmarkPerAccess(b *testing.B) {
+	tr := benchTrace(b, 8)
+	cfg := smallConfig(NDPExt)
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, tr.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += res.Accesses
+	}
+	b.StopTimer()
+	if accesses > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(accesses), "ns/access")
+	}
+}
+
+// BenchmarkPerAccessHost is the host-baseline counterpart: the epoch
+// runtime is bypassed, so this isolates the memory-path cost itself.
+func BenchmarkPerAccessHost(b *testing.B) {
+	tr := benchTrace(b, 8)
+	cfg := smallConfig(Host)
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, tr.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += res.Accesses
+	}
+	b.StopTimer()
+	if accesses > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(accesses), "ns/access")
+	}
+}
+
+// BenchmarkCanonicalBytes measures canonical config serialization — the
+// front half of the serving layer's job keying (the back half, SHA-256,
+// is benchmarked in internal/simcache).
+func BenchmarkCanonicalBytes(b *testing.B) {
+	cfg := DefaultConfig(NDPExt)
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(cfg.CanonicalBytes())
+	}
+	if n == 0 {
+		b.Fatal("empty canonical form")
+	}
+}

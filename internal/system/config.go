@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"ndpext/internal/cxl"
@@ -73,6 +74,31 @@ func (d Design) String() string {
 // the paper's Fig. 5 plots them.
 func NDPDesigns() []Design {
 	return []Design{StaticInterleave, Jigsaw, Whirlpool, Nexus, NDPExtStatic, NDPExt}
+}
+
+// ParseDesign parses a design by its String name, case-insensitively
+// (the form used by the CLI flags and the serving API).
+func ParseDesign(s string) (Design, error) {
+	for _, d := range append(NDPDesigns(), Host) {
+		if strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown design %q", s)
+}
+
+// ParseReconfigMode parses "full", "partial", or "static".
+func ParseReconfigMode(s string) (ReconfigMode, error) {
+	switch strings.ToLower(s) {
+	case "full":
+		return ReconfigFull, nil
+	case "partial":
+		return ReconfigPartial, nil
+	case "static":
+		return ReconfigStatic, nil
+	default:
+		return 0, fmt.Errorf("system: unknown reconfig mode %q", s)
+	}
 }
 
 // ReconfigMode selects the Fig. 9(e) reconfiguration method.
@@ -189,6 +215,11 @@ type EpochInfo struct {
 	Degraded        bool // a vault failure or link degradation was active
 	FailedUnits     int  // vaults offline at this boundary
 	RemappedStreams int  // streams remapped off failed vaults this epoch
+
+	// Counters is a snapshot of the run's hot-path counters at this
+	// boundary — a plain value safe to hand to other goroutines (the
+	// serving layer streams it as live progress).
+	Counters telemetry.Snapshot
 }
 
 // DefaultConfig returns the Table II machine at model scale with the

@@ -264,7 +264,8 @@ func (s *ndpSim) epochBoundary() {
 	}
 	if !s.profiles() {
 		if s.cfg.OnEpoch != nil {
-			s.cfg.OnEpoch(EpochInfo{Epoch: s.epoch, Degraded: degraded, FailedUnits: len(failed)})
+			s.cfg.OnEpoch(EpochInfo{Epoch: s.epoch, Degraded: degraded, FailedUnits: len(failed),
+				Counters: s.tel.Snapshot()})
 		}
 		return
 	}
@@ -595,6 +596,7 @@ func (s *ndpSim) epochBoundary() {
 			Degraded:        degraded,
 			FailedUnits:     len(failed),
 			RemappedStreams: s.tel.FaultRemappedStreams - remappedBefore,
+			Counters:        s.tel.Snapshot(),
 		})
 	}
 }

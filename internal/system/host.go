@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"time"
 
 	"ndpext/internal/cache"
@@ -16,8 +17,9 @@ import (
 // set-associative cache with bank + routing latency), and DDR5 main
 // memory. Traces generated for the NDP core count are folded onto the
 // host cores, preserving per-core access order. Accounting flows through
-// the same telemetry counters as the NDP designs.
-func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
+// the same telemetry counters as the NDP designs. Cancellation follows
+// RunContext's contract: partial results plus ctx's error.
+func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
 	nc := cfg.HostCores
 	if nc <= 0 {
 		nc = 64
@@ -76,9 +78,15 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 			res.Truncated, res.TruncateReason = true, "cycle budget exceeded"
 			break
 		}
-		if cfg.MaxWall > 0 && n&1023 == 0 && !time.Now().Before(deadline) {
-			res.Truncated, res.TruncateReason = true, "wall-clock limit exceeded"
-			break
+		if n&1023 == 0 {
+			if cfg.MaxWall > 0 && !time.Now().Before(deadline) {
+				res.Truncated, res.TruncateReason = true, "wall-clock limit exceeded"
+				break
+			}
+			if ctx.Err() != nil {
+				res.Truncated, res.TruncateReason = true, truncatedCanceled
+				break
+			}
 		}
 		c := ev.ID
 		a := perCore[c][idx[c]]
@@ -157,6 +165,9 @@ func runHost(cfg Config, tr *workloads.Trace) (*Result, error) {
 		CacheDRAM: tel.Levels[telemetry.LevelCacheDRAM],
 		Extended:  tel.Levels[telemetry.LevelExtended],
 		Accesses:  tel.Accesses,
+	}
+	if res.Truncated && res.TruncateReason == truncatedCanceled {
+		return res, context.Cause(ctx)
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -104,11 +105,25 @@ func (r *Result) StreamReports() []StreamReport { return r.streams }
 
 // Run simulates the trace on the configured machine.
 func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
+	return RunContext(context.Background(), cfg, tr)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// mid-run the event loop stops at the next check point, partial
+// statistics are flushed exactly as for a tripped watchdog (Truncated
+// set, TruncateReason = "canceled"), and the partial Result is returned
+// ALONGSIDE ctx.Err(). Callers that only want clean aborts can ignore
+// the Result on error; callers that checkpoint (the serving layer) use
+// both.
+func RunContext(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Design == Host {
-		return runHost(cfg, tr)
+		return runHost(ctx, cfg, tr)
 	}
 	if len(tr.PerCore) != cfg.NumUnits() {
 		return nil, fmt.Errorf("system: trace has %d cores, machine has %d units",
@@ -118,10 +133,17 @@ func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.ctx = ctx
 	s.bootstrap()
 	s.loop()
+	if s.res.Truncated && s.res.TruncateReason == truncatedCanceled {
+		return s.result(), context.Cause(ctx)
+	}
 	return s.result(), nil
 }
+
+// truncatedCanceled is the TruncateReason for context cancellation.
+const truncatedCanceled = "canceled"
 
 // samplerKey identifies one hardware sampler's assignment.
 type samplerKey struct {
@@ -133,6 +155,7 @@ type samplerKey struct {
 type ndpSim struct {
 	cfg   Config
 	tr    *workloads.Trace
+	ctx   context.Context // cooperative cancellation; nil means none
 	clock sim.Clock
 
 	net  *noc.Network
@@ -291,11 +314,18 @@ func (s *ndpSim) loop() {
 			s.res.Truncated, s.res.TruncateReason = true, "cycle budget exceeded"
 			break
 		}
-		// The wall check is amortized over event batches; it includes
-		// n == 0 so a tiny budget truncates before any work.
-		if s.cfg.MaxWall > 0 && n&1023 == 0 && !time.Now().Before(deadline) {
-			s.res.Truncated, s.res.TruncateReason = true, "wall-clock limit exceeded"
-			break
+		// The wall and cancellation checks are amortized over event
+		// batches; they include n == 0 so a tiny budget truncates
+		// before any work.
+		if n&1023 == 0 {
+			if s.cfg.MaxWall > 0 && !time.Now().Before(deadline) {
+				s.res.Truncated, s.res.TruncateReason = true, "wall-clock limit exceeded"
+				break
+			}
+			if s.ctx != nil && s.ctx.Err() != nil {
+				s.res.Truncated, s.res.TruncateReason = true, truncatedCanceled
+				break
+			}
 		}
 		for ev.When >= s.nextEpoch {
 			s.epochBoundary()

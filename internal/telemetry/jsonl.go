@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"sync"
 )
 
 // jsonEvent is the wire form of an Event: one JSON object per line with
@@ -21,8 +22,10 @@ type jsonEvent struct {
 
 // JSONLProbe writes each recorded event as one JSON line. It buffers
 // internally; call Flush before reading the output. The first write error
-// is sticky and surfaced by Flush.
+// is sticky and surfaced by Flush. Record, Note, and Flush are safe to
+// call from multiple goroutines; each event stays one intact line.
 type JSONLProbe struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	err error
 }
@@ -34,9 +37,6 @@ func NewJSONL(w io.Writer) *JSONLProbe {
 
 // Record implements Probe.
 func (p *JSONLProbe) Record(ev *Event) {
-	if p.err != nil {
-		return
-	}
 	je := jsonEvent{
 		Seq:     ev.Seq,
 		Core:    ev.Core,
@@ -52,24 +52,21 @@ func (p *JSONLProbe) Record(ev *Event) {
 			je.LatNS[l.String()] = ev.Levels[l].NS()
 		}
 	}
-	b, err := json.Marshal(je)
-	if err != nil {
-		p.err = err
-		return
-	}
-	b = append(b, '\n')
-	if _, err := p.w.Write(b); err != nil {
-		p.err = err
-	}
+	p.writeLine(je)
 }
 
 // Note writes v as one out-of-band JSON line, e.g. a
 // {"truncated":true} marker when a watchdog cut the run short.
-func (p *JSONLProbe) Note(v any) {
+func (p *JSONLProbe) Note(v any) { p.writeLine(v) }
+
+// writeLine marshals v (outside the lock) and appends it as one line.
+func (p *JSONLProbe) writeLine(v any) {
+	b, err := json.Marshal(v)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.err != nil {
 		return
 	}
-	b, err := json.Marshal(v)
 	if err != nil {
 		p.err = err
 		return
@@ -82,6 +79,8 @@ func (p *JSONLProbe) Note(v any) {
 
 // Flush drains the buffer and returns the first error encountered.
 func (p *JSONLProbe) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.err != nil {
 		return p.err
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,6 +100,27 @@ func (r *Registry) Each(f func(name string, v Value)) {
 	for _, n := range r.names {
 		f(n, r.vals[n])
 	}
+}
+
+// MarshalJSON renders the registry as one flat JSON object with keys in
+// sorted order (the canonical machine-readable form shared by
+// `ndpsim -json` and the serving layer). Integer counters marshal as
+// integers; floats and simulated times marshal as numbers, times in
+// nanoseconds.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, len(r.names))
+	for _, n := range r.names {
+		v := r.vals[n]
+		switch v.Kind {
+		case KindUint:
+			m[n] = v.U
+		case KindFloat:
+			m[n] = v.F
+		case KindTime:
+			m[n] = v.T.NS()
+		}
+	}
+	return json.Marshal(m) // map keys marshal in sorted order
 }
 
 // String renders the registry sorted by name, one metric per line
