@@ -150,6 +150,27 @@ type cell struct {
 	name string
 }
 
+// Cell is the exported form of a batch cell, for callers that assemble
+// their own experiment matrices (cross-path determinism tests, external
+// harnesses) and want them executed on the shared bounded pool.
+type Cell struct {
+	Config   system.Config
+	Workload string
+}
+
+// RunCells simulates the given cells concurrently on the bounded worker
+// pool and returns the results in input order; identical cells are
+// deduplicated through the result cache exactly like the figure matrix.
+// Failures come back aggregated in a *BatchError with surviving rows
+// intact (see runCells).
+func RunCells(cells []Cell, opt Options) ([]*system.Result, error) {
+	in := make([]cell, len(cells))
+	for i, c := range cells {
+		in[i] = cell{cfg: c.Config, name: c.Workload}
+	}
+	return runCells(in, opt)
+}
+
 // RowError describes one failed cell of an experiment matrix: which row
 // it was, the (design, workload) configuration, and what went wrong. A
 // recovered worker panic is reported with Panicked set.

@@ -112,14 +112,22 @@ type Controller struct {
 	unitRows uint32
 	table    *stream.Table
 
-	allocs map[stream.ID]streamcache.Allocation
-	meta   []*cache.Cache // per-unit metadata caches
+	// Allocations, epoch counters, and per-stream stats are dense arrays
+	// indexed by sid (with one extra slot for miscSID), so the per-access
+	// Lookup pays plain loads instead of map probes.
+	allocs   []streamcache.Allocation
+	hasAlloc []bool
+	meta     []*cache.Cache // per-unit metadata caches
 	// resident[u] maps (sid, slot) to the cached line.
 	resident []map[resKey]lineVal
-	epochAcc []map[stream.ID]uint64
+	epochAcc [][]uint64 // [unit][sid]
 	stats    Stats
-	perSID   map[stream.ID]*streamcache.StreamStats
+	perSID   []streamcache.StreamStats
 }
+
+// sidSlots is the dense index space: every representable sid plus the
+// misc partition key right above it.
+const sidSlots = int(miscSID) + 1
 
 type resKey struct {
 	sid  stream.ID
@@ -152,15 +160,16 @@ func NewController(kind Kind, p Params, numUnits int, unitRows uint32, tbl *stre
 	}
 	c := &Controller{
 		kind: kind, params: p, numUnits: numUnits, unitRows: unitRows, table: tbl,
-		allocs: make(map[stream.ID]streamcache.Allocation),
-		perSID: make(map[stream.ID]*streamcache.StreamStats),
+		allocs:   make([]streamcache.Allocation, sidSlots),
+		hasAlloc: make([]bool, sidSlots),
+		perSID:   make([]streamcache.StreamStats, sidSlots),
 	}
 	for i := 0; i < numUnits; i++ {
 		// The metadata cache is keyed by metadata-block index: one entry
 		// per MetaBlockBytes of data.
 		c.meta = append(c.meta, cache.New(p.MetaEntries(), 1, p.MetaCacheAssoc))
 		c.resident = append(c.resident, make(map[resKey]lineVal))
-		c.epochAcc = append(c.epochAcc, make(map[stream.ID]uint64))
+		c.epochAcc = append(c.epochAcc, make([]uint64, sidSlots))
 	}
 	if kind == StaticInterleave {
 		c.allocs[miscSID] = interleavedAllocation(numUnits, unitRows)
@@ -168,6 +177,7 @@ func NewController(kind Kind, p Params, numUnits int, unitRows uint32, tbl *stre
 		// Reserve a small interleaved partition for non-stream data.
 		c.allocs[miscSID] = interleavedAllocation(numUnits, unitRows/32+1)
 	}
+	c.hasAlloc[miscSID] = true
 	return c
 }
 
@@ -185,8 +195,10 @@ func (c *Controller) Kind() Kind { return c.kind }
 
 // Allocation returns the installed allocation for sid, if any.
 func (c *Controller) Allocation(sid stream.ID) (streamcache.Allocation, bool) {
-	a, ok := c.allocs[sid]
-	return a, ok
+	if int(sid) >= len(c.allocs) || !c.hasAlloc[sid] {
+		return streamcache.Allocation{}, false
+	}
+	return c.allocs[sid], true
 }
 
 // Lookup is the outcome of one baseline access.
@@ -222,8 +234,8 @@ func (c *Controller) Lookup(unit int, addr uint64, write bool) Lookup {
 	}
 	r.SID = sid
 
-	alloc, ok := c.allocs[sid]
-	if !ok || alloc.TotalRows() == 0 {
+	alloc := c.allocs[sid]
+	if !c.hasAlloc[sid] || alloc.TotalRows() == 0 {
 		// Stream with no partition: fall back to the misc partition.
 		sid = miscSID
 		alloc = c.allocs[miscSID]
@@ -337,11 +349,11 @@ func (c *Controller) Apply(newAllocs map[stream.ID]streamcache.Allocation) (inva
 		if err := a.Validate(c.numUnits); err != nil {
 			return invalidated, writebacks, err
 		}
-		old, had := c.allocs[sid]
-		if had && allocationsEqual(old, a) {
+		if c.hasAlloc[sid] && allocationsEqual(c.allocs[sid], a) {
 			continue
 		}
 		c.allocs[sid] = a.Clone()
+		c.hasAlloc[sid] = true
 		for _, res := range c.resident {
 			for k, v := range res {
 				if k.sid != sid {
@@ -375,8 +387,14 @@ func allocationsEqual(a, b streamcache.Allocation) bool {
 func (c *Controller) EpochAccesses() []map[stream.ID]uint64 {
 	out := make([]map[stream.ID]uint64, c.numUnits)
 	for i := range c.epochAcc {
-		out[i] = c.epochAcc[i]
-		c.epochAcc[i] = make(map[stream.ID]uint64)
+		m := make(map[stream.ID]uint64)
+		for sid, n := range c.epochAcc[i] {
+			if n != 0 {
+				m[stream.ID(sid)] = n
+				c.epochAcc[i][sid] = 0
+			}
+		}
+		out[i] = m
 	}
 	return out
 }
@@ -395,19 +413,14 @@ func (c *Controller) MetaHitRate() float64 {
 
 // StreamStatsFor returns sid's hit/miss counters.
 func (c *Controller) StreamStatsFor(sid stream.ID) streamcache.StreamStats {
-	if s := c.perSID[sid]; s != nil {
-		return *s
+	if int(sid) >= len(c.perSID) {
+		return streamcache.StreamStats{}
 	}
-	return streamcache.StreamStats{}
+	return c.perSID[sid]
 }
 
 func (c *Controller) sidStats(sid stream.ID) *streamcache.StreamStats {
-	s := c.perSID[sid]
-	if s == nil {
-		s = &streamcache.StreamStats{}
-		c.perSID[sid] = s
-	}
-	return s
+	return &c.perSID[sid]
 }
 
 // sortedSIDs returns map keys in ascending order for deterministic loops.

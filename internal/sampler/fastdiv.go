@@ -1,0 +1,67 @@
+package sampler
+
+import "math/bits"
+
+// fastDiv computes exact quotient and remainder by a fixed divisor using
+// a precomputed magic multiplier (Granlund & Montgomery's invariant
+// integer division, the branchfull u64 scheme libdivide popularized).
+// The sampler's Observe loop divides one hash by 64 different capacities
+// per observation; hardware 64-bit division is the dominant cost there,
+// and the multiply-shift form is several times cheaper with bit-exact
+// results (guarded by TestFastDivExact).
+type fastDiv struct {
+	d     uint64
+	magic uint64
+	shift uint8
+	add   bool // quotient needs the (x-q)>>1+q correction step
+	pow2  bool // divisor is a power of two: plain mask/shift
+}
+
+// newFastDiv prepares a divider for d (d >= 1).
+func newFastDiv(d uint64) fastDiv {
+	f := fastDiv{d: d}
+	if d&(d-1) == 0 {
+		f.pow2 = true
+		f.shift = uint8(bits.TrailingZeros64(d))
+		return f
+	}
+	fl2 := uint8(63 - bits.LeadingZeros64(d))
+	// proposedM = floor(2^(64+fl2) / d); 2^fl2 < d, so Div64 is in range.
+	proposedM, rem := bits.Div64(uint64(1)<<fl2, 0, d)
+	e := d - rem
+	if e < uint64(1)<<fl2 {
+		f.shift = fl2
+	} else {
+		// The magic needs 65 bits; double it and round, and compensate
+		// with the add-and-halve step at division time.
+		proposedM += proposedM
+		twiceRem := rem + rem
+		if twiceRem >= d || twiceRem < rem {
+			proposedM++
+		}
+		f.shift = fl2
+		f.add = true
+	}
+	f.magic = proposedM + 1
+	return f
+}
+
+// mod returns x % d.
+func (f fastDiv) mod(x uint64) uint64 {
+	_, r := f.divmod(x)
+	return r
+}
+
+// divmod returns (x / d, x % d).
+func (f fastDiv) divmod(x uint64) (q, r uint64) {
+	if f.pow2 {
+		return x >> f.shift, x & (f.d - 1)
+	}
+	q, _ = bits.Mul64(f.magic, x)
+	if f.add {
+		q = ((x-q)>>1 + q) >> f.shift
+	} else {
+		q >>= f.shift
+	}
+	return q, x - q*f.d
+}

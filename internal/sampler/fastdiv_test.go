@@ -1,0 +1,77 @@
+package sampler
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFastDivExact checks the magic-multiplier remainder against the
+// hardware % across divisor structure classes (powers of two, odd,
+// near-power boundaries, huge) and adversarial dividends.
+func TestFastDivExact(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 31, 32, 33, 63, 64, 65,
+		100, 127, 255, 256, 257, 1000, 4095, 4096, 4097,
+		1<<31 - 1, 1 << 31, 1<<31 + 1, 1<<42 + 12345,
+		1<<63 - 1, 1 << 63, 1<<63 + 1, math.MaxUint64 - 1, math.MaxUint64,
+	}
+	edges := []uint64{0, 1, 2, 3, math.MaxUint64, math.MaxUint64 - 1, 1 << 32, 1<<32 - 1, 1 << 63}
+	rng := rand.New(rand.NewPCG(7, 11))
+	for _, d := range divisors {
+		f := newFastDiv(d)
+		check := func(x uint64) {
+			t.Helper()
+			if got, want := f.mod(x), x%d; got != want {
+				t.Fatalf("fastDiv(%d).mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+		for _, x := range edges {
+			check(x)
+		}
+		for _, e := range []uint64{d - 1, d, d + 1, 2*d - 1, 2 * d, 2*d + 1} {
+			check(e) // wrap-around values are fine: they are still dividends
+		}
+		for i := 0; i < 20000; i++ {
+			check(rng.Uint64())
+		}
+	}
+}
+
+// TestFastDivRandomDivisors sweeps random divisors so the magic
+// construction itself (normal vs add-corrected path) is exercised
+// broadly, not just on hand-picked values.
+func TestFastDivRandomDivisors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 2000; i++ {
+		d := rng.Uint64()
+		if d == 0 {
+			d = 1
+		}
+		f := newFastDiv(d)
+		for j := 0; j < 50; j++ {
+			x := rng.Uint64()
+			if got, want := f.mod(x), x%d; got != want {
+				t.Fatalf("fastDiv(%d).mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	cfg := DefaultConfig(256 << 20)
+	s := New(cfg, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i) * 0x9e37)
+	}
+}
+
+func BenchmarkObservePair(b *testing.B) {
+	cfg := DefaultConfig(256 << 20)
+	s1, s2 := New(cfg, 64), New(cfg, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ObservePair(s1, s2, uint64(i)*0x9e37)
+	}
+}

@@ -67,13 +67,26 @@ type Sampler struct {
 
 // capPoint is one hypothetical capacity: a direct-mapped cache of numSets
 // sets of which only the sampled ones hold (shadow) state.
+//
+// A set is sampled iff set%stride == 0 && set < limit (limit = stride*k,
+// precomputed so the hot path needs one division for the sampled-set
+// index instead of two). Shadow tags live in a dense k-slot array indexed
+// by set/stride rather than a map: the index is a bijection over the
+// sampled sets, so hit/miss decisions are identical, without the hashing.
 type capPoint struct {
 	bytes   int64
 	numSets uint64
-	stride  uint64            // sample set spacing (static interleaving)
-	tags    map[uint64]uint64 // sampled set -> resident item
-	hits    uint64
-	misses  uint64
+	stride  uint64 // sample set spacing (static interleaving)
+	limit   uint64 // stride * SampleSets: first non-sampled multiple
+	// Precomputed magic dividers for the two hot-loop divisions (the
+	// set index within numSets and the sampled-slot index within the
+	// stride); bit-exact with % per TestFastDivExact.
+	bySets   fastDiv
+	byStride fastDiv
+	tags     []uint64
+	occ      []bool
+	hits     uint64
+	misses   uint64
 }
 
 // New builds a sampler for a stream whose cache items (affine blocks or
@@ -103,7 +116,11 @@ func New(cfg Config, itemBytes int) *Sampler {
 		}
 		s.points = append(s.points, capPoint{
 			bytes: b, numSets: n, stride: stride,
-			tags: make(map[uint64]uint64, cfg.SampleSets),
+			limit:    stride * uint64(cfg.SampleSets),
+			bySets:   newFastDiv(n),
+			byStride: newFastDiv(stride),
+			tags:     make([]uint64, cfg.SampleSets),
+			occ:      make([]bool, cfg.SampleSets),
 		})
 	}
 	return s
@@ -126,29 +143,77 @@ func (s *Sampler) Observe(item uint64) {
 	h := hashItem(item)
 	for i := range s.points {
 		p := &s.points[i]
-		set := h % p.numSets
-		if set%p.stride != 0 || set/p.stride >= uint64(s.cfg.SampleSets) {
+		set := p.bySets.mod(h)
+		if set >= p.limit {
 			continue // not a sampled set at this capacity
 		}
-		if cur, ok := p.tags[set]; ok && cur == item {
-			p.hits++
-		} else {
-			p.misses++
-			p.tags[set] = item
+		j, r := p.byStride.divmod(set)
+		if r != 0 {
+			continue
 		}
+		p.touch(j, item)
+	}
+}
+
+// touch records an access to sampled slot j (= set/stride).
+func (p *capPoint) touch(j, item uint64) {
+	if p.occ[j] && p.tags[j] == item {
+		p.hits++
+	} else {
+		p.misses++
+		p.tags[j] = item
+		p.occ[j] = true
+	}
+}
+
+// ObservePair feeds one access to two samplers at once. When both share
+// the same geometry (same Config and item size — always true for the
+// local/global sampler pair the simulator keeps per stream), the
+// per-capacity set arithmetic is computed once and applied to both
+// shadow states, halving the dominant per-observation cost; otherwise it
+// falls back to two independent Observe calls. The recorded hits and
+// misses are identical either way.
+func ObservePair(a, b *Sampler, item uint64) {
+	if a.cfg != b.cfg || a.itemBytes != b.itemBytes {
+		a.Observe(item)
+		b.Observe(item)
+		return
+	}
+	a.accesses++
+	b.accesses++
+	h := hashItem(item)
+	for i := range a.points {
+		pa := &a.points[i]
+		set := pa.bySets.mod(h)
+		if set >= pa.limit {
+			continue
+		}
+		j, r := pa.byStride.divmod(set)
+		if r != 0 {
+			continue
+		}
+		pa.touch(j, item)
+		b.points[i].touch(j, item)
 	}
 }
 
 // Accesses reports the total observed accesses.
 func (s *Sampler) Accesses() uint64 { return s.accesses }
 
-// Reset clears shadow state and counters for the next epoch.
+// ItemBytes reports the item granularity the sampler was built for.
+func (s *Sampler) ItemBytes() int { return s.itemBytes }
+
+// Reset clears shadow state and counters for the next epoch. A Reset
+// sampler is indistinguishable from a freshly built one with the same
+// Config and item size (the capacity-point geometry is a pure function
+// of those), which is what lets the simulator pool and reuse samplers
+// across epoch reassignments instead of reallocating them.
 func (s *Sampler) Reset() {
 	s.accesses = 0
 	for i := range s.points {
 		p := &s.points[i]
 		p.hits, p.misses = 0, 0
-		clear(p.tags)
+		clear(p.occ)
 	}
 }
 

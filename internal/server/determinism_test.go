@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"ndpext/internal/bench"
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+// TestDeterminismAcrossExecutionPaths is the concurrency-safety oracle
+// for the whole serving stack: one job spec simulated four ways —
+// serially via system.Run, through the bench worker pool, and as
+// concurrent submissions on two independent ndpserve instances — must
+// produce byte-identical canonical result documents under the same
+// CanonicalBytes-derived cache key. Run under -race this also proves the
+// concurrent paths share no unsynchronized state that could perturb a
+// result. A probe/telemetry refactor that made results depend on
+// scheduling would show up here as a document mismatch.
+func TestDeterminismAcrossExecutionPaths(t *testing.T) {
+	spec := JobSpec{Workload: "pr", Seed: 7, Accesses: 1000, EpochCycles: 50_000}.normalize()
+	cfg, err := spec.build(0, 0) // no watchdogs: nothing wall-clock-dependent
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := spec.key(cfg)
+
+	// Path 1: plain serial system.Run, trace built exactly as the server
+	// and bench layers build it (DefaultScale + spec overrides).
+	gen, err := workloads.Get(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.DefaultScale()
+	sc.AccessesPerCore = spec.Accesses
+	sc.Mult = spec.Scale
+	tr, err := gen(cfg.NumUnits(), spec.Seed, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSerial, err := system.Run(cfg, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docSerial, err := EncodeResult(resSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 2: the bench worker pool, with a second unrelated cell in the
+	// batch so the target cell genuinely runs next to concurrent work.
+	opt := bench.Options{AccessesPerCore: spec.Accesses, Seed: spec.Seed}
+	results, err := bench.RunCells([]bench.Cell{
+		{Config: cfg, Workload: spec.Workload},
+		{Config: cfg, Workload: "mv"},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docBench, err := EncodeResult(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paths 3 and 4: two independent server instances each simulate the
+	// spec concurrently (no shared cache between them, so both really
+	// run), with an extra different job on the first to keep its worker
+	// pool busy with unrelated work.
+	serverDocs := make([][]byte, 2)
+	var wg sync.WaitGroup
+	for i := range serverDocs {
+		s := newTestServer(t, Options{Workers: 4, QueueDepth: 8})
+		defer s.Drain(context.Background())
+		if i == 0 {
+			extra, err := s.Submit(JobSpec{Workload: "hotspot", Seed: 3, Accesses: 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer waitJob(t, extra)
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Key != key {
+			t.Fatalf("server %d keyed the job %x, test computed %x", i, j.Key, key)
+		}
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			waitJob(t, j)
+			st := j.Status()
+			if st.State != StateDone {
+				t.Errorf("server %d: job state %s (err %q)", i, st.State, st.Error)
+				return
+			}
+			serverDocs[i] = st.Result
+		}(i, j)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, doc := range [][]byte{docBench, serverDocs[0], serverDocs[1]} {
+		path := []string{"bench pool", "server A", "server B"}[i]
+		if !bytes.Equal(doc, docSerial) {
+			t.Errorf("%s produced a different result document than the serial run\nserial: %s\n%s: %s",
+				path, docSerial, path, doc)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Event is an entry in the EventQueue: at When, the payload ID becomes
 // ready. The simulator stores core indices (or other small handles) in ID
 // rather than closures so the hot loop stays allocation-free.
@@ -13,21 +11,77 @@ type Event struct {
 
 // EventQueue is a deterministic min-heap of events ordered by (When, seq).
 // The zero value is ready to use.
+//
+// The heap is hand-inlined over a typed slice instead of wrapping
+// container/heap: the interface-based API boxes every Event into an
+// `any` (one allocation per Push and one per Pop) and routes every
+// comparison through interface dispatch, which made the queue the event
+// loop's largest allocation site. With the typed slice, steady-state
+// pop+push cycles run allocation-free (the backing array is reused) and
+// the (When, seq) comparison inlines into the sift loops. Because seq is
+// unique, the order is total, so the pop sequence is identical to the
+// container/heap implementation regardless of internal layout.
 type EventQueue struct {
-	h      eventHeap
+	h      []Event
 	nextSq uint64
 }
 
 // Push schedules id to become ready at t.
 func (q *EventQueue) Push(t Time, id int) {
 	q.nextSq++
-	heap.Push(&q.h, Event{When: t, ID: id, seq: q.nextSq})
+	q.h = append(q.h, Event{When: t, ID: id, seq: q.nextSq})
+	// Sift up.
+	h := q.h
+	i := len(h) - 1
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if e.When > p.When || (e.When == p.When && e.seq > p.seq) {
+			break
+		}
+		h[i] = p
+		i = parent
+	}
+	h[i] = e
 }
 
 // Pop removes and returns the earliest event. It panics if the queue is
 // empty; check Len first.
 func (q *EventQueue) Pop() Event {
-	return heap.Pop(&q.h).(Event)
+	h := q.h
+	if len(h) == 0 {
+		panic("sim: Pop on empty EventQueue")
+	}
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	q.h = h[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	h = q.h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := h[l]
+		if r := l + 1; r < n {
+			if cr := h[r]; cr.When < c.When || (cr.When == c.When && cr.seq < c.seq) {
+				l, c = r, cr
+			}
+		}
+		if c.When > e.When || (c.When == e.When && c.seq > e.seq) {
+			break
+		}
+		h[i] = c
+		i = l
+	}
+	h[i] = e
+	return top
 }
 
 // Peek returns the earliest event without removing it.
@@ -40,26 +94,3 @@ func (q *EventQueue) Peek() Event {
 
 // Len reports the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
-
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].When != h[j].When {
-		return h[i].When < h[j].When
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestEventQueuePropertyOrder drives the hand-inlined heap through
+// randomized Push/Pop interleavings and checks every Pop against a
+// reference oracle: a stable sort by When with insertion order breaking
+// ties. This is the property the whole simulator's determinism rests on
+// — same-timestamp events must drain in FIFO order no matter how the
+// heap's internal layout evolves.
+func TestEventQueuePropertyOrder(t *testing.T) {
+	type entry struct {
+		when Time
+		id   int
+		ord  int // insertion order, the tie-break oracle
+	}
+	for _, seed := range []uint64{1, 7, 42, 1000} {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		var q EventQueue
+		// The oracle keeps pending sorted by (when, ord). Since ord only
+		// ever grows, inserting at the upper bound of when preserves the
+		// FIFO-within-timestamp order by construction.
+		var pending []entry
+		ord := 0
+		insert := func(e entry) {
+			i := sort.Search(len(pending), func(i int) bool { return pending[i].when > e.when })
+			pending = append(pending, entry{})
+			copy(pending[i+1:], pending[i:])
+			pending[i] = e
+		}
+		popOne := func(step int) {
+			t.Helper()
+			want := pending[0]
+			pending = pending[1:]
+			got := q.Peek()
+			if popped := q.Pop(); popped != got {
+				t.Fatalf("seed %d step %d: Peek %+v != Pop %+v", seed, step, got, popped)
+			}
+			if got.When != want.when || got.ID != want.id {
+				t.Fatalf("seed %d step %d: popped (when=%v id=%d), want (when=%v id=%d)",
+					seed, step, got.When, got.ID, want.when, want.id)
+			}
+		}
+		for step := 0; step < 30000; step++ {
+			// Bias toward pushes so the heap grows, with a narrow time
+			// range to force many same-When ties.
+			if len(pending) == 0 || rng.Int64N(5) < 3 {
+				when := Time(rng.Int64N(64))
+				q.Push(when, ord)
+				insert(entry{when: when, id: ord, ord: ord})
+				ord++
+			} else {
+				popOne(step)
+			}
+			if q.Len() != len(pending) {
+				t.Fatalf("seed %d step %d: Len %d, want %d", seed, step, q.Len(), len(pending))
+			}
+		}
+		for len(pending) > 0 {
+			popOne(-1)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: queue not empty after drain", seed)
+		}
+	}
+}
+
+// TestEventQueueFIFOSameTimestamp pins the tie-break explicitly: a burst
+// of events pushed at the identical time must pop in push order.
+func TestEventQueueFIFOSameTimestamp(t *testing.T) {
+	var q EventQueue
+	const when = 5 * Nanosecond
+	for id := 0; id < 1000; id++ {
+		q.Push(when, id)
+	}
+	for id := 0; id < 1000; id++ {
+		e := q.Pop()
+		if e.ID != id || e.When != when {
+			t.Fatalf("pop %d: got id %d when %v", id, e.ID, e.When)
+		}
+	}
+}
+
+// TestEventQueuePanics documents the contract on empty queues.
+func TestEventQueuePanics(t *testing.T) {
+	for _, op := range []struct {
+		name string
+		call func(q *EventQueue)
+	}{
+		{"Pop", func(q *EventQueue) { q.Pop() }},
+		{"Peek", func(q *EventQueue) { q.Peek() }},
+	} {
+		t.Run(op.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty queue did not panic", op.name)
+				}
+			}()
+			var q EventQueue
+			op.call(&q)
+		})
+	}
+}
+
+// TestClockCyclesSaturates exercises the overflow paths of the
+// cycles-to-time conversion: huge cycle counts (e.g. a watchdog budget
+// from an external job spec) must clamp to the Time range, not wrap to a
+// negative deadline.
+func TestClockCyclesSaturates(t *testing.T) {
+	c := NewClock(2000) // 500 ps period
+	cases := []struct {
+		n    int64
+		want Time
+	}{
+		{0, 0},
+		{1, 500},
+		{1 << 20, 500 << 20},
+		{int64(maxTime) / 500, maxTime - maxTime%500},
+		{int64(maxTime)/500 + 1, maxTime}, // first saturating count
+		{1<<63 - 1, maxTime},
+		{-1, -500},
+		{-(1 << 40), -500 << 40},
+		{int64(minTime) / 500, minTime - minTime%500},
+		{int64(minTime)/500 - 1, minTime},
+		{-1 << 63, minTime},
+	}
+	for _, tc := range cases {
+		if got := c.Cycles(tc.n); got != tc.want {
+			t.Errorf("Cycles(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestClockCyclesFastSlowAgree cross-checks the single-multiply fast path
+// against the checked slow path over the boundary region where the fast
+// path's guard flips.
+func TestClockCyclesFastSlowAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	clocks := []Clock{NewClock(500), NewClock(2000), NewClock(3200), {period: 1<<31 - 1}}
+	for _, c := range clocks {
+		for i := 0; i < 50000; i++ {
+			var n int64
+			switch rng.Int64N(3) {
+			case 0:
+				n = rng.Int64N(1 << 32) // straddles the 2^31 guard
+			case 1:
+				n = -rng.Int64N(1 << 32)
+			default:
+				n = int64(rng.Uint64()) // full range
+			}
+			if got, want := c.Cycles(n), c.cyclesSlow(n); got != want {
+				t.Fatalf("period %d: Cycles(%d) = %d, cyclesSlow = %d", c.period, n, got, want)
+			}
+		}
+	}
+}
+
+// TestClockZeroValue pins the zero-value Clock contract: conversions
+// return zero rather than dividing by zero.
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.cyclesSlow(12345); got != 0 {
+		t.Fatalf("zero Clock cyclesSlow = %d, want 0", got)
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "sort"
-
 // Resource models a unit-capacity hardware resource (a NoC link, a DRAM
 // bank, a CXL lane group) with interval reservation: a request arriving
 // at time t occupies the resource for dur starting at the earliest gap of
@@ -14,9 +12,21 @@ import "sort"
 // earlier arrivals on links that are actually idle, collapsing the
 // network at a few percent utilization. Interval reservation keeps the
 // capacity accounting exact while letting earlier traffic use the gaps.
+//
+// The interval list is a power-of-two ring buffer rather than a plain
+// slice. Most insertions land near the front of the list (gap-filling
+// close to the arrival time, while response-path reservations extend the
+// tail far into the future), and a slice insert pays a memmove of every
+// interval after the insertion point — profiling showed that memmove as
+// the simulator's single largest CPU line. The ring shifts whichever
+// side of the insertion point is shorter and prunes the front in O(1);
+// the logical interval sequence, and therefore every Acquire result, is
+// identical to the slice implementation's (TestResourceRingMatchesReference).
 type Resource struct {
 	floor     Time   // time before which no reservation can start
-	ivals     []ival // disjoint busy intervals, sorted by start
+	buf       []ival // ring storage; len is zero or a power of two
+	head      int    // physical index of logical interval 0
+	n         int    // live intervals, disjoint and sorted by start
 	busyTotal Time
 }
 
@@ -35,6 +45,11 @@ const pruneWindow = 200 * Microsecond
 // pathological tail).
 const maxIntervals = 8192
 
+// at returns the interval at logical index i.
+func (r *Resource) at(i int) *ival {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
 // Acquire reserves the resource for dur at the earliest gap at or after
 // t. It returns the actual start time and the completion time.
 func (r *Resource) Acquire(t Time, dur Time) (start, end Time) {
@@ -46,14 +61,24 @@ func (r *Resource) Acquire(t Time, dur Time) (start, end Time) {
 	}
 	// Find the first interval that ends after t; gaps before it cannot
 	// serve the request.
-	i := sort.Search(len(r.ivals), func(i int) bool { return r.ivals[i].end > t })
+	lo, hi := 0, r.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.at(mid).end > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	cur := t
-	for ; i < len(r.ivals); i++ {
-		if cur+dur <= r.ivals[i].start {
+	for ; i < r.n; i++ {
+		iv := r.at(i)
+		if cur+dur <= iv.start {
 			break // fits in the gap before interval i
 		}
-		if r.ivals[i].end > cur {
-			cur = r.ivals[i].end
+		if iv.end > cur {
+			cur = iv.end
 		}
 	}
 	start, end = cur, cur+dur
@@ -63,49 +88,154 @@ func (r *Resource) Acquire(t Time, dur Time) (start, end Time) {
 	return start, end
 }
 
-// insert places iv at index i, merging with touching neighbours.
+// insert places iv at logical index i, merging with touching neighbours.
 func (r *Resource) insert(i int, iv ival) {
-	mergedPrev := i > 0 && r.ivals[i-1].end == iv.start
-	mergedNext := i < len(r.ivals) && r.ivals[i].start == iv.end
+	mergedPrev := i > 0 && r.at(i-1).end == iv.start
+	mergedNext := i < r.n && r.at(i).start == iv.end
 	switch {
 	case mergedPrev && mergedNext:
-		r.ivals[i-1].end = r.ivals[i].end
-		r.ivals = append(r.ivals[:i], r.ivals[i+1:]...)
+		r.at(i - 1).end = r.at(i).end
+		r.removeAt(i)
 	case mergedPrev:
-		r.ivals[i-1].end = iv.end
+		r.at(i - 1).end = iv.end
 	case mergedNext:
-		r.ivals[i].start = iv.start
+		r.at(i).start = iv.start
 	default:
-		r.ivals = append(r.ivals, ival{})
-		copy(r.ivals[i+1:], r.ivals[i:])
-		r.ivals[i] = iv
+		r.insertAt(i, iv)
 	}
 }
 
+// insertAt opens a slot at logical index i by shifting whichever side of
+// the insertion point is shorter, then stores iv there.
+func (r *Resource) insertAt(i int, iv ival) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	if i <= r.n-i {
+		r.head = (r.head - 1) & (len(r.buf) - 1)
+		r.shiftFrontLeft(i)
+	} else {
+		r.shiftTailRight(i)
+	}
+	r.n++
+	*r.at(i) = iv
+}
+
+// shiftFrontLeft moves logical intervals [0, i) — addressed at the OLD
+// head, i.e. the slot after the freshly decremented r.head — one
+// physical slot back. The moved range spans at most two contiguous
+// physical segments; each is one overlapping copy plus at most one
+// element carried across the array boundary.
+func (r *Resource) shiftFrontLeft(i int) {
+	if i == 0 {
+		return
+	}
+	mask := len(r.buf) - 1
+	src := (r.head + 1) & mask // old head
+	n1 := min(i, len(r.buf)-src)
+	if src == 0 {
+		// The first element wraps onto the top slot; with src == 0 the
+		// whole range is one segment ([0, i) fits below len).
+		r.buf[mask] = r.buf[0]
+		copy(r.buf[:n1-1], r.buf[1:n1])
+		return
+	}
+	copy(r.buf[src-1:src-1+n1], r.buf[src:src+n1])
+	// Wrapped remainder [0, i-n1): its first element crosses onto the
+	// top slot (just vacated by segment one), the rest shift within.
+	if n2 := i - n1; n2 > 0 {
+		r.buf[mask] = r.buf[0]
+		copy(r.buf[:n2-1], r.buf[1:n2])
+	}
+}
+
+// shiftTailRight moves logical intervals [i, n) one physical slot
+// forward, moving the logically-later segment first so nothing is
+// overwritten.
+func (r *Resource) shiftTailRight(i int) {
+	cnt := r.n - i
+	if cnt == 0 {
+		return
+	}
+	mask := len(r.buf) - 1
+	a := (r.head + i) & mask // physical start of the moved range
+	n1 := min(cnt, len(r.buf)-a)
+	if n2 := cnt - n1; n2 > 0 {
+		// Wrapped tail [0, n2) shifts right, then the top element of the
+		// first segment crosses the boundary into slot 0.
+		copy(r.buf[1:n2+1], r.buf[:n2])
+		r.buf[0] = r.buf[mask]
+		copy(r.buf[a+1:], r.buf[a:mask])
+		return
+	}
+	if a+n1 == len(r.buf) {
+		r.buf[0] = r.buf[mask]
+		copy(r.buf[a+1:], r.buf[a:mask])
+		return
+	}
+	copy(r.buf[a+1:a+1+n1], r.buf[a:a+n1])
+}
+
+// removeAt deletes the interval at logical index i, closing the gap from
+// the shorter side. Removal only happens on a both-sides merge, so the
+// per-element walk stays short in practice.
+func (r *Resource) removeAt(i int) {
+	if i < r.n-1-i {
+		for j := i; j > 0; j-- {
+			*r.at(j) = *r.at(j - 1)
+		}
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+	} else {
+		for j := i; j < r.n-1; j++ {
+			*r.at(j) = *r.at(j + 1)
+		}
+	}
+	r.n--
+}
+
+// grow doubles and linearizes the ring storage.
+func (r *Resource) grow() {
+	capNew := len(r.buf) * 2
+	if capNew == 0 {
+		capNew = 8
+	}
+	buf := make([]ival, capNew)
+	if r.n > 0 {
+		n1 := min(r.n, len(r.buf)-r.head)
+		copy(buf, r.buf[r.head:r.head+n1])
+		copy(buf[n1:], r.buf[:r.n-n1])
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // prune folds intervals far behind the current arrival into the floor.
+// Dropping the front of the ring is O(1), so a long-running resource
+// never re-copies its surviving intervals the way a pruned slice did.
 func (r *Resource) prune(t Time) {
 	cut := 0
-	for cut < len(r.ivals) && r.ivals[cut].end < t-pruneWindow {
+	for cut < r.n && r.at(cut).end < t-pruneWindow {
 		cut++
 	}
-	for len(r.ivals)-cut > maxIntervals {
+	for r.n-cut > maxIntervals {
 		cut++
 	}
 	if cut > 0 {
-		if e := r.ivals[cut-1].end; e > r.floor {
+		if e := r.at(cut - 1).end; e > r.floor {
 			r.floor = e
 		}
-		r.ivals = r.ivals[cut:]
+		r.head = (r.head + cut) & (len(r.buf) - 1)
+		r.n -= cut
 	}
 }
 
 // FreeAt reports the end of the last reservation (the time after which
 // the resource is certainly idle).
 func (r *Resource) FreeAt() Time {
-	if len(r.ivals) == 0 {
+	if r.n == 0 {
 		return r.floor
 	}
-	return r.ivals[len(r.ivals)-1].end
+	return r.at(r.n - 1).end
 }
 
 // BusyTotal reports the cumulative reserved time.

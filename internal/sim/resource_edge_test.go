@@ -11,15 +11,15 @@ func TestResourcePruneWindowEdge(t *testing.T) {
 	// Arrival with t-pruneWindow == 10: the old interval ends exactly at
 	// the cutoff and must be kept.
 	r.Acquire(pruneWindow+10, 1)
-	if len(r.ivals) != 2 || r.floor != 0 {
-		t.Fatalf("interval at the window edge pruned: ivals=%d floor=%v", len(r.ivals), r.floor)
+	if r.n != 2 || r.floor != 0 {
+		t.Fatalf("interval at the window edge pruned: ivals=%d floor=%v", r.n, r.floor)
 	}
 
 	// One tick later the old interval is strictly past the window: it
 	// folds into the floor (and the two recent intervals merge).
 	r.Acquire(pruneWindow+11, 1)
-	if len(r.ivals) != 1 {
-		t.Fatalf("ivals = %d after pruning, want 1", len(r.ivals))
+	if r.n != 1 {
+		t.Fatalf("ivals = %d after pruning, want 1", r.n)
 	}
 	if r.floor != 10 {
 		t.Fatalf("floor = %v, want 10 (end of the pruned interval)", r.floor)
@@ -42,15 +42,15 @@ func TestResourceMaxIntervalsEdge(t *testing.T) {
 	for i := 0; i < maxIntervals; i++ {
 		r.Acquire(Time(3*i), 1)
 	}
-	if len(r.ivals) != maxIntervals || r.floor != 0 {
-		t.Fatalf("at the cap: ivals=%d floor=%v", len(r.ivals), r.floor)
+	if r.n != maxIntervals || r.floor != 0 {
+		t.Fatalf("at the cap: ivals=%d floor=%v", r.n, r.floor)
 	}
 
 	// One more overflows: the oldest interval folds into the floor and the
 	// list stays at the cap.
 	r.Acquire(Time(3*maxIntervals), 1)
-	if len(r.ivals) != maxIntervals {
-		t.Fatalf("ivals = %d after overflow, want %d", len(r.ivals), maxIntervals)
+	if r.n != maxIntervals {
+		t.Fatalf("ivals = %d after overflow, want %d", r.n, maxIntervals)
 	}
 	if r.floor != 1 {
 		t.Fatalf("floor = %v, want 1 (end of the evicted interval)", r.floor)
@@ -63,7 +63,7 @@ func TestResourceMaxIntervalsEdge(t *testing.T) {
 	}
 
 	// The floor now forbids reservations in the folded region even though
-	// the gap before ivals[0] looks free.
+	// the gap before interval 0 looks free.
 	if s, _ := r.Acquire(0, 1); s < 1 {
 		t.Fatalf("reservation at %v inside the folded region", s)
 	}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// refResource is the pre-ring slice implementation of Resource, kept
+// verbatim as the reference oracle: the ring buffer must produce the
+// identical (start, end) for every Acquire in any call sequence, the
+// same FreeAt, BusyTotal, floor, and the same logical interval list.
+type refResource struct {
+	floor     Time
+	ivals     []ival
+	busyTotal Time
+}
+
+func (r *refResource) Acquire(t Time, dur Time) (start, end Time) {
+	if t < r.floor {
+		t = r.floor
+	}
+	if dur <= 0 {
+		return t, t
+	}
+	i := sort.Search(len(r.ivals), func(i int) bool { return r.ivals[i].end > t })
+	cur := t
+	for ; i < len(r.ivals); i++ {
+		if cur+dur <= r.ivals[i].start {
+			break
+		}
+		if r.ivals[i].end > cur {
+			cur = r.ivals[i].end
+		}
+	}
+	start, end = cur, cur+dur
+	r.insert(i, ival{start, end})
+	r.busyTotal += dur
+	r.prune(t)
+	return start, end
+}
+
+func (r *refResource) insert(i int, iv ival) {
+	mergedPrev := i > 0 && r.ivals[i-1].end == iv.start
+	mergedNext := i < len(r.ivals) && r.ivals[i].start == iv.end
+	switch {
+	case mergedPrev && mergedNext:
+		r.ivals[i-1].end = r.ivals[i].end
+		r.ivals = append(r.ivals[:i], r.ivals[i+1:]...)
+	case mergedPrev:
+		r.ivals[i-1].end = iv.end
+	case mergedNext:
+		r.ivals[i].start = iv.start
+	default:
+		r.ivals = append(r.ivals, ival{})
+		copy(r.ivals[i+1:], r.ivals[i:])
+		r.ivals[i] = iv
+	}
+}
+
+func (r *refResource) prune(t Time) {
+	cut := 0
+	for cut < len(r.ivals) && r.ivals[cut].end < t-pruneWindow {
+		cut++
+	}
+	for len(r.ivals)-cut > maxIntervals {
+		cut++
+	}
+	if cut > 0 {
+		if e := r.ivals[cut-1].end; e > r.floor {
+			r.floor = e
+		}
+		r.ivals = r.ivals[cut:]
+	}
+}
+
+func (r *refResource) FreeAt() Time {
+	if len(r.ivals) == 0 {
+		return r.floor
+	}
+	return r.ivals[len(r.ivals)-1].end
+}
+
+// checkState compares the ring's full logical state against the
+// reference after each step.
+func checkState(t *testing.T, step int, got *Resource, want *refResource) {
+	t.Helper()
+	if got.n != len(want.ivals) {
+		t.Fatalf("step %d: interval count %d, want %d", step, got.n, len(want.ivals))
+	}
+	for i := range want.ivals {
+		if *got.at(i) != want.ivals[i] {
+			t.Fatalf("step %d: interval %d = %+v, want %+v", step, i, *got.at(i), want.ivals[i])
+		}
+	}
+	if got.floor != want.floor {
+		t.Fatalf("step %d: floor %v, want %v", step, got.floor, want.floor)
+	}
+	if got.busyTotal != want.busyTotal {
+		t.Fatalf("step %d: busyTotal %v, want %v", step, got.busyTotal, want.busyTotal)
+	}
+	if got.FreeAt() != want.FreeAt() {
+		t.Fatalf("step %d: FreeAt %v, want %v", step, got.FreeAt(), want.FreeAt())
+	}
+}
+
+// TestResourceRingMatchesReference drives the ring buffer and the slice
+// reference through identical randomized Acquire sequences and demands
+// bit-identical results and interval state at every step. The workload
+// mixes mostly-monotonic arrivals (the event loop's real pattern) with
+// out-of-order stragglers, zero/huge durations, exact-fit gaps, and
+// far-future jumps that trigger pruning.
+func TestResourceRingMatchesReference(t *testing.T) {
+	type scenario struct {
+		name  string
+		seed  uint64
+		steps int
+		next  func(rng *rand.Rand, now *Time) (t, dur Time)
+	}
+	scenarios := []scenario{
+		{"mostly-monotonic", 1, 20000, func(rng *rand.Rand, now *Time) (Time, Time) {
+			*now += Time(rng.Int64N(2000))
+			t := *now - Time(rng.Int64N(500)) // bounded skew backwards
+			return t, Time(rng.Int64N(1500))
+		}},
+		{"dense-merging", 2, 20000, func(rng *rand.Rand, now *Time) (Time, Time) {
+			// Durations and arrivals on a coarse grid so exact-touch
+			// merges (both-sides included) happen constantly.
+			*now += Time(rng.Int64N(4)) * 100
+			return *now, Time(1+rng.Int64N(4)) * 100
+		}},
+		{"front-loaded", 3, 20000, func(rng *rand.Rand, now *Time) (Time, Time) {
+			// A far-future reservation early on, then arrivals that fill
+			// gaps near the front of a long list.
+			if *now == 0 {
+				*now = 1
+				return pruneWindow / 2, pruneWindow / 4
+			}
+			return Time(rng.Int64N(int64(pruneWindow / 2))), Time(1 + rng.Int64N(50))
+		}},
+		{"prune-heavy", 4, 5000, func(rng *rand.Rand, now *Time) (Time, Time) {
+			// Occasional jumps past the prune window fold the front.
+			if rng.Int64N(100) == 0 {
+				*now += pruneWindow * 2
+			}
+			*now += Time(rng.Int64N(300))
+			return *now, Time(rng.Int64N(200))
+		}},
+		{"adversarial", 5, 20000, func(rng *rand.Rand, now *Time) (Time, Time) {
+			*now += Time(rng.Int64N(50))
+			switch rng.Int64N(5) {
+			case 0:
+				return *now, 0 // zero duration: no reservation
+			case 1:
+				return *now, Time(rng.Int64N(int64(pruneWindow))) // huge
+			default:
+				return *now - Time(rng.Int64N(1000)), Time(rng.Int64N(64))
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(sc.seed, 0xdecade))
+			var got Resource
+			var want refResource
+			var now Time
+			for step := 0; step < sc.steps; step++ {
+				at, dur := sc.next(rng, &now)
+				gs, ge := got.Acquire(at, dur)
+				ws, we := want.Acquire(at, dur)
+				if gs != ws || ge != we {
+					t.Fatalf("step %d: Acquire(%v, %v) = (%v, %v), want (%v, %v)",
+						step, at, dur, gs, ge, ws, we)
+				}
+				checkState(t, step, &got, &want)
+			}
+		})
+	}
+}
+
+// TestResourceOverflowCapMatchesReference pushes both implementations
+// past maxIntervals so the count-cap pruning path is compared too.
+func TestResourceOverflowCapMatchesReference(t *testing.T) {
+	var got Resource
+	var want refResource
+	for i := 0; i < maxIntervals+500; i++ {
+		at := Time(3 * i) // gap-separated: never merge
+		gs, ge := got.Acquire(at, 1)
+		ws, we := want.Acquire(at, 1)
+		if gs != ws || ge != we {
+			t.Fatalf("i=%d: (%v,%v) vs (%v,%v)", i, gs, ge, ws, we)
+		}
+	}
+	checkState(t, maxIntervals+500, &got, &want)
+}

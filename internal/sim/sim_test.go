@@ -323,7 +323,7 @@ func TestResourcePruningBoundsMemory(t *testing.T) {
 		at += 1000
 		r.Acquire(at, 1) // 1ps each: never merge
 	}
-	if n := len(r.ivals); n > maxIntervals {
+	if n := r.n; n > maxIntervals {
 		t.Fatalf("interval list grew to %d (> %d)", n, maxIntervals)
 	}
 	// BusyTotal survives pruning.
@@ -351,7 +351,7 @@ func TestResourceMergeAdjacent(t *testing.T) {
 	r.Acquire(0, 10)  // [10,20) -- merges with previous
 	r.Acquire(50, 10) // [50,60)
 	r.Acquire(20, 30) // exactly fills [20,50): everything merges
-	if n := len(r.ivals); n != 1 {
+	if n := r.n; n != 1 {
 		t.Fatalf("intervals = %d, want 1 after merges", n)
 	}
 	if r.FreeAt() != 60 {

@@ -53,8 +53,40 @@ func NewClock(freqMHz float64) Clock {
 // Period returns the duration of one cycle.
 func (c Clock) Period() Time { return c.period }
 
-// Cycles converts n cycles to a duration.
-func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+// The representable Time range (maxTime is about 106 days).
+const (
+	maxTime = Time(1<<63 - 1)
+	minTime = -maxTime - 1
+)
+
+// Cycles converts n cycles to a duration, saturating at the Time range
+// instead of wrapping. Saturation matters for watchdog budgets: a caller
+// passing a huge MaxCycles (e.g. from an external job spec) must get an
+// effectively-infinite deadline, not a wrapped-negative one that would
+// truncate the run at time zero. The common case (small counts, small
+// periods — every per-access latency conversion) stays a single multiply.
+func (c Clock) Cycles(n int64) Time {
+	if uint64(n) < 1<<31 && uint64(c.period) < 1<<31 {
+		return Time(n) * c.period // cannot overflow: product < 2^62
+	}
+	return c.cyclesSlow(n)
+}
+
+func (c Clock) cyclesSlow(n int64) Time {
+	if c.period <= 0 {
+		return 0 // zero-value Clock; NewClock guarantees period > 0
+	}
+	if n >= 0 {
+		if Time(n) > maxTime/c.period {
+			return maxTime
+		}
+		return Time(n) * c.period
+	}
+	if Time(n) < minTime/c.period {
+		return minTime
+	}
+	return Time(n) * c.period
+}
 
 // ToCycles converts a duration to whole cycles (rounding down).
 func (c Clock) ToCycles(t Time) int64 { return int64(t / c.period) }

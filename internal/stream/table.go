@@ -51,12 +51,25 @@ func (t *Table) Get(sid ID) *Stream { return t.byID[sid] }
 
 // FindByAddr returns the stream containing addr, or nil. This models the
 // full remap-table walk the host performs on an SLB miss.
+//
+// The binary search is hand-inlined (same invariant as sort.Search over
+// Base > addr): this sits on the simulator's per-access path, and the
+// closure-based search pays an indirect call per probe.
 func (t *Table) FindByAddr(addr uint64) *Stream {
-	i := sort.Search(len(t.ranges), func(i int) bool { return t.ranges[i].Base > addr })
-	if i == 0 {
+	r := t.ranges
+	lo, hi := 0, len(r)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r[mid].Base > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	if s := t.ranges[i-1]; s.Contains(addr) {
+	if s := r[lo-1]; s.Contains(addr) {
 		return s
 	}
 	return nil

@@ -11,20 +11,20 @@ import (
 // system simulator calls Lookup for every L1 miss and charges latencies
 // according to the returned route; the host runtime calls Apply at each
 // epoch boundary with the new configuration.
+// Controller state reached on every access (allocations, rings,
+// per-stream stats) is held in dense arrays indexed by the 9-bit stream
+// ID instead of maps: the per-access Lookup then costs plain loads where
+// the map version paid a hash and probe per structure.
 type Controller struct {
 	params   Params
 	numUnits int
 	table    *stream.Table
-	allocs   map[stream.ID]Allocation
-	rings    map[ringKey]*ring
+	allocs   []Allocation // by sid; zero Shares length = none installed
+	hasAlloc []bool       // by sid
+	rings    [][]*ring    // by sid, then by group ID (nil = no ring)
 	units    []*unitState
 	stats    Stats
-	perSID   map[stream.ID]*StreamStats
-}
-
-type ringKey struct {
-	sid   stream.ID
-	group uint8
+	perSID   []StreamStats // by sid
 }
 
 // Stats aggregates controller-wide activity.
@@ -70,9 +70,10 @@ func NewController(p Params, numUnits int, tbl *stream.Table) *Controller {
 		params:   p,
 		numUnits: numUnits,
 		table:    tbl,
-		allocs:   make(map[stream.ID]Allocation),
-		rings:    make(map[ringKey]*ring),
-		perSID:   make(map[stream.ID]*StreamStats),
+		allocs:   make([]Allocation, stream.MaxStreams),
+		hasAlloc: make([]bool, stream.MaxStreams),
+		rings:    make([][]*ring, stream.MaxStreams),
+		perSID:   make([]StreamStats, stream.MaxStreams),
 	}
 	for i := 0; i < numUnits; i++ {
 		c.units = append(c.units, newUnitState(p.SLBEntries))
@@ -92,8 +93,19 @@ func (c *Controller) Table() *stream.Table { return c.table }
 // Allocation returns the current allocation for sid (zero-value
 // allocation if none installed).
 func (c *Controller) Allocation(sid stream.ID) (Allocation, bool) {
-	a, ok := c.allocs[sid]
-	return a, ok
+	if int(sid) >= len(c.allocs) || !c.hasAlloc[sid] {
+		return Allocation{}, false
+	}
+	return c.allocs[sid], true
+}
+
+// ringOf returns the consistent-hash ring for (sid, group), or nil.
+func (c *Controller) ringOf(sid stream.ID, g uint8) *ring {
+	rs := c.rings[sid]
+	if int(g) >= len(rs) {
+		return nil
+	}
+	return rs[g]
 }
 
 // Lookup is the result of resolving one memory access through the stream
@@ -171,8 +183,7 @@ func (c *Controller) Lookup(unit int, addr uint64, write bool) Lookup {
 		itemBytes = c.params.BlockBytes
 	}
 
-	alloc, ok := c.allocs[s.SID]
-	if !ok {
+	if !c.hasAlloc[s.SID] {
 		r.NoSpace = true
 		r.Home = unit
 		r.FetchBytes = itemBytes
@@ -180,8 +191,9 @@ func (c *Controller) Lookup(unit int, addr uint64, write bool) Lookup {
 		c.streamStats(s.SID).Misses++
 		return r
 	}
+	alloc := c.allocs[s.SID]
 	g := alloc.Groups[unit]
-	rg := c.rings[ringKey{s.SID, g}]
+	rg := c.ringOf(s.SID, g)
 	if rg == nil {
 		r.NoSpace = true
 		r.Home = unit
@@ -280,10 +292,10 @@ func (c *Controller) residencyKey(s *stream.Stream, alloc Allocation, sp spot, i
 // the number of invalidated items.
 func (c *Controller) handleWriteException(s *stream.Stream) int {
 	s.ReadOnly = false
-	alloc, ok := c.allocs[s.SID]
-	if !ok {
+	if !c.hasAlloc[s.SID] {
 		return 0
 	}
+	alloc := c.allocs[s.SID]
 	groups := alloc.GroupIDs()
 	if len(groups) <= 1 {
 		return 0
@@ -304,31 +316,26 @@ func (c *Controller) handleWriteException(s *stream.Stream) int {
 		alloc.Groups[u] = keep
 	}
 	c.allocs[s.SID] = alloc
+	c.hasAlloc[s.SID] = true
 	c.rebuildRings(s.SID, alloc)
 	c.invalidateSLBs(s.SID)
 	return invalidated
 }
 
-// streamStats returns (allocating) the per-stream counters.
+// streamStats returns the per-stream counters.
 func (c *Controller) streamStats(sid stream.ID) *StreamStats {
-	ss := c.perSID[sid]
-	if ss == nil {
-		ss = &StreamStats{}
-		c.perSID[sid] = ss
-	}
-	return ss
+	return &c.perSID[sid]
 }
 
 // rebuildRings reconstructs the consistent-hash rings of sid for alloc.
 func (c *Controller) rebuildRings(sid stream.ID, alloc Allocation) {
-	for k := range c.rings {
-		if k.sid == sid {
-			delete(c.rings, k)
-		}
-	}
+	c.rings[sid] = nil
 	for _, g := range alloc.GroupIDs() {
 		if rg := buildRing(sid, alloc, g); rg != nil {
-			c.rings[ringKey{sid, g}] = rg
+			for int(g) >= len(c.rings[sid]) {
+				c.rings[sid] = append(c.rings[sid], nil)
+			}
+			c.rings[sid][g] = rg
 		}
 	}
 	// Units whose group has no rows keep a nil ring (NoSpace on access).
@@ -369,12 +376,12 @@ func (c *Controller) Apply(newAllocs map[stream.ID]Allocation, consistent bool) 
 	}
 
 	for sid, a := range newAllocs {
-		old, had := c.allocs[sid]
-		if had && allocEqual(old, a) {
+		if c.hasAlloc[sid] && allocEqual(c.allocs[sid], a) {
 			continue
 		}
 		rs.StreamsChanged++
 		c.allocs[sid] = a.Clone()
+		c.hasAlloc[sid] = true
 		c.rebuildRings(sid, a)
 		c.invalidateSLBs(sid)
 
@@ -402,7 +409,7 @@ func (c *Controller) Apply(newAllocs map[stream.ID]Allocation, consistent bool) 
 					}
 					rs.ItemsExamined++
 					g := c.allocs[sid].Groups[uid]
-					rg := c.rings[ringKey{sid, g}]
+					rg := c.ringOf(sid, g)
 					survives := false
 					if rg != nil {
 						sp := rg.locate(sid, w.id)
@@ -451,8 +458,7 @@ func allocEqual(a, b Allocation) bool {
 func (c *Controller) EpochAccesses() []map[stream.ID]uint64 {
 	out := make([]map[stream.ID]uint64, c.numUnits)
 	for i, u := range c.units {
-		out[i] = u.epochAcc
-		u.epochAcc = make(map[stream.ID]uint64)
+		out[i] = u.harvestEpochAcc()
 	}
 	return out
 }
@@ -462,16 +468,16 @@ func (c *Controller) Stats() Stats { return c.stats }
 
 // StreamStatsFor returns a copy of sid's counters.
 func (c *Controller) StreamStatsFor(sid stream.ID) StreamStats {
-	if ss := c.perSID[sid]; ss != nil {
-		return *ss
+	if int(sid) >= len(c.perSID) {
+		return StreamStats{}
 	}
-	return StreamStats{}
+	return c.perSID[sid]
 }
 
 // ResetStats clears aggregate and per-stream counters (not cache state).
 func (c *Controller) ResetStats() {
 	c.stats = Stats{}
-	c.perSID = make(map[stream.ID]*StreamStats)
+	clear(c.perSID)
 }
 
 // ResidentItems counts currently cached items for sid on unit u (testing

@@ -6,44 +6,57 @@ import "ndpext/internal/stream"
 // fully-associative cache of remap-table entries, searched by address
 // range (TCAM) and refilled from the host's full table on a miss.
 // Functionally we track which streams' entries are resident.
+//
+// Residency is a dense last-use-tick array indexed by sid (0 = absent;
+// ticks start at 1): the lookup on the per-access hot path is a plain
+// load instead of a map probe. Victim selection scans the array for the
+// minimum tick; ticks are unique within a unit, so the victim matches
+// the map implementation's (tick, sid) tie-break exactly.
 type slbState struct {
-	cap     int
-	entries map[stream.ID]uint64 // sid -> last-use tick
-	tick    uint64
-	hits    uint64
-	misses  uint64
+	cap    int
+	last   []uint64 // sid -> last-use tick, 0 = not resident
+	n      int      // resident entries
+	tick   uint64
+	hits   uint64
+	misses uint64
 }
 
 func newSLB(capacity int) *slbState {
-	return &slbState{cap: capacity, entries: make(map[stream.ID]uint64, capacity)}
+	return &slbState{cap: capacity, last: make([]uint64, stream.MaxStreams)}
 }
 
 // access looks up sid, refilling (with LRU eviction) on a miss.
 // It reports whether the lookup hit.
 func (s *slbState) access(sid stream.ID) bool {
 	s.tick++
-	if _, ok := s.entries[sid]; ok {
-		s.entries[sid] = s.tick
+	if s.last[sid] != 0 {
+		s.last[sid] = s.tick
 		s.hits++
 		return true
 	}
 	s.misses++
-	if len(s.entries) >= s.cap {
-		var victim stream.ID
-		oldest := ^uint64(0)
-		for id, t := range s.entries {
-			if t < oldest || t == oldest && id < victim {
+	if s.n >= s.cap {
+		victim, oldest := -1, ^uint64(0)
+		for id, t := range s.last {
+			if t != 0 && t < oldest {
 				oldest, victim = t, id
 			}
 		}
-		delete(s.entries, victim)
+		s.last[victim] = 0
+		s.n--
 	}
-	s.entries[sid] = s.tick
+	s.last[sid] = s.tick
+	s.n++
 	return false
 }
 
 // invalidate drops sid's entry (after a remap-table update).
-func (s *slbState) invalidate(sid stream.ID) { delete(s.entries, sid) }
+func (s *slbState) invalidate(sid stream.ID) {
+	if s.last[sid] != 0 {
+		s.last[sid] = 0
+		s.n--
+	}
+}
 
 // resKey addresses one associativity set of the DRAM cache space of a
 // stream on one unit: the row ordinal (consistent-hash spot) plus the set
@@ -77,22 +90,34 @@ type unitState struct {
 	slb      *slbState
 	tick     uint64
 	resident map[resKey]*resSet
-	// epochAcc counts accesses per stream this epoch; it models the
-	// 512-bit accessed-stream bitvector (§V-B) with counts, which the
-	// configuration algorithm also uses as placement weights.
-	epochAcc map[stream.ID]uint64
+	// epochAcc counts accesses per stream this epoch, densely indexed by
+	// sid; it models the 512-bit accessed-stream bitvector (§V-B) with
+	// counts, which the configuration algorithm also uses as placement
+	// weights.
+	epochAcc []uint64
 }
 
 func newUnitState(slbEntries int) *unitState {
 	return &unitState{
 		slb:      newSLB(slbEntries),
 		resident: make(map[resKey]*resSet),
-		epochAcc: make(map[stream.ID]uint64),
+		epochAcc: make([]uint64, stream.MaxStreams),
 	}
 }
 
-// lookup finds id in the set at key; on a miss with install=true it
-// allocates a way (evicting round-robin) and reports the victim.
+// harvestEpochAcc converts the dense epoch counters into the sparse map
+// the host runtime consumes, and clears them for the next epoch.
+func (u *unitState) harvestEpochAcc() map[stream.ID]uint64 {
+	out := make(map[stream.ID]uint64)
+	for sid, n := range u.epochAcc {
+		if n != 0 {
+			out[stream.ID(sid)] = n
+			u.epochAcc[sid] = 0
+		}
+	}
+	return out
+}
+
 // lookup finds id in the set at key; on a miss with install=true it
 // allocates a way and reports the victim. Replacement is LRU when lru is
 // set (the ATA's SRAM tags track recency) and round-robin otherwise (the

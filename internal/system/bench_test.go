@@ -3,6 +3,7 @@ package system
 import (
 	"testing"
 
+	"ndpext/internal/sim"
 	"ndpext/internal/workloads"
 )
 
@@ -62,6 +63,61 @@ func BenchmarkPerAccessHost(b *testing.B) {
 	b.StopTimer()
 	if accesses > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(accesses), "ns/access")
+	}
+}
+
+// BenchmarkMemPath isolates the per-access memory path — serve() through
+// the design's MemPath stages, the NoC, the DRAM models, and telemetry —
+// with no epoch runtime in the timed region. This is the path whose
+// optimization BENCH_core.json tracks; it must not allocate in steady
+// state beyond what the component models themselves require.
+func BenchmarkMemPath(b *testing.B) {
+	for _, d := range []Design{NDPExt, Jigsaw} {
+		b.Run(d.String(), func(b *testing.B) {
+			tr := benchTrace(b, 8)
+			cfg := smallConfig(d)
+			s, err := newNDPSim(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.bootstrap()
+			cores := len(tr.PerCore)
+			idx := make([]int, cores)
+			t := make([]sim.Time, cores)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := i % cores
+				a := tr.PerCore[c][idx[c]]
+				t[c] = s.serve(t[c], c, a)
+				if idx[c]++; idx[c] == len(tr.PerCore[c]) {
+					idx[c] = 0
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndEpoch measures a complete small simulation dominated
+// by epoch boundaries (policy optimization, sampler reassignment,
+// reconfiguration): the short epoch forces ~20 boundaries per run, so
+// ns/epoch tracks the host-runtime cost the serving layer pays per job.
+func BenchmarkEndToEndEpoch(b *testing.B) {
+	tr := benchTrace(b, 8)
+	cfg := smallConfig(NDPExt)
+	cfg.EpochCycles = 25_000
+	var epochs uint64
+	cfg.OnEpoch = func(EpochInfo) { epochs++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, tr.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if epochs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(epochs), "ns/epoch")
 	}
 }
 

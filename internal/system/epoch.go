@@ -186,8 +186,8 @@ func (s *ndpSim) bootstrap() {
 	if s.profiles() {
 		for _, st := range s.tr.Table.All() {
 			u := int(st.SID) % s.cfg.NumUnits()
-			s.samplers[samplerKey{u, st.SID}] = sampler.New(s.cfg.Sampler, s.itemBytes(st.SID))
-			s.globalSamplers[st.SID] = sampler.New(s.cfg.Sampler, s.itemBytes(st.SID))
+			s.samplers.local[u][st.SID] = s.samplers.get(s.cfg.Sampler, s.itemBytes(st.SID))
+			s.samplers.global[st.SID] = s.samplers.get(s.cfg.Sampler, s.itemBytes(st.SID))
 		}
 	}
 }
@@ -324,27 +324,29 @@ func (s *ndpSim) epochBoundary() {
 	// Harvest miss curves: the global sampler (home-set view, all
 	// cores) drives sizing; the local sampler (one core) reveals whether
 	// per-core reuse would survive replication.
-	for sid, smp := range s.globalSamplers {
-		if smp.Accesses() == 0 {
+	for sid, smp := range s.samplers.global {
+		if smp == nil || smp.Accesses() == 0 {
 			continue
 		}
 		cv := smp.Curve()
 		if len(cv.Points) == 0 {
 			continue
 		}
-		cv.Accesses = totals[sid]
-		s.curves[sid] = cv
+		cv.Accesses = totals[stream.ID(sid)]
+		s.curves[stream.ID(sid)] = cv
 	}
-	for key, smp := range s.samplers {
-		if smp.Accesses() == 0 {
-			continue
+	for _, row := range s.samplers.local {
+		for sid, smp := range row {
+			if smp == nil || smp.Accesses() == 0 {
+				continue
+			}
+			cv := smp.Curve()
+			if len(cv.Points) == 0 {
+				continue
+			}
+			cv.Accesses = totals[stream.ID(sid)]
+			s.localCurves[stream.ID(sid)] = cv
 		}
-		cv := smp.Curve()
-		if len(cv.Points) == 0 {
-			continue
-		}
-		cv.Accesses = totals[key.sid]
-		s.localCurves[key.sid] = cv
 	}
 
 	// Build the configuration inputs from the decayed history (covers
@@ -534,11 +536,10 @@ func (s *ndpSim) epochBoundary() {
 	for _, u := range failed {
 		caps[u] = 0
 	}
-	s.samplers = make(map[samplerKey]*sampler.Sampler)
-	s.globalSamplers = make(map[stream.ID]*sampler.Sampler)
+	s.samplers.retire()
 	install := func(u int, sid stream.ID) {
-		s.samplers[samplerKey{u, sid}] = sampler.New(s.cfg.Sampler, s.itemBytes(sid))
-		s.globalSamplers[sid] = sampler.New(s.cfg.Sampler, s.itemBytes(sid))
+		s.samplers.local[u][sid] = s.samplers.get(s.cfg.Sampler, s.itemBytes(sid))
+		s.samplers.global[sid] = s.samplers.get(s.cfg.Sampler, s.itemBytes(sid))
 		caps[u]--
 	}
 
@@ -564,7 +565,7 @@ func (s *ndpSim) epochBoundary() {
 	}
 	var rest []stream.ID
 	for _, sid := range sids {
-		if s.globalSamplers[sid] == nil {
+		if s.samplers.global[sid] == nil {
 			rest = append(rest, sid)
 		}
 	}

@@ -23,6 +23,14 @@ type MemPath interface {
 	Access(t sim.Time, core int, a workloads.Access) (done sim.Time, served telemetry.Level, sid stream.ID)
 }
 
+// The simulator stores the selected path as a concrete pointer (see
+// ndpSim.spath/npath) to keep the per-access dispatch direct; these
+// assertions keep both implementations honest against the interface.
+var (
+	_ MemPath = (*streamPath)(nil)
+	_ MemPath = (*nucaPath)(nil)
+)
+
 // pathDeps bundles the hardware and accounting shared by every memory
 // path stage.
 type pathDeps struct {
@@ -58,8 +66,10 @@ func (s *ndpSim) serve(start sim.Time, core int, a workloads.Access) sim.Time {
 	done, served, sid := t, telemetry.LevelCore, stream.NoStream
 	if hit, _, _ := s.l1s[core].Access(a.Addr, a.Write); hit {
 		tel.L1Hits++
+	} else if s.spath != nil {
+		done, served, sid = s.spath.Access(t, core, a)
 	} else {
-		done, served, sid = s.path.Access(t, core, a)
+		done, served, sid = s.npath.Access(t, core, a)
 	}
 
 	if s.probe != nil {

@@ -151,6 +151,71 @@ type samplerKey struct {
 	sid  stream.ID
 }
 
+// samplerBank holds the installed samplers densely indexed by stream ID
+// (local: [unit][sid], global: [sid]). Stream IDs are at most 9 bits, so
+// the slices replace two map lookups on the per-access path with plain
+// indexing. Retired samplers go into a pool keyed by item granularity
+// and are Reset-reused at the next epoch's reassignment, which removes
+// the sampler rebuild (the simulator's largest allocation source) from
+// every epoch boundary.
+type samplerBank struct {
+	local  [][]*sampler.Sampler // [unit][sid]
+	global []*sampler.Sampler   // [sid]
+	pool   map[int][]*sampler.Sampler
+}
+
+// samplerSIDs is the sampler index space: every representable stream ID
+// plus one slot above it for the baselines' misc partition key
+// (stream.ID(stream.MaxStreams)), which flows through observe like any
+// other sid.
+const samplerSIDs = stream.MaxStreams + 1
+
+func newSamplerBank(units int) *samplerBank {
+	b := &samplerBank{
+		local:  make([][]*sampler.Sampler, units),
+		global: make([]*sampler.Sampler, samplerSIDs),
+		pool:   make(map[int][]*sampler.Sampler),
+	}
+	for u := range b.local {
+		b.local[u] = make([]*sampler.Sampler, samplerSIDs)
+	}
+	return b
+}
+
+// get returns a pooled sampler for the granularity, or builds one.
+func (b *samplerBank) get(cfg sampler.Config, itemBytes int) *sampler.Sampler {
+	if free := b.pool[itemBytes]; len(free) > 0 {
+		s := free[len(free)-1]
+		b.pool[itemBytes] = free[:len(free)-1]
+		return s
+	}
+	return sampler.New(cfg, itemBytes)
+}
+
+// retire resets every installed sampler into the pool and clears the
+// assignment, ready for the next epoch's install calls.
+func (b *samplerBank) retire() {
+	for u := range b.local {
+		row := b.local[u]
+		for sid, s := range row {
+			if s == nil {
+				continue
+			}
+			s.Reset()
+			b.pool[s.ItemBytes()] = append(b.pool[s.ItemBytes()], s)
+			row[sid] = nil
+		}
+	}
+	for sid, s := range b.global {
+		if s == nil {
+			continue
+		}
+		s.Reset()
+		b.pool[s.ItemBytes()] = append(b.pool[s.ItemBytes()], s)
+		b.global[sid] = nil
+	}
+}
+
 // ndpSim is the event-driven simulator for all NDP designs.
 type ndpSim struct {
 	cfg   Config
@@ -164,8 +229,13 @@ type ndpSim struct {
 	l1s  []*cache.Cache
 	inj  *fault.Injector // nil unless Config.Faults is non-empty
 
-	// path serves post-L1 accesses; selected by design at construction.
-	path MemPath
+	// Exactly one of spath/npath serves post-L1 accesses; selected by
+	// design at construction. The two are held as concrete pointers (not
+	// one MemPath interface value) so the per-access dispatch in serve is
+	// a nil check plus a direct — inlinable — call rather than an
+	// interface method call.
+	spath *streamPath
+	npath *nucaPath
 	// Exactly one of sc/nc is set, by design (epoch logic still needs
 	// the concrete controller).
 	sc *streamcache.Controller
@@ -176,13 +246,12 @@ type ndpSim struct {
 
 	att [][]float64 // attenuation factors for the policy
 
-	samplers       map[samplerKey]*sampler.Sampler // local: one core's traffic
-	globalSamplers map[stream.ID]*sampler.Sampler  // home-set view: all cores' traffic
-	curves         map[stream.ID]sampler.Curve     // global curves
-	localCurves    map[stream.ID]sampler.Curve     // per-core curves
-	hist           map[stream.ID]map[int]float64   // decayed per-unit access history
-	netLatMemo     map[int]float64                 // degree -> mean nearest-replica latency
-	uncovered      map[stream.ID]bool              // streams no sampler covered last epoch (§V-B rotation)
+	samplers    *samplerBank                  // local + global samplers, pooled
+	curves      map[stream.ID]sampler.Curve   // global curves
+	localCurves map[stream.ID]sampler.Curve   // per-core curves
+	hist        map[stream.ID]map[int]float64 // decayed per-unit access history
+	netLatMemo  map[int]float64               // degree -> mean nearest-replica latency
+	uncovered   map[stream.ID]bool            // streams no sampler covered last epoch (§V-B rotation)
 
 	epoch     int
 	nextEpoch sim.Time
@@ -210,12 +279,11 @@ func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 		clock:          sim.NewClock(cfg.CoreFreqMHz),
 		net:            net,
 		ext:            ext,
-		probe:          cfg.Probe,
-		samplers:       make(map[samplerKey]*sampler.Sampler),
-		globalSamplers: make(map[stream.ID]*sampler.Sampler),
-		curves:         make(map[stream.ID]sampler.Curve),
-		localCurves:    make(map[stream.ID]sampler.Curve),
-		idx:            make([]int, n),
+		probe:       cfg.Probe,
+		samplers:    newSamplerBank(n),
+		curves:      make(map[stream.ID]sampler.Curve),
+		localCurves: make(map[stream.ID]sampler.Curve),
+		idx:         make([]int, n),
 	}
 	for i := 0; i < n; i++ {
 		s.devs = append(s.devs, dram.NewDevice(cfg.Mem, cfg.BanksPerUnit))
@@ -250,14 +318,14 @@ func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 	switch cfg.Design {
 	case NDPExt, NDPExtStatic:
 		s.sc = streamcache.NewController(cfg.Stream, n, tr.Table)
-		s.path = &streamPath{pathDeps: deps, sc: s.sc, table: tr.Table}
+		s.spath = &streamPath{pathDeps: deps, sc: s.sc, table: tr.Table}
 	case Jigsaw, Whirlpool, Nexus, StaticInterleave:
 		np := nuca.DefaultParams()
 		np.RowBytes = cfg.rowBytes()
 		// The 128 kB metadata cache scales with every other capacity.
 		np.MetaCacheBytes = max(np.MetaCacheBytes/CapacityDivisor, 8*np.MetaEntryBytes)
 		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, tr.Table)
-		s.path = &nucaPath{pathDeps: deps, nc: s.nc}
+		s.npath = &nucaPath{pathDeps: deps, nc: s.nc}
 	default:
 		return nil, fmt.Errorf("system: design %v not an NDP design", cfg.Design)
 	}
@@ -348,14 +416,21 @@ func (s *ndpSim) loop() {
 
 // observe feeds the access to the stream's samplers: the local sampler
 // (this epoch's assigned unit only -- the per-core reuse view) and the
-// global one (the home sets see traffic from every core, §V-A).
+// global one (the home sets see traffic from every core, §V-A). When
+// both fire (accesses at the assigned unit) the pair update shares the
+// shadow-set arithmetic.
 func (s *ndpSim) observe(unit int, sid stream.ID, item uint64) {
-	if smp := s.samplers[samplerKey{unit, sid}]; smp != nil {
-		smp.Observe(item)
+	l := s.samplers.local[unit][sid]
+	g := s.samplers.global[sid]
+	switch {
+	case l != nil && g != nil:
+		sampler.ObservePair(l, g, item)
+		s.tel.Observes += 2
+	case g != nil:
+		g.Observe(item)
 		s.tel.Observes++
-	}
-	if smp := s.globalSamplers[sid]; smp != nil {
-		smp.Observe(item)
+	case l != nil:
+		l.Observe(item)
 		s.tel.Observes++
 	}
 }
