@@ -6,9 +6,13 @@
 //	experiments -fig 5a            # one figure
 //	experiments -all               # the whole matrix
 //	experiments -quick -fig 5a     # subset workloads, shorter traces
+//	experiments -trace run.ndptrc  # sweep all designs over a recorded trace
 //
 // Figures: 2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a..9f, vd (consistent hashing),
-// meta (metadata hit rates), faults (degraded-mode sweep).
+// meta (metadata hit rates), faults (degraded-mode sweep). With -trace,
+// the figure matrix is replaced by a design sweep replaying the given
+// trace file (recorded with ndpsim -record or imported with ndptrace
+// convert) on every machine.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload set and trace length")
 	accesses := flag.Int("accesses", 0, "override per-core access budget")
 	asJSON := flag.Bool("json", false, "emit tables as JSON")
+	tracePath := flag.String("trace", "", "replay this recorded trace file across all designs instead of the figure matrix")
 	flag.Parse()
 
 	opt := bench.Default()
@@ -49,6 +54,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	opt.Ctx = ctx
+
+	if *tracePath != "" {
+		tbl, err := bench.TraceSweep(*tracePath, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			out, err := tbl.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(tbl.String())
+		}
+		return
+	}
 
 	figs := []string{"2", "4b", "5a", "5b", "6", "7", "8a", "8b",
 		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred", "faults"}

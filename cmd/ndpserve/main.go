@@ -41,6 +41,7 @@ func main() {
 	maxWall := flag.Duration("max-wall", 0, "default per-job wall-clock watchdog (0 disables)")
 	maxCycles := flag.Int64("max-cycles", 0, "default per-job simulated-cycle watchdog (0 disables)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
+	traceDir := flag.String("trace-dir", "", "directory of recorded trace files; enables trace-backed jobs (\"trace\" in the job spec)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "grace period for running jobs on shutdown before checkpointing")
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		RetryAfter:   *retryAfter,
 		MaxWall:      *maxWall,
 		MaxCycles:    *maxCycles,
+		TraceDir:     *traceDir,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,14 +6,22 @@
 //
 //	ndpsim -workload pr -design NDPExt [-mem hbm|hmc] [-seed 1]
 //	       [-accesses 30000] [-scale 1.0] [-verbose] [-json]
-//	       [-trace-sample 100 [-trace-out trace.jsonl]]
+//	       [-record run.ndptrc] [-trace-sample 100 [-trace-out trace.jsonl]]
 //
 // With -json, the run emits the canonical JSON result document — the
 // same bytes ndpserve caches and serves — as one object on stdout.
 //
+// With -record=FILE, every simulated memory access is captured into a
+// native trace file (see internal/trace) that replays byte-identically
+// via -load-trace, including runs under fault injection. -load-trace
+// accepts both native trace files (sniffed by magic, replayed with
+// bounded memory) and legacy gob traces; -save-trace writes the native
+// format unless the path ends in .gob.
+//
 // With -trace-sample=N, every Nth simulated memory access is emitted as
 // a JSONL record (core, stream, level served, per-level latency in ns)
-// to -trace-out ("-" = stdout).
+// to -trace-out ("-" = stdout). -record and -trace-sample compose: both
+// probes observe the same run.
 package main
 
 import (
@@ -27,8 +35,10 @@ import (
 
 	"ndpext/internal/fault"
 	"ndpext/internal/server"
+	"ndpext/internal/stream"
 	"ndpext/internal/system"
 	"ndpext/internal/telemetry"
+	"ndpext/internal/trace"
 	"ndpext/internal/workloads"
 )
 
@@ -46,8 +56,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the canonical JSON result document instead of text")
 	verbose := flag.Bool("verbose", false, "print per-component detail")
 	reconfig := flag.String("reconfig", "full", "reconfiguration mode: full, partial, static")
-	saveTrace := flag.String("save-trace", "", "write the generated trace to this file and exit")
-	loadTrace := flag.String("load-trace", "", "replay a trace file instead of generating")
+	saveTrace := flag.String("save-trace", "", "write the generated trace to this file and exit (native format; .gob = legacy)")
+	loadTrace := flag.String("load-trace", "", "replay a trace file instead of generating (native or legacy gob)")
+	record := flag.String("record", "", "capture every simulated access into this native trace file")
 	traceSample := flag.Uint64("trace-sample", 0, "emit every Nth access as a JSONL record (0 disables)")
 	traceOut := flag.String("trace-out", "-", "JSONL access trace destination (\"-\" = stdout)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "vault-fail,unit=3,at=40us;cxl-retry,rate=0.01" (see internal/fault)`)
@@ -89,16 +100,46 @@ func main() {
 	cfg.MaxWall = *maxWall
 	cfg.MaxCycles = *maxCycles
 
+	// Load or generate the workload. Native trace files replay through
+	// the streaming source (bounded memory, any length); legacy gob
+	// traces and generated workloads are materialized.
 	genStart := time.Now()
-	var tr *workloads.Trace
+	var (
+		tr  *workloads.Trace
+		src workloads.Source
+	)
 	if *loadTrace != "" {
-		var err error
-		tr, err = workloads.LoadFile(*loadTrace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(tr.PerCore) != cfg.NumUnits() {
-			log.Fatalf("trace %q has %d cores, machine has %d units", *loadTrace, len(tr.PerCore), cfg.NumUnits())
+		if isNativeTrace(*loadTrace) {
+			r, err := trace.OpenFile(*loadTrace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer r.Close()
+			if d != system.Host && r.Cores() != cfg.NumUnits() {
+				log.Fatalf("trace %q has %d cores, machine has %d units", *loadTrace, r.Cores(), cfg.NumUnits())
+			}
+			if *saveTrace != "" {
+				var err error
+				tr, err = r.Materialize()
+				if err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				s, err := r.Source()
+				if err != nil {
+					log.Fatal(err)
+				}
+				src = s
+			}
+		} else {
+			var err error
+			tr, err = workloads.LoadFile(*loadTrace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d != system.Host && len(tr.PerCore) != cfg.NumUnits() {
+				log.Fatalf("trace %q has %d cores, machine has %d units", *loadTrace, len(tr.PerCore), cfg.NumUnits())
+			}
 		}
 	} else {
 		gen, err := workloads.Get(*workload)
@@ -116,13 +157,23 @@ func main() {
 	genDur := time.Since(genStart)
 
 	if *saveTrace != "" {
-		if err := tr.SaveFile(*saveTrace); err != nil {
+		var err error
+		if strings.HasSuffix(*saveTrace, ".gob") {
+			err = tr.SaveFile(*saveTrace)
+		} else {
+			err = trace.SaveFile(*saveTrace, tr)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved %s (%d accesses, %d streams) to %s\n",
 			tr.Name, tr.TotalAccesses(), tr.Table.Len(), *saveTrace)
 		return
 	}
+
+	// Workload identity for recording and the report, uniform across the
+	// materialized and streaming paths.
+	wname, wtable := workloadIdentity(tr, src)
 
 	var jsonl *telemetry.JSONLProbe
 	if *traceSample > 0 {
@@ -136,15 +187,53 @@ func main() {
 			w = f
 		}
 		jsonl = telemetry.NewJSONL(w)
-		cfg.Probe = telemetry.Sampled(jsonl, *traceSample)
+		cfg.AttachProbe(telemetry.Sampled(jsonl, *traceSample))
+	}
+
+	var rec *trace.Recorder
+	var recFile *os.File
+	if *record != "" {
+		recCores := cfg.NumUnits()
+		if d == system.Host {
+			recCores = cfg.HostCores
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recFile = f
+		// The writer snapshots the stream table now, before the run
+		// mutates read-only bits: the recorded header must describe the
+		// freshly configured state a replay starts from.
+		w, err := trace.NewWriter(f, trace.Options{
+			Name: wname, Table: wtable, Cores: recCores, Compress: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec = trace.NewRecorder(w)
+		cfg.AttachProbe(rec)
 	}
 
 	simStart := time.Now()
-	res, err := system.Run(cfg, tr)
+	var res *system.Result
+	if src != nil {
+		res, err = system.RunSource(cfg, src)
+	} else {
+		res, err = system.Run(cfg, tr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	simDur := time.Since(simStart)
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		if err := recFile.Close(); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+	}
 	if *jsonOut {
 		// The same canonical document the serving layer caches and
 		// returns from GET /v1/jobs/{id}/result: scripts can diff
@@ -173,8 +262,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("workload      %s (%d accesses, %d streams; generated in %v)\n",
-		tr.Name, tr.TotalAccesses(), tr.Table.Len(), genDur.Round(time.Millisecond))
+	fmt.Printf("workload      %s (%d accesses, %d streams; loaded in %v)\n",
+		wname, res.Accesses, wtable.Len(), genDur.Round(time.Millisecond))
 	fmt.Printf("design        %v on %s (%d units; simulated in %v)\n",
 		res.Design, cfg.Mem.Name, cfg.NumUnits(), simDur.Round(time.Millisecond))
 	fmt.Printf("makespan      %v\n", res.Time)
@@ -190,6 +279,9 @@ func main() {
 		fmt.Printf("faults        injected=%d retries=%d redirects=%d remapped=%d degraded-epochs=%d\n",
 			m.Uint("fault.injected"), m.Uint("fault.retries"), m.Uint("fault.vault_redirects"),
 			m.Uint("fault.remapped_streams"), m.Uint("fault.degraded_epochs"))
+	}
+	if rec != nil {
+		fmt.Printf("recorded      %d accesses to %s\n", res.Accesses, *record)
 	}
 	if *verbose {
 		fmt.Printf("L1 hits       %d / %d\n", res.L1Hits, res.Accesses)
@@ -207,4 +299,28 @@ func main() {
 				sr.SID, sr.Type, sr.ReadOnly, sr.Bytes, sr.KneeBytes, sr.Rows, sr.Groups, sr.Hits+sr.Misses, mr)
 		}
 	}
+}
+
+// isNativeTrace sniffs the native trace magic so -load-trace accepts
+// both formats transparently.
+func isNativeTrace(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [6]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	return string(hdr[:]) == "NDPTRC"
+}
+
+// workloadIdentity returns the name and stream table of whichever
+// workload form is in play.
+func workloadIdentity(tr *workloads.Trace, src workloads.Source) (string, *stream.Table) {
+	if src != nil {
+		return src.Name(), src.Table()
+	}
+	return tr.Name, tr.Table
 }

@@ -1,0 +1,266 @@
+// Command ndptrace inspects, validates, slices, and imports memory-
+// access trace files in the native format (see internal/trace).
+//
+// Usage:
+//
+//	ndptrace info file.ndptrc
+//	ndptrace stats file.ndptrc
+//	ndptrace validate file.ndptrc
+//	ndptrace slice -from 1000 -to 5000 -o out.ndptrc file.ndptrc
+//	ndptrace convert [-name pr] [-cores 8] [-chunk 4096] [-raw] \
+//	    -o out.ndptrc accesses.csv|accesses.jsonl
+//
+// Trace files are recorded from live runs with `ndpsim -record=FILE`
+// and replayed with `ndpsim -load-trace=FILE`; convert imports external
+// CSV/JSONL access logs (DAMOV-style dumps) and infers stream
+// annotations from the address footprint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ndpext/internal/stream"
+	"ndpext/internal/trace"
+	"ndpext/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndptrace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "validate":
+		err = runValidate(os.Args[2:])
+	case "slice":
+		err = runSlice(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Fatalf("unknown subcommand %q (want info, stats, validate, slice, or convert)", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ndptrace <subcommand> [flags] FILE
+
+  info      print trace metadata (name, cores, accesses, streams, digest)
+  stats     print access statistics (reads/writes, footprint, stream coverage)
+  validate  decode and CRC-check every chunk
+  slice     extract the per-core access window [-from,-to) into -o
+  convert   import a CSV/JSONL access log into the native format
+`)
+	os.Exit(2)
+}
+
+// open parses flags, expects exactly one positional FILE, and opens it.
+func open(fs *flag.FlagSet, args []string) (*trace.Reader, string, error) {
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return nil, "", fmt.Errorf("%s wants exactly one trace file, got %d arguments", fs.Name(), fs.NArg())
+	}
+	path := fs.Arg(0)
+	r, err := trace.OpenFile(path)
+	return r, path, err
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	r, path, err := open(fs, args)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	digest, err := trace.DigestFile(path)
+	if err != nil {
+		return err
+	}
+	compression := "none"
+	if r.Compressed() {
+		compression = "flate"
+	}
+	fmt.Printf("name         %s\n", r.Name())
+	fmt.Printf("cores        %d\n", r.Cores())
+	fmt.Printf("accesses     %d\n", r.Accesses())
+	fmt.Printf("chunks       %d x %d accesses\n", r.Chunks(), r.ChunkAccesses())
+	fmt.Printf("compression  %s\n", compression)
+	fmt.Printf("file         %d bytes (%.2f bytes/access)\n", st.Size(), perAccess(st.Size(), r.Accesses()))
+	fmt.Printf("sha256       %s\n", digest)
+	streams := r.Streams()
+	fmt.Printf("streams      %d\n", len(streams))
+	for i := range streams {
+		fmt.Printf("  %v\n", &streams[i])
+	}
+	counts := r.PerCoreCounts()
+	lo, hi := counts[0], counts[0]
+	for _, n := range counts {
+		lo, hi = min(lo, n), max(hi, n)
+	}
+	fmt.Printf("per-core     min %d, max %d accesses\n", lo, hi)
+	return nil
+}
+
+func perAccess(size int64, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(size) / float64(n)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	r, _, err := open(fs, args)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	src, err := r.Source()
+	if err != nil {
+		return err
+	}
+	table := src.Table()
+	var reads, writes, inStream, gapSum uint64
+	lines := make(map[uint64]struct{})
+	perStream := make(map[stream.ID]uint64)
+	for c := 0; c < src.Cores(); c++ {
+		for {
+			a, ok := src.Next(c)
+			if !ok {
+				break
+			}
+			if a.Write {
+				writes++
+			} else {
+				reads++
+			}
+			gapSum += uint64(a.Gap)
+			lines[a.Addr&^63] = struct{}{}
+			if s := table.FindByAddr(a.Addr); s != nil {
+				inStream++
+				perStream[s.SID]++
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	total := reads + writes
+	fmt.Printf("accesses     %d (%d reads, %d writes)\n", total, reads, writes)
+	if total > 0 {
+		fmt.Printf("write ratio  %.1f%%\n", 100*float64(writes)/float64(total))
+		fmt.Printf("avg gap      %.2f cycles\n", float64(gapSum)/float64(total))
+		fmt.Printf("stream cover %.1f%% of accesses inside a configured stream\n",
+			100*float64(inStream)/float64(total))
+	}
+	fmt.Printf("footprint    %d unique 64B lines (%d bytes touched)\n", len(lines), uint64(len(lines))*64)
+	for _, s := range table.All() {
+		fmt.Printf("  stream %3d %-8s [%#x,+%d) accesses=%d\n",
+			s.SID, s.Type, s.Base, s.Size, perStream[s.SID])
+	}
+	return nil
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	r, path, err := open(fs, args)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK (%d accesses in %d chunks, all CRCs verified)\n", path, r.Accesses(), r.Chunks())
+	return nil
+}
+
+func runSlice(args []string) error {
+	fs := flag.NewFlagSet("slice", flag.ExitOnError)
+	from := fs.Uint64("from", 0, "first per-core access index (inclusive)")
+	to := fs.Uint64("to", 0, "last per-core access index (exclusive)")
+	out := fs.String("o", "", "output trace file (required)")
+	r, _, err := open(fs, args)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if *out == "" {
+		return fmt.Errorf("slice needs -o OUTPUT")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := r.Slice(f, *from, *to); err != nil {
+		f.Close()
+		os.Remove(*out)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sr, err := trace.OpenFile(*out)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	fmt.Printf("sliced [%d,%d) -> %s (%d accesses)\n", *from, *to, *out, sr.Accesses())
+	return nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	name := fs.String("name", "", "workload name (default: log file base name)")
+	cores := fs.Int("cores", 0, "core count (0 infers from the log)")
+	chunk := fs.Int("chunk", 0, "accesses per chunk (0 = default)")
+	raw := fs.Bool("raw", false, "disable flate compression")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert wants exactly one log file, got %d arguments", fs.NArg())
+	}
+	if *out == "" {
+		return fmt.Errorf("convert needs -o OUTPUT")
+	}
+	tr, err := trace.ConvertFile(fs.Arg(0), trace.ConvertOptions{Name: *name, Cores: *cores})
+	if err != nil {
+		return err
+	}
+	if err := writeTraceFile(*out, tr, *chunk, !*raw); err != nil {
+		return err
+	}
+	fmt.Printf("imported %s: %d accesses on %d cores, %d inferred streams -> %s\n",
+		tr.Name, tr.TotalAccesses(), len(tr.PerCore), tr.Table.Len(), *out)
+	return nil
+}
+
+func writeTraceFile(path string, tr *workloads.Trace, chunk int, compress bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTrace(f, tr, chunk, compress); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}

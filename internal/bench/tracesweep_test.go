@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ndpext/internal/system"
+	tracefmt "ndpext/internal/trace"
+	"ndpext/internal/workloads"
+)
+
+// TestTraceSweep round-trips a generated workload through the trace
+// format and sweeps it: every design row must appear, the host row must
+// normalize to 1.00, and a core-width mismatch must be rejected with a
+// usable error instead of a silent skip.
+func TestTraceSweep(t *testing.T) {
+	dir := t.TempDir()
+	cores := system.DefaultConfig(system.NDPExt).NumUnits()
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.DefaultScale()
+	sc.AccessesPerCore = 500
+	tr, err := gen(cores, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "pr.ndptrc")
+	if err := tracefmt.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl, err := TraceSweep(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Host", "Jigsaw", "Whirlpool", "Nexus", "NDPExt-static", "NDPExt"}
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(tbl.Rows), len(want), tbl.Rows)
+	}
+	for i, d := range want {
+		if tbl.Rows[i][0] != d {
+			t.Errorf("row %d: design %q, want %q", i, tbl.Rows[i][0], d)
+		}
+	}
+	if tbl.Rows[0][2] != "1.00" {
+		t.Errorf("host speedup %q, want 1.00", tbl.Rows[0][2])
+	}
+
+	// Wrong width: a 2-core trace cannot drive the 128-unit machines.
+	narrow, err := gen(2, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := filepath.Join(dir, "narrow.ndptrc")
+	if err := tracefmt.SaveFile(np, narrow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceSweep(np, Options{}); err == nil {
+		t.Fatal("2-core trace accepted by a sweep over the 128-unit machines")
+	}
+}

@@ -26,7 +26,7 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := spec.key(cfg)
+	key := spec.key(cfg, "")
 
 	// Path 1: plain serial system.Run, trace built exactly as the server
 	// and bench layers build it (DefaultScale + spec overrides).

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 
 	"ndpext/internal/simcache"
 	"ndpext/internal/system"
+	"ndpext/internal/trace"
 	"ndpext/internal/workloads"
 )
 
@@ -48,6 +50,10 @@ type Options struct {
 	// spec does not set its own (0 disables).
 	MaxWall   time.Duration
 	MaxCycles int64
+	// TraceDir enables trace-backed jobs: specs may name a trace file
+	// (relative path, confined to this directory) to replay instead of
+	// a generated workload. Empty disables trace jobs.
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -148,7 +154,21 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := spec.key(cfg)
+	var digest string
+	if spec.Trace != "" {
+		// Digest the trace now, at admission: the key must name the
+		// bytes the job will replay, and a file swapped mid-queue must
+		// not silently serve a stale cached result.
+		path, err := s.resolveTrace(spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		digest, err = trace.DigestFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: digesting trace %q: %w", spec.Trace, err)
+		}
+	}
+	key := spec.key(cfg, digest)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -281,9 +301,37 @@ func (s *Server) runJob(job *Job) {
 // when the outcome is nondeterministic (wall truncation, cancellation).
 func (s *Server) simulate(job *Job) ([]byte, error) {
 	s.simsRun.Add(1)
-	tr, err := s.trace(job.Spec)
-	if err != nil {
-		return nil, err
+	// Trace-backed jobs replay through a streaming source — memory stays
+	// bounded at one decoded chunk per core however long the file is.
+	// Generated workloads keep the materialized fast path.
+	var (
+		tr  *workloads.Trace
+		src workloads.Source
+	)
+	if job.Spec.Trace != "" {
+		path, err := s.resolveTrace(job.Spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trace.OpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		if job.cfg.Design != system.Host && r.Cores() != job.cfg.NumUnits() {
+			return nil, fmt.Errorf("server: trace %q has %d cores, machine has %d units",
+				job.Spec.Trace, r.Cores(), job.cfg.NumUnits())
+		}
+		src, err = r.Source()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		tr, err = s.trace(job.Spec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cfg := job.cfg
 	cfg.OnEpoch = func(ei system.EpochInfo) {
@@ -305,7 +353,13 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 			}})
 		}
 	}
-	res, err := system.RunContext(s.runCtx, cfg, tr)
+	var res *system.Result
+	var err error
+	if src != nil {
+		res, err = system.RunSourceContext(s.runCtx, cfg, src)
+	} else {
+		res, err = system.RunContext(s.runCtx, cfg, tr)
+	}
 	if err != nil {
 		if res == nil {
 			return nil, err
@@ -341,7 +395,7 @@ func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
 	if d != system.Host {
 		cores = system.DefaultConfig(d).NumUnits()
 	}
-	key := simcache.Sum(spec.workloadCanon(), []byte(fmt.Sprintf("cores=%d", cores)))
+	key := simcache.Sum(spec.workloadCanon(""), []byte(fmt.Sprintf("cores=%d", cores)))
 	tr, _, err := s.traces.Do(key, func() (*workloads.Trace, error) {
 		gen, err := workloads.Get(spec.Workload)
 		if err != nil {
@@ -356,6 +410,20 @@ func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
 		return nil, err
 	}
 	return tr.Clone(), nil
+}
+
+// resolveTrace maps a spec's trace name to a file under Options.TraceDir,
+// rejecting anything that could escape it (absolute paths, "..", empty
+// names). The name is the API surface; the directory is the trust
+// boundary.
+func (s *Server) resolveTrace(name string) (string, error) {
+	if s.opt.TraceDir == "" {
+		return "", errors.New("server: trace jobs not enabled (no trace directory configured)")
+	}
+	if name == "" || !filepath.IsLocal(name) {
+		return "", fmt.Errorf("server: trace name %q escapes the trace directory", name)
+	}
+	return filepath.Join(s.opt.TraceDir, name), nil
 }
 
 // stateForDoc distinguishes done from truncated for a (possibly cached)

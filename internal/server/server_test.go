@@ -535,7 +535,7 @@ func TestJobSpecNormalizeAndKey(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return js.key(cfg).String()
+		return js.key(cfg, "").String()
 	}
 	if keyOf(JobSpec{Workload: "pr"}) != keyOf(want) {
 		t.Error("defaulted and explicit specs hash differently")

@@ -17,8 +17,14 @@ import (
 // address the same cache entry.
 type JobSpec struct {
 	// Workload names a generator from internal/workloads (see
-	// GET /v1/workloads).
-	Workload string `json:"workload"`
+	// GET /v1/workloads). Exactly one of Workload and Trace is set.
+	Workload string `json:"workload,omitempty"`
+	// Trace names a recorded trace file (relative to the server's
+	// -trace-dir; path escapes are rejected) to replay instead of a
+	// generated workload. Trace jobs stream the file with bounded memory
+	// and are cache-keyed by the file's SHA-256 digest, so a re-recorded
+	// file with different bytes never collides with stale results.
+	Trace string `json:"trace,omitempty"`
 	// Design is a system design name: NDPExt, NDPExt-static, Nexus,
 	// Whirlpool, Jigsaw, Static, or Host. Default NDPExt.
 	Design string `json:"design,omitempty"`
@@ -58,14 +64,18 @@ func (js JobSpec) normalize() JobSpec {
 	if js.Mem == "" {
 		js.Mem = "hbm"
 	}
-	if js.Seed == 0 {
-		js.Seed = 1
-	}
-	if js.Accesses == 0 {
-		js.Accesses = 30000
-	}
-	if js.Scale == 0 {
-		js.Scale = 1
+	// Generation parameters are meaningless for trace replay; leaving
+	// them zero keeps them out of the echoed spec and the cache key.
+	if js.Trace == "" {
+		if js.Seed == 0 {
+			js.Seed = 1
+		}
+		if js.Accesses == 0 {
+			js.Accesses = 30000
+		}
+		if js.Scale == 0 {
+			js.Scale = 1
+		}
 	}
 	if js.Reconfig == "" {
 		js.Reconfig = "full"
@@ -103,7 +113,14 @@ func (js JobSpec) build(defMaxWall time.Duration, defMaxCycles int64) (system.Co
 	if js.EpochCycles > 0 {
 		cfg.EpochCycles = js.EpochCycles
 	}
-	if _, err := workloads.Get(js.Workload); err != nil {
+	if js.Trace != "" {
+		if js.Workload != "" {
+			return system.Config{}, fmt.Errorf("workload and trace are mutually exclusive")
+		}
+		if js.Seed != 0 || js.Accesses != 0 || js.Scale != 0 {
+			return system.Config{}, fmt.Errorf("seed/accesses/scale do not apply to trace replay")
+		}
+	} else if _, err := workloads.Get(js.Workload); err != nil {
 		return system.Config{}, err
 	}
 	if js.Accesses < 0 || js.Scale < 0 {
@@ -131,14 +148,18 @@ func (js JobSpec) build(defMaxWall time.Duration, defMaxCycles int64) (system.Co
 
 // workloadCanon is the canonical serialization of the workload half of a
 // job's inputs; together with Config.CanonicalBytes it fully determines
-// the simulated result.
-func (js JobSpec) workloadCanon() []byte {
+// the simulated result. Trace jobs pass the file's content digest so
+// the canonical form names the bytes, not the mutable file name.
+func (js JobSpec) workloadCanon(traceDigest string) []byte {
+	if js.Trace != "" {
+		return []byte("ndpext-trace/v1|digest=" + traceDigest)
+	}
 	return []byte(fmt.Sprintf("ndpext-workload/v1|name=%s|seed=%d|accesses=%d|scale=%g",
 		js.Workload, js.Seed, js.Accesses, js.Scale))
 }
 
 // key content-addresses the job: SHA-256 over the canonical machine
-// config and workload parameters.
-func (js JobSpec) key(cfg system.Config) simcache.Key {
-	return simcache.Sum(cfg.CanonicalBytes(), js.workloadCanon())
+// config and workload parameters (or the trace content digest).
+func (js JobSpec) key(cfg system.Config, traceDigest string) simcache.Key {
+	return simcache.Sum(cfg.CanonicalBytes(), js.workloadCanon(traceDigest))
 }

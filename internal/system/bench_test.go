@@ -76,7 +76,7 @@ func BenchmarkMemPath(b *testing.B) {
 		b.Run(d.String(), func(b *testing.B) {
 			tr := benchTrace(b, 8)
 			cfg := smallConfig(d)
-			s, err := newNDPSim(cfg, tr)
+			s, err := newNDPSim(cfg, traceInput(tr))
 			if err != nil {
 				b.Fatal(err)
 			}

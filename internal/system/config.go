@@ -194,6 +194,16 @@ type Config struct {
 	Seed uint64
 }
 
+// AttachProbe adds p to the configuration's probe chain. Unlike
+// assigning Config.Probe directly — which silently replaces whatever
+// sink was installed before — AttachProbe composes via
+// telemetry.Multi, so a sampled JSONL emitter and a full-rate trace
+// recorder (or any number of other sinks) all observe the same run.
+// Attaching nil is a no-op.
+func (c *Config) AttachProbe(p telemetry.Probe) {
+	c.Probe = telemetry.Multi(c.Probe, p)
+}
+
 // debugWriter resolves the reconfiguration trace destination.
 func (c Config) debugWriter() io.Writer {
 	if c.DebugWriter != nil {

@@ -117,7 +117,7 @@ func (s *ndpSim) nucaConfigInput() nuca.ConfigInput {
 // (used at bootstrap, before any profile exists).
 func (s *ndpSim) allStreamInputs() []policy.StreamInput {
 	var ins []policy.StreamInput
-	for _, st := range s.tr.Table.All() {
+	for _, st := range s.table.All() {
 		ins = append(ins, policy.StreamInput{
 			SID:      st.SID,
 			Curve:    defaultCurve(st),
@@ -158,7 +158,7 @@ func (s *ndpSim) bootstrap() {
 			panic(err)
 		}
 	case Jigsaw, Whirlpool, Nexus:
-		n := s.tr.Table.Len()
+		n := s.table.Len()
 		if n == 0 {
 			return
 		}
@@ -168,7 +168,7 @@ func (s *ndpSim) bootstrap() {
 		}
 		allocs := make(map[stream.ID]streamcache.Allocation, n)
 		next := make([]uint32, s.cfg.NumUnits())
-		for _, st := range s.tr.Table.All() {
+		for _, st := range s.table.All() {
 			a := streamcache.NewAllocation(s.cfg.NumUnits())
 			for u := range a.Shares {
 				a.Shares[u] = share
@@ -184,7 +184,7 @@ func (s *ndpSim) bootstrap() {
 	// Initial sampler guess: stream sid sampled at unit sid mod N. The
 	// first epoch boundary replaces this with the max-flow assignment.
 	if s.profiles() {
-		for _, st := range s.tr.Table.All() {
+		for _, st := range s.table.All() {
 			u := int(st.SID) % s.cfg.NumUnits()
 			s.samplers.local[u][st.SID] = s.samplers.get(s.cfg.Sampler, s.itemBytes(st.SID))
 			s.samplers.global[st.SID] = s.samplers.get(s.cfg.Sampler, s.itemBytes(st.SID))
@@ -224,7 +224,7 @@ func (s *ndpSim) itemBytes(sid stream.ID) int {
 	if s.nc != nil {
 		return 64 // cacheline granularity in the baselines
 	}
-	st := s.tr.Table.Get(sid)
+	st := s.table.Get(sid)
 	if st == nil {
 		return 64
 	}
@@ -358,7 +358,7 @@ func (s *ndpSim) epochBoundary() {
 	sort.Slice(histSIDs, func(i, j int) bool { return histSIDs[i] < histSIDs[j] })
 	var ins []policy.StreamInput
 	for _, sid := range histSIDs {
-		st := s.tr.Table.Get(sid)
+		st := s.table.Get(sid)
 		if st == nil {
 			continue
 		}
@@ -416,7 +416,7 @@ func (s *ndpSim) epochBoundary() {
 			// Streams that decayed out of the history lose their space
 			// explicitly, keeping the installed configuration's total
 			// within the physical capacity.
-			for _, st := range s.tr.Table.All() {
+			for _, st := range s.table.All() {
 				if _, ok := allocs[st.SID]; ok {
 					continue
 				}

@@ -19,7 +19,7 @@ import (
 // host cores, preserving per-core access order. Accounting flows through
 // the same telemetry counters as the NDP designs. Cancellation follows
 // RunContext's contract: partial results plus ctx's error.
-func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
+func runHost(ctx context.Context, cfg Config, in simInput) (*Result, error) {
 	nc := cfg.HostCores
 	if nc <= 0 {
 		nc = 64
@@ -45,21 +45,34 @@ func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, err
 	}
 	rowBytes := uint64(dram.DDR5().RowBytes)
 
-	// Fold the trace onto the host cores.
-	perCore := make([][]workloads.Access, nc)
-	for c, cs := range tr.PerCore {
-		hc := c % nc
-		perCore[hc] = append(perCore[hc], cs...)
+	// Fold the trace onto the host cores: host core hc plays the source
+	// cores congruent to hc mod nc, in core order, each to exhaustion —
+	// exactly the concatenation the materialized path used to build
+	// up front, but pulled incrementally so a streaming source replays
+	// with bounded memory.
+	cur := make([]int, nc)
+	for hc := range cur {
+		cur[hc] = hc
+	}
+	next := func(hc int) (workloads.Access, bool) {
+		for cur[hc] < in.cores {
+			if a, ok := in.next(cur[hc]); ok {
+				return a, true
+			}
+			cur[hc] += nc
+		}
+		return workloads.Access{}, false
 	}
 
-	res := &Result{Design: Host, Workload: tr.Name}
+	res := &Result{Design: Host, Workload: in.name}
 	var tel telemetry.Counters
 	probe := cfg.Probe
 	var q sim.EventQueue
-	idx := make([]int, nc)
-	for c := range perCore {
-		if len(perCore[c]) > 0 {
-			q.Push(0, c)
+	pending := make([]workloads.Access, nc)
+	for hc := 0; hc < nc; hc++ {
+		if a, ok := next(hc); ok {
+			pending[hc] = a
+			q.Push(0, hc)
 		}
 	}
 	// Watchdog limits (same semantics as ndpSim.loop).
@@ -89,7 +102,7 @@ func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, err
 			}
 		}
 		c := ev.ID
-		a := perCore[c][idx[c]]
+		a := pending[c]
 		var snap [telemetry.NumLevels]sim.Time
 		if probe != nil {
 			snap = tel.Levels
@@ -133,7 +146,9 @@ func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, err
 				Seq:    tel.Accesses - 1,
 				Core:   c,
 				SID:    -1,
+				Addr:   a.Addr,
 				Write:  a.Write,
+				Gap:    a.Gap,
 				Served: served,
 				Start:  ev.When,
 				End:    t,
@@ -144,11 +159,11 @@ func runHost(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, err
 			probe.Record(&pev)
 		}
 
-		idx[c]++
 		if t > end {
 			end = t
 		}
-		if idx[c] < len(perCore[c]) {
+		if na, ok := next(c); ok {
+			pending[c] = na
 			q.Push(t, c)
 		}
 	}

@@ -77,7 +77,9 @@ func (s *ndpSim) serve(start sim.Time, core int, a workloads.Access) sim.Time {
 			Seq:    tel.Accesses - 1,
 			Core:   core,
 			SID:    -1,
+			Addr:   a.Addr,
 			Write:  a.Write,
+			Gap:    a.Gap,
 			Served: served,
 			Start:  start,
 			End:    done,

@@ -116,6 +116,71 @@ func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
 // the Result on error; callers that checkpoint (the serving layer) use
 // both.
 func RunContext(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
+	return runInput(ctx, cfg, traceInput(tr))
+}
+
+// RunSource simulates a streaming access source (e.g. a recorded trace
+// file replayed with bounded memory) on the configured machine.
+func RunSource(cfg Config, src workloads.Source) (*Result, error) {
+	return RunSourceContext(context.Background(), cfg, src)
+}
+
+// RunSourceContext is RunSource with cooperative cancellation
+// (RunContext's contract). The source is consumed; open a fresh one per
+// run. A source read error surfaces after the event loop alongside the
+// partial Result.
+func RunSourceContext(ctx context.Context, cfg Config, src workloads.Source) (*Result, error) {
+	return runInput(ctx, cfg, sourceInput(src))
+}
+
+// simInput is the normalized workload feed handed to the simulators:
+// either a materialized trace (perCore non-nil — the zero-copy fast
+// path) or a streaming Source (src non-nil — bounded memory). Exactly
+// one of the two is set.
+type simInput struct {
+	name    string
+	table   *stream.Table
+	cores   int
+	perCore [][]workloads.Access
+	idx     []int // per-core cursor for the materialized path
+	src     workloads.Source
+}
+
+func traceInput(tr *workloads.Trace) simInput {
+	return simInput{
+		name: tr.Name, table: tr.Table,
+		cores: len(tr.PerCore), perCore: tr.PerCore,
+		idx: make([]int, len(tr.PerCore)),
+	}
+}
+
+func sourceInput(src workloads.Source) simInput {
+	return simInput{name: src.Name(), table: src.Table(), cores: src.Cores(), src: src}
+}
+
+// next returns the core's next access, advancing its cursor.
+func (in *simInput) next(core int) (workloads.Access, bool) {
+	if in.perCore != nil {
+		i := in.idx[core]
+		if i >= len(in.perCore[core]) {
+			return workloads.Access{}, false
+		}
+		in.idx[core] = i + 1
+		return in.perCore[core][i], true
+	}
+	return in.src.Next(core)
+}
+
+// err reports a read error that truncated the feed (streaming only).
+func (in *simInput) err() error {
+	if in.src != nil {
+		return in.src.Err()
+	}
+	return nil
+}
+
+// runInput validates and dispatches one simulation.
+func runInput(ctx context.Context, cfg Config, in simInput) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,19 +188,22 @@ func RunContext(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, 
 		return nil, err
 	}
 	if cfg.Design == Host {
-		return runHost(ctx, cfg, tr)
+		return runHost(ctx, cfg, in)
 	}
-	if len(tr.PerCore) != cfg.NumUnits() {
+	if in.cores != cfg.NumUnits() {
 		return nil, fmt.Errorf("system: trace has %d cores, machine has %d units",
-			len(tr.PerCore), cfg.NumUnits())
+			in.cores, cfg.NumUnits())
 	}
-	s, err := newNDPSim(cfg, tr)
+	s, err := newNDPSim(cfg, in)
 	if err != nil {
 		return nil, err
 	}
 	s.ctx = ctx
 	s.bootstrap()
 	s.loop()
+	if err := in.err(); err != nil {
+		return s.result(), fmt.Errorf("system: access feed failed mid-run: %w", err)
+	}
 	if s.res.Truncated && s.res.TruncateReason == truncatedCanceled {
 		return s.result(), context.Cause(ctx)
 	}
@@ -218,10 +286,13 @@ func (b *samplerBank) retire() {
 
 // ndpSim is the event-driven simulator for all NDP designs.
 type ndpSim struct {
-	cfg   Config
-	tr    *workloads.Trace
-	ctx   context.Context // cooperative cancellation; nil means none
-	clock sim.Clock
+	cfg     Config
+	in      simInput
+	name    string
+	table   *stream.Table
+	pending []workloads.Access // per-core one-access lookahead
+	ctx     context.Context    // cooperative cancellation; nil means none
+	clock   sim.Clock
 
 	net  *noc.Network
 	ext  *cxl.Device
@@ -257,13 +328,12 @@ type ndpSim struct {
 	nextEpoch sim.Time
 	epochDur  sim.Time
 
-	q   sim.EventQueue
-	idx []int
+	q sim.EventQueue
 
 	res Result
 }
 
-func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
+func newNDPSim(cfg Config, in simInput) (*ndpSim, error) {
 	n := cfg.NumUnits()
 	net, err := noc.NewChecked(cfg.NoC)
 	if err != nil {
@@ -274,16 +344,18 @@ func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 		return nil, err
 	}
 	s := &ndpSim{
-		cfg:            cfg,
-		tr:             tr,
-		clock:          sim.NewClock(cfg.CoreFreqMHz),
-		net:            net,
-		ext:            ext,
+		cfg:         cfg,
+		in:          in,
+		name:        in.name,
+		table:       in.table,
+		pending:     make([]workloads.Access, n),
+		clock:       sim.NewClock(cfg.CoreFreqMHz),
+		net:         net,
+		ext:         ext,
 		probe:       cfg.Probe,
 		samplers:    newSamplerBank(n),
 		curves:      make(map[stream.ID]sampler.Curve),
 		localCurves: make(map[stream.ID]sampler.Curve),
-		idx:         make([]int, n),
 	}
 	for i := 0; i < n; i++ {
 		s.devs = append(s.devs, dram.NewDevice(cfg.Mem, cfg.BanksPerUnit))
@@ -317,14 +389,14 @@ func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 	}
 	switch cfg.Design {
 	case NDPExt, NDPExtStatic:
-		s.sc = streamcache.NewController(cfg.Stream, n, tr.Table)
-		s.spath = &streamPath{pathDeps: deps, sc: s.sc, table: tr.Table}
+		s.sc = streamcache.NewController(cfg.Stream, n, in.table)
+		s.spath = &streamPath{pathDeps: deps, sc: s.sc, table: in.table}
 	case Jigsaw, Whirlpool, Nexus, StaticInterleave:
 		np := nuca.DefaultParams()
 		np.RowBytes = cfg.rowBytes()
 		// The 128 kB metadata cache scales with every other capacity.
 		np.MetaCacheBytes = max(np.MetaCacheBytes/CapacityDivisor, 8*np.MetaEntryBytes)
-		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, tr.Table)
+		s.nc = nuca.NewController(nucaKind(cfg.Design), np, n, cfg.UnitRows, in.table)
 		s.npath = &nucaPath{pathDeps: deps, nc: s.nc}
 	default:
 		return nil, fmt.Errorf("system: design %v not an NDP design", cfg.Design)
@@ -341,7 +413,7 @@ func newNDPSim(cfg Config, tr *workloads.Trace) (*ndpSim, error) {
 	s.epochDur = s.clock.Cycles(cfg.EpochCycles)
 	s.nextEpoch = s.epochDur
 	s.res.Design = cfg.Design
-	s.res.Workload = tr.Name
+	s.res.Workload = in.name
 	return s, nil
 }
 
@@ -362,8 +434,9 @@ func nucaKind(d Design) nuca.Kind {
 // (simulated-cycle budget or wall-clock deadline) trips; a tripped
 // watchdog still flushes partial statistics via finishStats.
 func (s *ndpSim) loop() {
-	for c := range s.tr.PerCore {
-		if len(s.tr.PerCore[c]) > 0 {
+	for c := 0; c < s.in.cores; c++ {
+		if a, ok := s.in.next(c); ok {
+			s.pending[c] = a
 			s.q.Push(0, c)
 		}
 	}
@@ -400,13 +473,12 @@ func (s *ndpSim) loop() {
 			s.nextEpoch += s.epochDur
 		}
 		c := ev.ID
-		a := s.tr.PerCore[c][s.idx[c]]
-		done := s.serve(ev.When, c, a)
-		s.idx[c]++
+		done := s.serve(ev.When, c, s.pending[c])
 		if done > end {
 			end = done
 		}
-		if s.idx[c] < len(s.tr.PerCore[c]) {
+		if a, ok := s.in.next(c); ok {
+			s.pending[c] = a
 			s.q.Push(done, c)
 		}
 	}
@@ -522,7 +594,7 @@ func (s *ndpSim) finishStats() {
 	r.CacheHits = cacheHits(reg, s.sc != nil)
 	r.CacheMisses = cacheMisses(reg, s.sc != nil)
 
-	for _, st := range s.tr.Table.All() {
+	for _, st := range s.table.All() {
 		sr := StreamReport{
 			SID: st.SID, Type: st.Type.String(), ReadOnly: st.ReadOnly, Bytes: st.Size,
 		}

@@ -13,7 +13,9 @@ type jsonEvent struct {
 	Seq     uint64             `json:"seq"`
 	Core    int                `json:"core"`
 	SID     int64              `json:"sid"`
+	Addr    uint64             `json:"addr"`
 	Write   bool               `json:"write"`
+	Gap     uint8              `json:"gap"`
 	Served  string             `json:"served"`
 	StartNS float64            `json:"start_ns"`
 	EndNS   float64            `json:"end_ns"`
@@ -41,7 +43,9 @@ func (p *JSONLProbe) Record(ev *Event) {
 		Seq:     ev.Seq,
 		Core:    ev.Core,
 		SID:     ev.SID,
+		Addr:    ev.Addr,
 		Write:   ev.Write,
+		Gap:     ev.Gap,
 		Served:  ev.Served.String(),
 		StartNS: ev.Start.NS(),
 		EndNS:   ev.End.NS(),

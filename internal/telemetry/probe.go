@@ -6,12 +6,16 @@ import "ndpext/internal/sim"
 // access (including core time); Levels attributes its latency to the
 // memory-path buckets; Served names the level that supplied the data
 // (LevelCore for an L1 hit, LevelCacheDRAM for a DRAM cache hit,
-// LevelExtended for extended-memory service).
+// LevelExtended for extended-memory service). Addr and Gap echo the
+// input access verbatim, so a full-rate probe sees everything needed to
+// re-drive the simulation (the trace recorder's contract).
 type Event struct {
 	Seq    uint64 // global access sequence number within the run
 	Core   int
 	SID    int64 // stream ID, -1 when the access belongs to no stream
+	Addr   uint64
 	Write  bool
+	Gap    uint8 // compute cycles preceding the access
 	Served Level
 	Start  sim.Time
 	End    sim.Time
@@ -57,3 +61,39 @@ type FuncProbe func(ev *Event)
 
 // Record implements Probe.
 func (f FuncProbe) Record(ev *Event) { f(ev) }
+
+// multiProbe fans one event out to several sinks in order.
+type multiProbe []Probe
+
+func (m multiProbe) Record(ev *Event) {
+	for _, p := range m {
+		p.Record(ev)
+	}
+}
+
+// Multi combines probes into one fan-out probe so independently
+// configured sinks (a sampled JSONL emitter, a full-rate trace
+// recorder, ...) compose on a single probe slot instead of silently
+// replacing each other. Nil probes are dropped; zero live probes yield
+// nil (preserving the hot path's probe==nil fast path) and a single
+// live probe is returned unwrapped. Existing multis are flattened so
+// repeated attachment never nests dispatch.
+func Multi(ps ...Probe) Probe {
+	var live multiProbe
+	for _, p := range ps {
+		switch v := p.(type) {
+		case nil:
+		case multiProbe:
+			live = append(live, v...)
+		default:
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

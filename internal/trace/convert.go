@@ -1,0 +1,404 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ndpext/internal/stream"
+	"ndpext/internal/workloads"
+)
+
+// This file imports external access logs (DAMOV-style CSV dumps, JSONL
+// exports) as native traces. External logs carry no stream annotations,
+// so the importer infers them: the accessed cache lines are clustered
+// into contiguous address regions, and each region becomes a flat
+// affine stream. That recovers the data-structure-per-region layout
+// that trace dumps of array-based kernels actually have, and gives the
+// placement policies real stream boundaries to work with.
+
+// lineBytes is the inference granularity: one cache line.
+const lineBytes = 64
+
+// initialGapBytes is the starting cluster-split threshold: address gaps
+// wider than this separate data structures. It doubles until the
+// regions fit the 511-stream table.
+const initialGapBytes = 2 << 20
+
+// extRecord is one parsed external-log entry.
+type extRecord struct {
+	core  int
+	addr  uint64
+	write bool
+	gap   uint8
+}
+
+// ConvertOptions configures an import.
+type ConvertOptions struct {
+	// Name is the workload name of the resulting trace.
+	Name string
+	// Cores forces the core count. 0 infers max(core)+1 from the log;
+	// logs without a core column are dealt round-robin over this many
+	// cores (default 1).
+	Cores int
+}
+
+// ConvertCSV imports a CSV access log. The first row may be a header
+// naming the columns (core/cpu/thread, addr/address, write/rw/op,
+// gap/delay); headerless files are read positionally as
+// addr | core,addr | core,addr,write | core,addr,write,gap.
+// Addresses accept decimal or 0x-prefixed hex. '#' lines are comments.
+func ConvertCSV(r io.Reader, opts ConvertOptions) (*workloads.Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1
+
+	var recs []extRecord
+	cols := map[string]int{}
+	haveCore := true
+	first := true
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv import: %w", err)
+		}
+		if first {
+			first = false
+			if hdr := csvHeader(row); hdr != nil {
+				cols = hdr
+				_, haveCore = cols["core"]
+				if _, ok := cols["addr"]; !ok {
+					return nil, fmt.Errorf("trace: csv header %v has no address column", row)
+				}
+				continue
+			}
+			// Positional layout.
+			switch len(row) {
+			case 1:
+				cols["addr"] = 0
+				haveCore = false
+			case 2:
+				cols["core"], cols["addr"] = 0, 1
+			case 3:
+				cols["core"], cols["addr"], cols["write"] = 0, 1, 2
+			default:
+				cols["core"], cols["addr"], cols["write"], cols["gap"] = 0, 1, 2, 3
+			}
+		}
+		rec, err := csvRecord(row, cols)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv import line %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return buildTrace(recs, haveCore, opts)
+}
+
+// csvHeader maps recognized column names to positions, or nil if the
+// row does not look like a header (all fields numeric).
+func csvHeader(row []string) map[string]int {
+	names := map[string]string{
+		"core": "core", "cpu": "core", "thread": "core",
+		"addr": "addr", "address": "addr", "vaddr": "addr", "paddr": "addr",
+		"write": "write", "rw": "write", "op": "write", "type": "write",
+		"gap": "gap", "delay": "gap", "cycles": "gap",
+	}
+	hdr := map[string]int{}
+	numeric := true
+	for i, f := range row {
+		f = strings.ToLower(strings.TrimSpace(f))
+		if _, err := parseAddr(f); err != nil {
+			numeric = false
+		}
+		if canon, ok := names[f]; ok {
+			hdr[canon] = i
+		}
+	}
+	if numeric || len(hdr) == 0 {
+		return nil
+	}
+	return hdr
+}
+
+func csvRecord(row []string, cols map[string]int) (extRecord, error) {
+	var rec extRecord
+	get := func(name string) (string, bool) {
+		i, ok := cols[name]
+		if !ok || i >= len(row) {
+			return "", false
+		}
+		return strings.TrimSpace(row[i]), true
+	}
+	s, ok := get("addr")
+	if !ok {
+		return rec, fmt.Errorf("missing address field")
+	}
+	addr, err := parseAddr(s)
+	if err != nil {
+		return rec, fmt.Errorf("bad address %q: %w", s, err)
+	}
+	rec.addr = addr
+	if s, ok := get("core"); ok {
+		c, err := strconv.Atoi(s)
+		if err != nil || c < 0 {
+			return rec, fmt.Errorf("bad core %q", s)
+		}
+		rec.core = c
+	}
+	if s, ok := get("write"); ok {
+		w, err := parseWrite(s)
+		if err != nil {
+			return rec, err
+		}
+		rec.write = w
+	}
+	if s, ok := get("gap"); ok && s != "" {
+		g, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad gap %q", s)
+		}
+		if g > 255 {
+			g = 255 // saturate: the trace format models at most 255 compute cycles
+		}
+		rec.gap = uint8(g)
+	}
+	return rec, nil
+}
+
+func parseAddr(s string) (uint64, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func parseWrite(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "1", "true", "w", "wr", "write", "st", "store", "s":
+		return true, nil
+	case "0", "false", "r", "rd", "read", "ld", "load", "l", "":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad write flag %q", s)
+}
+
+// jsonRecord mirrors extRecord for JSONL logs. Addr accepts a number or
+// a (hex) string; Write accepts a bool or an R/W string via Op.
+type jsonRecord struct {
+	Core *int            `json:"core"`
+	CPU  *int            `json:"cpu"`
+	Addr json.RawMessage `json:"addr"`
+	Op   string          `json:"op"`
+	W    *bool           `json:"write"`
+	Gap  uint64          `json:"gap"`
+}
+
+// ConvertJSONL imports a JSON-lines access log: one object per line
+// with fields addr (number or hex string; required), core/cpu, write
+// (bool) or op ("R"/"W"), and gap.
+func ConvertJSONL(r io.Reader, opts ConvertOptions) (*workloads.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []extRecord
+	haveCore := false
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" || b[0] == '#' {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal([]byte(b), &jr); err != nil {
+			return nil, fmt.Errorf("trace: jsonl import line %d: %w", line, err)
+		}
+		if jr.Addr == nil {
+			return nil, fmt.Errorf("trace: jsonl import line %d: missing addr", line)
+		}
+		var rec extRecord
+		var num json.Number
+		if err := json.Unmarshal(jr.Addr, &num); err == nil {
+			a, err := strconv.ParseUint(num.String(), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: jsonl import line %d: bad addr %s", line, num)
+			}
+			rec.addr = a
+		} else {
+			var s string
+			if err := json.Unmarshal(jr.Addr, &s); err != nil {
+				return nil, fmt.Errorf("trace: jsonl import line %d: bad addr", line)
+			}
+			a, err := parseAddr(s)
+			if err != nil {
+				return nil, fmt.Errorf("trace: jsonl import line %d: bad addr %q", line, s)
+			}
+			rec.addr = a
+		}
+		switch {
+		case jr.Core != nil:
+			rec.core, haveCore = *jr.Core, true
+		case jr.CPU != nil:
+			rec.core, haveCore = *jr.CPU, true
+		}
+		if rec.core < 0 {
+			return nil, fmt.Errorf("trace: jsonl import line %d: negative core", line)
+		}
+		switch {
+		case jr.W != nil:
+			rec.write = *jr.W
+		case jr.Op != "":
+			w, err := parseWrite(jr.Op)
+			if err != nil {
+				return nil, fmt.Errorf("trace: jsonl import line %d: %w", line, err)
+			}
+			rec.write = w
+		}
+		if jr.Gap > 255 {
+			jr.Gap = 255
+		}
+		rec.gap = uint8(jr.Gap)
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: jsonl import: %w", err)
+	}
+	return buildTrace(recs, haveCore, opts)
+}
+
+// ConvertFile imports path, picking the parser by extension: .csv is
+// CSV, .jsonl/.ndjson/.json is JSONL. Name defaults to the file's base
+// name without extension.
+func ConvertFile(path string, opts ConvertOptions) (*workloads.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		base := filepath.Base(path)
+		opts.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ConvertCSV(bufio.NewReader(f), opts)
+	case ".jsonl", ".ndjson", ".json":
+		return ConvertJSONL(bufio.NewReader(f), opts)
+	default:
+		return nil, fmt.Errorf("trace: unknown log format %q (want .csv or .jsonl)", ext)
+	}
+}
+
+// buildTrace assembles the per-core sequences and infers the stream
+// table from the address footprint.
+func buildTrace(recs []extRecord, haveCore bool, opts ConvertOptions) (*workloads.Trace, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: import found no accesses")
+	}
+	cores := opts.Cores
+	if !haveCore {
+		// No core column: deal round-robin in log order.
+		if cores <= 0 {
+			cores = 1
+		}
+		for i := range recs {
+			recs[i].core = i % cores
+		}
+	}
+	maxCore := 0
+	for _, r := range recs {
+		if r.core > maxCore {
+			maxCore = r.core
+		}
+	}
+	if cores <= 0 {
+		cores = maxCore + 1
+	}
+	if maxCore >= cores {
+		return nil, fmt.Errorf("trace: log names core %d but import is limited to %d cores", maxCore, cores)
+	}
+
+	// Rebase if the footprint exceeds the 48-bit stream address fields
+	// (kernel-space virtual addresses in raw dumps): relative structure
+	// is what the placement policies consume.
+	minAddr := recs[0].addr
+	maxAddr := recs[0].addr
+	for _, r := range recs {
+		if r.addr < minAddr {
+			minAddr = r.addr
+		}
+		if r.addr > maxAddr {
+			maxAddr = r.addr
+		}
+	}
+	if maxAddr >= 1<<stream.BaseBits {
+		base := minAddr &^ (lineBytes - 1)
+		if maxAddr-base >= 1<<stream.BaseBits {
+			return nil, fmt.Errorf("trace: address footprint %d bytes exceeds the %d-bit stream address space",
+				maxAddr-base, stream.BaseBits)
+		}
+		for i := range recs {
+			recs[i].addr -= base
+		}
+	}
+
+	tr := &workloads.Trace{Name: opts.Name, PerCore: make([][]workloads.Access, cores)}
+	lines := make(map[uint64]struct{})
+	for _, r := range recs {
+		tr.PerCore[r.core] = append(tr.PerCore[r.core], workloads.Access{Addr: r.addr, Write: r.write, Gap: r.gap})
+		lines[r.addr&^(lineBytes-1)] = struct{}{}
+	}
+	table, err := inferStreams(lines)
+	if err != nil {
+		return nil, err
+	}
+	tr.Table = table
+	return tr, nil
+}
+
+// inferStreams clusters the accessed cache lines into contiguous
+// regions and registers each as a flat affine stream. The split
+// threshold doubles until the regions fit the stream table.
+func inferStreams(lineSet map[uint64]struct{}) (*stream.Table, error) {
+	lines := make([]uint64, 0, len(lineSet))
+	for l := range lineSet {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+
+	for gap := uint64(initialGapBytes); ; gap *= 2 {
+		type region struct{ base, end uint64 } // [base, end), line-aligned
+		var regs []region
+		for _, l := range lines {
+			if n := len(regs); n > 0 && l-regs[n-1].end < gap {
+				regs[n-1].end = l + lineBytes
+			} else {
+				regs = append(regs, region{base: l, end: l + lineBytes})
+			}
+		}
+		if len(regs) >= stream.MaxStreams-1 {
+			continue // too fragmented; widen the split threshold
+		}
+		table := stream.NewTable()
+		for i, rg := range regs {
+			s, err := stream.Configure(stream.ID(i), stream.Affine, rg.base, rg.end-rg.base, lineBytes)
+			if err != nil {
+				return nil, fmt.Errorf("trace: inferred stream %d: %w", i, err)
+			}
+			if err := table.Add(s); err != nil {
+				return nil, fmt.Errorf("trace: inferred stream %d: %w", i, err)
+			}
+		}
+		return table, nil
+	}
+}

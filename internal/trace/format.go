@@ -1,0 +1,244 @@
+// Package trace implements the native on-disk memory-access trace
+// format and its tooling: a recorder that sinks the telemetry probe bus
+// (any live simulation can be captured, including under fault
+// injection), a streaming replayer that drives the simulator with
+// bounded memory, slicing, and importers for external CSV/JSONL access
+// logs.
+//
+// # Format (version 1)
+//
+//	header:  "NDPTRC" | version u8 | flags u8 |
+//	         len uvarint | payload | crc32(payload) u32le
+//	         payload: name, cores, chunk size, embedded stream table
+//	chunk*:  0xC1 | core | startIdx | count | rawLen | encLen uvarints |
+//	         crc32(raw) u32le | payload [encLen]byte
+//	index:   0xC2 | len uvarint | payload | crc32(payload) u32le
+//	         payload: per-chunk (core, startIdx, count, offset) + total
+//	footer:  index offset u64le | "NDPTRCIX"
+//
+// Each chunk holds one core's consecutive accesses in columnar form:
+// the address column (first address, then zigzag-varint deltas — access
+// streams are overwhelmingly small-stride, so deltas collapse to one or
+// two bytes), the gap column (raw bytes), and the write column (packed
+// bitmap). Chunks are independently CRC-protected and optionally
+// flate-compressed, and the trailing index makes per-core iteration and
+// mid-file slicing seekable without scanning the file.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ndpext/internal/stream"
+	"ndpext/internal/workloads"
+)
+
+const (
+	// magic opens every trace file; footerMagic closes it.
+	magic       = "NDPTRC"
+	footerMagic = "NDPTRCIX"
+	// Version is the current format version.
+	Version = 1
+
+	// flagFlate marks chunk payloads as flate-compressed.
+	flagFlate = 1 << 0
+
+	chunkMarker = 0xC1
+	indexMarker = 0xC2
+
+	// DefaultChunkAccesses is the per-chunk access count: small enough
+	// that a streaming replayer buffers ~64 kB per core, large enough
+	// that varint deltas amortize the chunk header to noise.
+	DefaultChunkAccesses = 4096
+
+	// footerLen is the fixed byte length of the trailing footer.
+	footerLen = 8 + len(footerMagic)
+
+	// maxHeaderLen bounds the header payload (name + ≤511 streams).
+	maxHeaderLen = 1 << 20
+)
+
+// chunkMeta locates one chunk: which core it belongs to, the per-core
+// index of its first access, its access count, and its absolute file
+// offset.
+type chunkMeta struct {
+	core     int
+	startIdx uint64
+	count    uint64
+	offset   int64
+}
+
+// appendUvarint appends v in unsigned LEB128.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// cursor is a bounds-checked decoder over one in-memory block. The
+// first failure is sticky; callers check err once at the end.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("trace: truncated or corrupt %s at offset %d", what, c.off)
+	}
+}
+
+func (c *cursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) byte(what string) byte {
+	if c.err != nil || c.off >= len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) bytes(n int, what string) []byte {
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		c.fail(what)
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+func (c *cursor) u32le(what string) uint32 {
+	b := c.bytes(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// done reports leftover bytes as corruption (strict blocks only).
+func (c *cursor) done(what string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("trace: %d trailing bytes after %s", len(c.b)-c.off, what)
+	}
+	return nil
+}
+
+// encodeChunkPayload renders one core's consecutive accesses in the
+// columnar chunk layout (uncompressed form).
+func encodeChunkPayload(dst []byte, accs []workloads.Access) []byte {
+	// Address column: absolute first address, then zigzag deltas.
+	// Unsigned wraparound subtraction is exact modulo 2^64, so forward
+	// and backward strides round-trip bit for bit.
+	prev := accs[0].Addr
+	dst = appendUvarint(dst, prev)
+	for _, a := range accs[1:] {
+		dst = appendUvarint(dst, zigzag(int64(a.Addr-prev)))
+		prev = a.Addr
+	}
+	// Gap column.
+	for _, a := range accs {
+		dst = append(dst, a.Gap)
+	}
+	// Write column: packed bitmap, LSB first.
+	var bits byte
+	for i, a := range accs {
+		if a.Write {
+			bits |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, bits)
+			bits = 0
+		}
+	}
+	if len(accs)&7 != 0 {
+		dst = append(dst, bits)
+	}
+	return dst
+}
+
+// decodeChunkPayload inverts encodeChunkPayload, appending count
+// accesses to dst.
+func decodeChunkPayload(raw []byte, count int, dst []workloads.Access) ([]workloads.Access, error) {
+	c := &cursor{b: raw}
+	base := len(dst)
+	addr := c.uvarint("chunk address column")
+	dst = append(dst, workloads.Access{Addr: addr})
+	for i := 1; i < count; i++ {
+		addr += uint64(unzigzag(c.uvarint("chunk address column")))
+		dst = append(dst, workloads.Access{Addr: addr})
+	}
+	gaps := c.bytes(count, "chunk gap column")
+	for i, g := range gaps {
+		dst[base+i].Gap = g
+	}
+	bitmap := c.bytes((count+7)/8, "chunk write column")
+	for i := 0; i < count && bitmap != nil; i++ {
+		dst[base+i].Write = bitmap[i/8]&(1<<(i&7)) != 0
+	}
+	if err := c.done("chunk payload"); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// appendStream serializes one stream table entry.
+func appendStream(dst []byte, s *stream.Stream) []byte {
+	dst = appendUvarint(dst, uint64(s.SID))
+	dst = append(dst, byte(s.Type))
+	var ro byte
+	if s.ReadOnly {
+		ro = 1
+	}
+	dst = append(dst, ro, byte(s.Order))
+	dst = appendUvarint(dst, uint64(s.ElemSize))
+	dst = appendUvarint(dst, s.Base)
+	dst = appendUvarint(dst, s.Size)
+	for _, v := range s.Stride {
+		dst = appendUvarint(dst, v)
+	}
+	for _, v := range s.Length {
+		dst = appendUvarint(dst, v)
+	}
+	return dst
+}
+
+// decodeStream inverts appendStream.
+func (c *cursor) decodeStream() stream.Stream {
+	var s stream.Stream
+	s.SID = stream.ID(c.uvarint("stream sid"))
+	s.Type = stream.Type(c.byte("stream type"))
+	s.ReadOnly = c.byte("stream readonly") != 0
+	s.Order = stream.Order(c.byte("stream order"))
+	s.ElemSize = uint32(c.uvarint("stream elem size"))
+	s.Base = c.uvarint("stream base")
+	s.Size = c.uvarint("stream size")
+	for i := range s.Stride {
+		s.Stride[i] = c.uvarint("stream stride")
+	}
+	for i := range s.Length {
+		s.Length[i] = c.uvarint("stream length")
+	}
+	return s
+}

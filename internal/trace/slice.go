@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ndpext/internal/workloads"
+)
+
+// Slice writes the per-core access window [from, to) of the trace as a
+// new sealed trace file on w, preserving the name, stream table,
+// chunking, and compression of the source. The chunk index keeps it
+// O(window): only chunks overlapping the window are decoded, so slicing
+// the middle of a long trace never touches its head or tail. Cores with
+// fewer than `from` accesses contribute nothing.
+func (tr *Reader) Slice(w io.Writer, from, to uint64) error {
+	if from >= to {
+		return fmt.Errorf("trace: empty slice window [%d,%d)", from, to)
+	}
+	table, err := tr.Table()
+	if err != nil {
+		return err
+	}
+	tw, err := NewWriter(w, Options{
+		Name: tr.name, Table: table, Cores: tr.cores,
+		ChunkAccesses: tr.chunkAccesses, Compress: tr.Compressed(),
+	})
+	if err != nil {
+		return err
+	}
+	var buf []workloads.Access
+	for c := 0; c < tr.cores; c++ {
+		for _, m := range tr.perCore[c] {
+			if m.startIdx+m.count <= from || m.startIdx >= to {
+				continue
+			}
+			buf, err = tr.readChunk(m, buf[:0])
+			if err != nil {
+				return err
+			}
+			lo, hi := uint64(0), m.count
+			if from > m.startIdx {
+				lo = from - m.startIdx
+			}
+			if end := m.startIdx + m.count; to < end {
+				hi = m.count - (end - to)
+			}
+			for _, a := range buf[lo:hi] {
+				if err := tw.Add(c, a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return tw.Close()
+}

@@ -1,0 +1,562 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ndpext/internal/stream"
+	"ndpext/internal/telemetry"
+	"ndpext/internal/workloads"
+)
+
+// randomTrace builds a trace with adversarial address patterns: tight
+// strides, random jumps across the full 64-bit space, and runs of
+// repeats — everything the delta encoder must survive.
+func randomTrace(t testing.TB, rng *rand.Rand, cores, accesses int) *workloads.Trace {
+	t.Helper()
+	table := stream.NewTable()
+	s, err := stream.Configure(3, stream.Affine, 1<<20, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	tr := &workloads.Trace{Name: "random", Table: table, PerCore: make([][]workloads.Access, cores)}
+	for c := range tr.PerCore {
+		addr := rng.Uint64()
+		n := accesses
+		if n > 0 {
+			n = rng.Intn(accesses + 1)
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				addr += 64
+			case 1:
+				addr -= uint64(rng.Intn(1 << 20))
+			case 2:
+				addr = rng.Uint64()
+			}
+			tr.PerCore[c] = append(tr.PerCore[c], workloads.Access{
+				Addr:  addr,
+				Write: rng.Intn(3) == 0,
+				Gap:   uint8(rng.Intn(256)),
+			})
+		}
+	}
+	return tr
+}
+
+func equalAccesses(t *testing.T, want, got *workloads.Trace) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Fatalf("name %q != %q", got.Name, want.Name)
+	}
+	if len(want.PerCore) != len(got.PerCore) {
+		t.Fatalf("cores %d != %d", len(got.PerCore), len(want.PerCore))
+	}
+	for c := range want.PerCore {
+		w, g := want.PerCore[c], got.PerCore[c]
+		if len(w) != len(g) {
+			t.Fatalf("core %d: %d accesses != %d", c, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("core %d access %d: got %+v want %+v", c, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestRoundTripProperty is the format's core property: any access
+// sequence encodes and decodes to an identical trace, compressed or
+// not, across chunk sizes that do and do not divide the sequence.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		cores := 1 + rng.Intn(6)
+		tr := randomTrace(t, rng, cores, 3000)
+		chunk := []int{0, 1, 7, 100, 4096}[rng.Intn(5)]
+		compress := rng.Intn(2) == 0
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr, chunk, compress); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatalf("trial %d: open: %v", trial, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: validate: %v", trial, err)
+		}
+		got, err := r.Materialize()
+		if err != nil {
+			t.Fatalf("trial %d: materialize: %v", trial, err)
+		}
+		equalAccesses(t, tr, got)
+		if r.Accesses() != uint64(tr.TotalAccesses()) {
+			t.Fatalf("trial %d: total %d != %d", trial, r.Accesses(), tr.TotalAccesses())
+		}
+	}
+}
+
+// TestStreamTableRoundTrip checks every stream table field survives the
+// header encode, including multi-dimensional reordered streams.
+func TestStreamTableRoundTrip(t *testing.T) {
+	table := stream.NewTable()
+	s1, err := stream.ConfigureAffine3D(5, 4096, 8, 16, 8, 2, stream.OrderYXZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := stream.Configure(509, stream.Indirect, 1<<30, 1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.ReadOnly = false
+	for _, s := range []*stream.Stream{s1, s2} {
+		if err := table.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := &workloads.Trace{Name: "tbl", Table: table, PerCore: [][]workloads.Access{{{Addr: 4096}}}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Streams()
+	// The writer snapshots streams as freshly configured (ReadOnly on).
+	want1, want2 := *s1, *s2
+	want2.ReadOnly = true
+	if len(got) != 2 || !reflect.DeepEqual(got[0], want1) || !reflect.DeepEqual(got[1], want2) {
+		t.Fatalf("stream table mangled:\n got %+v\nwant %+v", got, []stream.Stream{want1, want2})
+	}
+}
+
+// TestDeterministicBytes: the same trace must serialize to identical
+// bytes every time — the serving layer content-addresses trace files.
+func TestDeterministicBytes(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(3)), 4, 2000)
+	for _, compress := range []bool{false, true} {
+		var a, b bytes.Buffer
+		if err := WriteTrace(&a, tr, 512, compress); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTrace(&b, tr, 512, compress); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("compress=%v: two encodes of one trace differ", compress)
+		}
+	}
+}
+
+// TestCorruptChunkRejected flips one byte inside a chunk payload and
+// expects the CRC check to refuse it — on Validate, Materialize, and
+// the streaming Source.
+func TestCorruptChunkRejected(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(11)), 2, 2000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 256, false); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(clean), int64(len(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte well inside the first chunk's payload.
+	dirty := bytes.Clone(clean)
+	off := r.chunks[0].offset + maxChunkHeader + 8
+	dirty[off] ^= 0x40
+	rd, err := NewReader(bytes.NewReader(dirty), int64(len(dirty)))
+	if err != nil {
+		t.Fatal(err) // header and index are intact; open must succeed
+	}
+	if err := rd.Validate(); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("Validate accepted a corrupt chunk (err=%v)", err)
+	}
+	if _, err := rd.Materialize(); err == nil {
+		t.Fatal("Materialize accepted a corrupt chunk")
+	}
+	src, err := rd.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < src.Cores(); c++ {
+		for {
+			if _, ok := src.Next(c); !ok {
+				break
+			}
+		}
+	}
+	if src.Err() == nil {
+		t.Fatal("Source drained a corrupt trace without error")
+	}
+}
+
+// TestTruncatedFileRejected: every truncation point must produce an
+// error at open or validate, never a panic or silent short read.
+func TestTruncatedFileRejected(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(5)), 2, 500)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 128, true); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n += 1 + n/13 {
+		b := full[:n]
+		r, err := NewReader(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			continue
+		}
+		if err := r.Validate(); err == nil {
+			t.Fatalf("truncation to %d/%d bytes validated cleanly", n, len(full))
+		}
+	}
+}
+
+// TestSourceMatchesMaterialize drains the streaming source and compares
+// against the materialized trace, interleaving cores to exercise the
+// per-core cursors.
+func TestSourceMatchesMaterialize(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(13)), 5, 3000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 100, true); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := r.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]workloads.Access, src.Cores())
+	done := 0
+	for done < src.Cores() {
+		for c := 0; c < src.Cores(); c++ {
+			a, ok := src.Next(c)
+			if !ok {
+				continue
+			}
+			got[c] = append(got[c], a)
+		}
+		done = 0
+		for c := 0; c < src.Cores(); c++ {
+			if len(got[c]) == len(tr.PerCore[c]) {
+				done++
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	equalAccesses(t, tr, &workloads.Trace{Name: "random", PerCore: got})
+	// Exhausted cores stay exhausted.
+	if _, ok := src.Next(0); ok {
+		t.Fatal("Next returned an access after exhaustion")
+	}
+}
+
+// TestSliceDeterminism slices a window out of the middle of a trace and
+// checks (a) the slice equals the materialized window, and (b) slicing
+// twice yields byte-identical files.
+func TestSliceDeterminism(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(17)), 3, 4000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 128, true); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const from, to = 300, 1700
+	var s1, s2 bytes.Buffer
+	if err := r.Slice(&s1, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Slice(&s2, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("two slices of one window differ")
+	}
+	sr, err := NewReader(bytes.NewReader(s1.Bytes()), int64(s1.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sr.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &workloads.Trace{Name: tr.Name, PerCore: make([][]workloads.Access, len(tr.PerCore))}
+	for c, accs := range tr.PerCore {
+		lo, hi := from, to
+		if lo > len(accs) {
+			lo = len(accs)
+		}
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		want.PerCore[c] = accs[lo:hi]
+	}
+	equalAccesses(t, want, got)
+	if _, err := sr.Table(); err != nil {
+		t.Fatalf("slice lost the stream table: %v", err)
+	}
+	if err := r.Slice(&bytes.Buffer{}, 10, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+// TestOpenFileAndDigest exercises the file-backed path and the
+// content digest the serving layer keys jobs by.
+func TestOpenFileAndDigest(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(19)), 2, 1000)
+	path := filepath.Join(t.TempDir(), "t.ndptrc")
+	if err := SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAccesses(t, tr, got)
+	d1, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || len(d1) != 64 {
+		t.Fatalf("digest unstable or malformed: %q vs %q", d1, d2)
+	}
+}
+
+// TestRecorder drives the probe-facing recorder directly.
+func TestRecorder(t *testing.T) {
+	tr := randomTrace(t, rand.New(rand.NewSource(23)), 3, 800)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Options{Name: tr.Name, Table: tr.Table, Cores: len(tr.PerCore)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(w)
+	// Interleave cores the way the event loop would.
+	idx := make([]int, len(tr.PerCore))
+	for left := tr.TotalAccesses(); left > 0; {
+		for c := range tr.PerCore {
+			if idx[c] >= len(tr.PerCore[c]) {
+				continue
+			}
+			a := tr.PerCore[c][idx[c]]
+			ev := telemetry.Event{Core: c, Addr: a.Addr, Write: a.Write, Gap: a.Gap}
+			rec.Record(&ev)
+			idx[c]++
+			left--
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAccesses(t, tr, got)
+}
+
+// TestWriterErrors covers the writer's misuse guards.
+func TestWriterErrors(t *testing.T) {
+	if _, err := NewWriter(&bytes.Buffer{}, Options{Cores: 0}); err == nil {
+		t.Fatal("zero-core writer accepted")
+	}
+	w, err := NewWriter(&bytes.Buffer{}, Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(5, workloads.Access{}); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	w2, err := NewWriter(&bytes.Buffer{}, Options{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Add(0, workloads.Access{}); err == nil {
+		t.Fatal("Add after Close accepted")
+	}
+}
+
+// TestConvertCSV imports header, headerless, and hex-address CSV logs.
+func TestConvertCSV(t *testing.T) {
+	csvLog := `core,addr,rw,gap
+0,0x1000,R,3
+1,0x1040,W,0
+0,0x1080,R,10
+1,0x4000000,W,255
+`
+	tr, err := ConvertCSV(strings.NewReader(csvLog), ConvertOptions{Name: "ext"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.PerCore) != 2 || tr.Name != "ext" {
+		t.Fatalf("got %d cores, name %q", len(tr.PerCore), tr.Name)
+	}
+	want0 := []workloads.Access{{Addr: 0x1000, Gap: 3}, {Addr: 0x1080, Gap: 10}}
+	want1 := []workloads.Access{{Addr: 0x1040, Write: true}, {Addr: 0x4000000, Write: true, Gap: 255}}
+	if !reflect.DeepEqual(tr.PerCore[0], want0) || !reflect.DeepEqual(tr.PerCore[1], want1) {
+		t.Fatalf("parsed %+v / %+v", tr.PerCore[0], tr.PerCore[1])
+	}
+	// Far-apart regions must infer separate streams, and every access
+	// must fall inside one.
+	if tr.Table.Len() != 2 {
+		t.Fatalf("inferred %d streams, want 2", tr.Table.Len())
+	}
+	for _, accs := range tr.PerCore {
+		for _, a := range accs {
+			if tr.Table.FindByAddr(a.Addr) == nil {
+				t.Fatalf("access %#x outside every inferred stream", a.Addr)
+			}
+		}
+	}
+
+	// Headerless, address-only, dealt over 2 cores.
+	tr2, err := ConvertCSV(strings.NewReader("4096\n4160\n4224\n"), ConvertOptions{Name: "flat", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.PerCore) != 2 || len(tr2.PerCore[0]) != 2 || len(tr2.PerCore[1]) != 1 {
+		t.Fatalf("round-robin deal wrong: %d/%d", len(tr2.PerCore[0]), len(tr2.PerCore[1]))
+	}
+
+	if _, err := ConvertCSV(strings.NewReader(""), ConvertOptions{}); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+// TestConvertJSONL imports a JSONL log with mixed addr encodings.
+func TestConvertJSONL(t *testing.T) {
+	log := `{"core":0,"addr":"0x2000","op":"W","gap":4}
+# comment
+{"core":2,"addr":8256}
+`
+	tr, err := ConvertJSONL(strings.NewReader(log), ConvertOptions{Name: "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.PerCore) != 3 {
+		t.Fatalf("got %d cores, want 3 (max core 2)", len(tr.PerCore))
+	}
+	if a := tr.PerCore[0][0]; a.Addr != 0x2000 || !a.Write || a.Gap != 4 {
+		t.Fatalf("record 0 parsed as %+v", a)
+	}
+	if a := tr.PerCore[2][0]; a.Addr != 8256 || a.Write {
+		t.Fatalf("record 1 parsed as %+v", a)
+	}
+}
+
+// TestConvertRebase: footprints above 2^48 rebase rather than fail.
+func TestConvertRebase(t *testing.T) {
+	log := "0xffff800000001000\n0xffff800000001040\n"
+	tr, err := ConvertCSV(strings.NewReader(log), ConvertOptions{Name: "kern"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range tr.PerCore[0] {
+		if a.Addr >= 1<<stream.BaseBits {
+			t.Fatalf("address %#x not rebased under 2^%d", a.Addr, stream.BaseBits)
+		}
+		if tr.Table.FindByAddr(a.Addr) == nil {
+			t.Fatalf("rebased address %#x outside inferred streams", a.Addr)
+		}
+	}
+}
+
+// TestConvertRoundTripThroughFormat writes an imported trace to the
+// native format and back.
+func TestConvertRoundTripThroughFormat(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("core,addr,rw\n")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%s\n", i%4, 1<<16+i*64, []string{"R", "W"}[i%2])
+	}
+	tr, err := ConvertCSV(strings.NewReader(sb.String()), ConvertOptions{Name: "gen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAccesses(t, tr, got)
+	if got.Table.Len() != tr.Table.Len() {
+		t.Fatalf("stream table %d != %d", got.Table.Len(), tr.Table.Len())
+	}
+}
+
+// FuzzReader: arbitrary bytes must never panic the open path; valid
+// prefixes from the seed corpus must round-trip.
+func FuzzReader(f *testing.F) {
+	tr := randomTrace(f, rand.New(rand.NewSource(29)), 2, 300)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr, 64, compress); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte(footerMagic))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewReader(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		// Whatever opens must also decode without panicking.
+		r.Validate()
+		if m, err := r.Materialize(); err == nil {
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, m, r.ChunkAccesses(), r.Compressed()); err != nil {
+				t.Fatalf("re-encode of decoded trace failed: %v", err)
+			}
+		}
+	})
+}

@@ -27,6 +27,12 @@ func FuzzTraceLoad(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a trace"))
 	f.Add(buf.Bytes()[:buf.Len()/2])
+	// Header-region seeds: bare magic, magic+version with no payload,
+	// and a wrong version byte — the truncation and version paths.
+	f.Add([]byte(traceWireMagic))
+	f.Add([]byte(traceWireMagic + "\x01"))
+	f.Add([]byte(traceWireMagic + "\x63"))
+	f.Add(buf.Bytes()[:len(traceWireMagic)+2])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Load(bytes.NewReader(data))
 		if err != nil {

@@ -21,14 +21,27 @@ type traceWire struct {
 	PerCore [][]Access
 }
 
-// traceWireVersion bumps when the wire format changes.
+// traceWireVersion bumps when the wire format changes. It appears twice
+// on the wire: as the byte after the magic (so foreign and stale files
+// are rejected before gob sees a single byte) and inside the gob
+// payload (defense in depth against a spliced header).
 const traceWireVersion = 1
+
+// traceWireMagic prefixes every serialized trace; the byte after it is
+// the format version.
+const traceWireMagic = "NDPWL"
 
 // Save writes the trace to w in a self-describing binary format, so that
 // expensive generated workloads can be replayed across runs and shared
 // between machines.
 func (t *Trace) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceWireMagic); err != nil {
+		return fmt.Errorf("workloads: save trace: %w", err)
+	}
+	if err := bw.WriteByte(traceWireVersion); err != nil {
+		return fmt.Errorf("workloads: save trace: %w", err)
+	}
 	wire := traceWire{
 		Version: traceWireVersion,
 		Name:    t.Name,
@@ -44,10 +57,26 @@ func (t *Trace) Save(w io.Writer) error {
 }
 
 // Load reads a trace previously written by Save. Streams come back
-// freshly configured (read-only bits reset).
+// freshly configured (read-only bits reset). Truncated or foreign input
+// is reported as an error, never a panic: the magic and version are
+// checked before the payload is decoded.
 func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceWireMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("workloads: load trace: truncated header: %w", err)
+	}
+	if string(head[:len(traceWireMagic)]) != traceWireMagic {
+		return nil, fmt.Errorf("workloads: load trace: bad magic (not a workload trace)")
+	}
+	if head[len(traceWireMagic)] != traceWireVersion {
+		return nil, fmt.Errorf("workloads: trace format version %d, want %d", head[len(traceWireMagic)], traceWireVersion)
+	}
 	var wire traceWire
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&wire); err != nil {
+	if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("workloads: load trace: truncated payload: %w", err)
+		}
 		return nil, fmt.Errorf("workloads: load trace: %w", err)
 	}
 	if wire.Version != traceWireVersion {

@@ -79,17 +79,48 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	if err := orig.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Re-encode with a bumped version by poking the wire struct.
+
+	// Flip the version byte after the magic: rejected before gob runs.
+	raw := bytes.Clone(buf.Bytes())
+	raw[len(traceWireMagic)] = 99
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong header version accepted")
+	}
+
+	// A spliced header over a stale gob payload (correct header byte,
+	// wrong embedded Version) must still be rejected by the inner check.
 	var wire traceWire
-	if err := gobDecode(buf.Bytes(), &wire); err != nil {
+	if err := gobDecode(buf.Bytes()[len(traceWireMagic)+1:], &wire); err != nil {
 		t.Fatal(err)
 	}
 	wire.Version = 99
-	raw, err := gobEncode(&wire)
+	payload, err := gobEncode(&wire)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(bytes.NewReader(raw)); err == nil {
-		t.Fatal("wrong version accepted")
+	spliced := append([]byte(traceWireMagic+"\x01"), payload...)
+	if _, err := Load(bytes.NewReader(spliced)); err == nil {
+		t.Fatal("spliced wrong-version payload accepted")
+	}
+}
+
+// TestLoadRejectsTruncation sweeps every prefix of a valid serialized
+// trace: each one must come back as an error, never a panic, and the
+// header-region prefixes must say so explicitly.
+func TestLoadRejectsTruncation(t *testing.T) {
+	gen, _ := Get("mv")
+	orig, _ := gen(2, 1, TinyScale())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n += 1 + n/8 {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(raw))
+		}
+	}
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncation of the final byte accepted")
 	}
 }
