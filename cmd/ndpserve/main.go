@@ -1,14 +1,20 @@
 // Command ndpserve exposes the simulator as a long-running HTTP/JSON
-// service: submit jobs, poll status, stream live progress over SSE, and
-// share results through a content-addressed cache that survives
-// restarts.
+// service: submit jobs or whole design×workload batch matrices, poll
+// status, stream live progress over SSE, and share results through a
+// content-addressed cache that survives restarts.
+//
+// The process is thin wiring of the three serving layers:
+// internal/server/store (result store + trace registry),
+// internal/server/scheduler (queue, worker pool, batch DAG), and
+// internal/server/transport (HTTP/JSON/SSE).
 //
 // Usage:
 //
 //	ndpserve [-addr :8080] [-workers N] [-queue 64]
 //	         [-cache-entries 1024] [-cache-ttl 0]
 //	         [-cache-index /path/to/index.json]
-//	         [-max-wall 0] [-max-cycles 0] [-retry-after 1s]
+//	         [-max-wall 0] [-max-cycles 0]
+//	         [-retry-after 1s] [-retry-after-max 60s]
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued
 // and running jobs finish (running ones are checkpointed if -drain-wait
@@ -25,7 +31,9 @@ import (
 	"syscall"
 	"time"
 
-	"ndpext/internal/server"
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+	"ndpext/internal/server/transport"
 )
 
 func main() {
@@ -40,31 +48,34 @@ func main() {
 	cacheIndex := flag.String("cache-index", "", "persist the cache index here on drain; warm-load it on start")
 	maxWall := flag.Duration("max-wall", 0, "default per-job wall-clock watchdog (0 disables)")
 	maxCycles := flag.Int64("max-cycles", 0, "default per-job simulated-cycle watchdog (0 disables)")
-	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "floor of the adaptive Retry-After hint returned with 429")
+	retryAfterMax := flag.Duration("retry-after-max", 60*time.Second, "ceiling of the adaptive Retry-After hint")
 	traceDir := flag.String("trace-dir", "", "directory of recorded trace files; enables trace-backed jobs (\"trace\" in the job spec)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "grace period for running jobs on shutdown before checkpointing")
 	flag.Parse()
 
-	srv, err := server.New(server.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		CacheTTL:     *cacheTTL,
-		CachePath:    *cacheIndex,
-		RetryAfter:   *retryAfter,
-		MaxWall:      *maxWall,
-		MaxCycles:    *maxCycles,
-		TraceDir:     *traceDir,
+	st, err := store.Open(store.Options{
+		Entries: *cacheEntries,
+		TTL:     *cacheTTL,
+		Path:    *cacheIndex,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv.Start()
-	if n := srv.CacheStats().Entries; n > 0 {
+	sched := scheduler.New(st, store.NewTraceRegistry(*traceDir), scheduler.Options{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		RetryAfter:    *retryAfter,
+		RetryAfterMax: *retryAfterMax,
+		MaxWall:       *maxWall,
+		MaxCycles:     *maxCycles,
+	})
+	sched.Start()
+	if n := st.Stats().Entries; n > 0 {
 		log.Printf("warm-loaded %d cached results from %s", n, *cacheIndex)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: transport.Handler(sched)}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)
@@ -90,11 +101,11 @@ func main() {
 	}
 	drainCtx, cancel2 := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel2()
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := sched.Drain(drainCtx); err != nil {
 		log.Fatal(err)
 	}
 	if *cacheIndex != "" {
-		log.Printf("cache index persisted to %s (%d entries)", *cacheIndex, srv.CacheStats().Entries)
+		log.Printf("cache index persisted to %s (%d entries)", *cacheIndex, st.Stats().Entries)
 	}
 	log.Printf("drained cleanly")
 }

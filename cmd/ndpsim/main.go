@@ -34,7 +34,7 @@ import (
 	"time"
 
 	"ndpext/internal/fault"
-	"ndpext/internal/server"
+	"ndpext/internal/server/result"
 	"ndpext/internal/stream"
 	"ndpext/internal/system"
 	"ndpext/internal/telemetry"
@@ -238,7 +238,7 @@ func main() {
 		// The same canonical document the serving layer caches and
 		// returns from GET /v1/jobs/{id}/result: scripts can diff
 		// ndpsim output against served results byte for byte.
-		doc, err := server.EncodeResult(res)
+		doc, err := result.Encode(res)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,7 +1,7 @@
 // Package golden pins the simulator's canonical outputs. Each Case is
 // one (design, workload, fault-scenario) configuration of a small
 // 8-unit machine; its committed golden file under testdata/ is the
-// indented form of the canonical result document (server.EncodeResult)
+// indented form of the canonical result document (result.Encode)
 // the simulation produced when the golden was last regenerated.
 //
 // The golden test re-runs every case and requires byte-identical
@@ -23,7 +23,7 @@ import (
 	"fmt"
 
 	"ndpext/internal/fault"
-	"ndpext/internal/server"
+	"ndpext/internal/server/result"
 	"ndpext/internal/system"
 	"ndpext/internal/workloads"
 )
@@ -147,7 +147,7 @@ func (c Case) Run() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	doc, err := server.EncodeResult(res)
+	doc, err := result.Encode(res)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"testing"
 
-	"ndpext/internal/server"
+	"ndpext/internal/server/result"
 	"ndpext/internal/system"
 	"ndpext/internal/trace"
 )
@@ -109,7 +109,7 @@ func TestGoldenRecordReplay(t *testing.T) {
 // encodeIndent renders a result as the indented canonical document the
 // golden files hold — the byte-identity currency of this test.
 func encodeIndent(res *system.Result) ([]byte, error) {
-	doc, err := server.EncodeResult(res)
+	doc, err := result.Encode(res)
 	if err != nil {
 		return nil, err
 	}

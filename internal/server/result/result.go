@@ -1,4 +1,11 @@
-package server
+// Package result defines the canonical machine-readable result
+// document shared by every consumer of a simulation's outcome: the
+// serving stack's content-addressed store, the HTTP result endpoints,
+// `ndpsim -json`, and the golden regression suite. The document is the
+// byte-level contract — equal results encode to identical bytes — so
+// this package must stay free of anything environment-dependent, and
+// changes to the field set or ordering are schema changes.
+package result
 
 import (
 	"encoding/json"
@@ -7,14 +14,12 @@ import (
 	"ndpext/internal/telemetry"
 )
 
-// resultSchemaVersion tags the result document layout.
-const resultSchemaVersion = 1
+// SchemaVersion tags the result document layout.
+const SchemaVersion = 1
 
-// ResultDoc is the canonical machine-readable form of one simulation's
-// outcome, shared verbatim by the serving layer's result cache, job
-// responses, and `ndpsim -json`. Latencies are nanoseconds, energies
-// picojoules.
-type ResultDoc struct {
+// Doc is the canonical machine-readable form of one simulation's
+// outcome. Latencies are nanoseconds, energies picojoules.
+type Doc struct {
 	SchemaVersion int    `json:"schema_version"`
 	Design        string `json:"design"`
 	Workload      string `json:"workload"`
@@ -31,8 +36,8 @@ type ResultDoc struct {
 	SLBHitRate        float64 `json:"slb_hit_rate,omitempty"`
 	MetaHitRate       float64 `json:"meta_hit_rate,omitempty"`
 
-	BreakdownNS BreakdownDoc `json:"breakdown_ns"`
-	EnergyPJ    EnergyDoc    `json:"energy_pj"`
+	BreakdownNS Breakdown `json:"breakdown_ns"`
+	EnergyPJ    Energy    `json:"energy_pj"`
 
 	Reconfigs  int    `json:"reconfigs,omitempty"`
 	Exceptions uint64 `json:"exceptions,omitempty"`
@@ -45,9 +50,9 @@ type ResultDoc struct {
 	Metrics map[string]any `json:"metrics,omitempty"`
 }
 
-// BreakdownDoc is the per-level latency attribution in nanoseconds,
+// Breakdown is the per-level latency attribution in nanoseconds,
 // using the telemetry level names.
-type BreakdownDoc struct {
+type Breakdown struct {
 	Core      float64 `json:"core"`
 	Meta      float64 `json:"meta"`
 	IntraNoC  float64 `json:"intra-noc"`
@@ -56,8 +61,8 @@ type BreakdownDoc struct {
 	Extended  float64 `json:"extended"`
 }
 
-// EnergyDoc is the Fig. 6 energy decomposition in picojoules.
-type EnergyDoc struct {
+// Energy is the Fig. 6 energy decomposition in picojoules.
+type Energy struct {
 	Static  float64 `json:"static"`
 	NDPDram float64 `json:"ndp_dram"`
 	ExtDram float64 `json:"ext_dram"`
@@ -67,10 +72,10 @@ type EnergyDoc struct {
 	Total   float64 `json:"total"`
 }
 
-// NewResultDoc flattens a run result into the canonical document.
-func NewResultDoc(res *system.Result) ResultDoc {
-	doc := ResultDoc{
-		SchemaVersion: resultSchemaVersion,
+// New flattens a run result into the canonical document.
+func New(res *system.Result) Doc {
+	doc := Doc{
+		SchemaVersion: SchemaVersion,
 		Design:        res.Design.String(),
 		Workload:      res.Workload,
 
@@ -86,7 +91,7 @@ func NewResultDoc(res *system.Result) ResultDoc {
 		SLBHitRate:        res.SLBHitRate,
 		MetaHitRate:       res.MetaHitRate,
 
-		BreakdownNS: BreakdownDoc{
+		BreakdownNS: Breakdown{
 			Core:      res.Breakdown.Core.NS(),
 			Meta:      res.Breakdown.Meta.NS(),
 			IntraNoC:  res.Breakdown.IntraNoC.NS(),
@@ -94,7 +99,7 @@ func NewResultDoc(res *system.Result) ResultDoc {
 			CacheDRAM: res.Breakdown.CacheDRAM.NS(),
 			Extended:  res.Breakdown.Extended.NS(),
 		},
-		EnergyPJ: EnergyDoc{
+		EnergyPJ: Energy{
 			Static:  res.Energy.StaticPJ,
 			NDPDram: res.Energy.NDPDramPJ,
 			ExtDram: res.Energy.ExtDramPJ,
@@ -126,11 +131,21 @@ func NewResultDoc(res *system.Result) ResultDoc {
 	return doc
 }
 
-// EncodeResult renders the canonical JSON result document for res: one
+// Encode renders the canonical JSON result document for res: one
 // object, no indentation, object keys in Go's deterministic order
 // (struct fields in declaration order, map keys sorted). Equal results
 // encode to identical bytes, which is what makes the document
 // content-addressable and diff-able across runs.
-func EncodeResult(res *system.Result) ([]byte, error) {
-	return json.Marshal(NewResultDoc(res))
+func Encode(res *system.Result) ([]byte, error) {
+	return json.Marshal(New(res))
+}
+
+// Truncated probes an encoded document for the truncated marker
+// without decoding the whole thing — how a cached document's terminal
+// state is classified.
+func Truncated(doc []byte) bool {
+	var probe struct {
+		Truncated bool `json:"truncated"`
+	}
+	return json.Unmarshal(doc, &probe) == nil && probe.Truncated
 }

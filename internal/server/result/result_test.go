@@ -1,0 +1,96 @@
+package result
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+func runSmall(t *testing.T) *system.Result {
+	t.Helper()
+	cfg := system.DefaultConfig(system.NDPExt)
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.DefaultScale()
+	sc.AccessesPerCore = 1000
+	tr, err := gen(cfg.NumUnits(), 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := system.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEncodeDeterministic proves the document is canonical: encoding
+// twice yields identical bytes, and round-tripping through the struct
+// reproduces them (modulo the map-valued metrics block, whose numbers
+// decode as float64).
+func TestEncodeDeterministic(t *testing.T) {
+	res := runSmall(t)
+	doc, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, doc2) {
+		t.Error("two encodings of the same result differ")
+	}
+
+	var parsed Doc
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, doc) {
+		parsed.Metrics = nil
+		var orig Doc
+		json.Unmarshal(doc, &orig)
+		orig.Metrics = nil
+		a, _ := json.Marshal(parsed)
+		b, _ := json.Marshal(orig)
+		if !bytes.Equal(a, b) {
+			t.Errorf("result doc not canonical:\n got %s\nwant %s", re, doc)
+		}
+	}
+	if !bytes.Contains(doc, []byte(fmt.Sprintf(`"schema_version":%d`, SchemaVersion))) {
+		t.Error("schema_version missing from canonical document")
+	}
+}
+
+func TestTruncatedProbe(t *testing.T) {
+	res := runSmall(t)
+	doc, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Truncated(doc) {
+		t.Error("complete run probed as truncated")
+	}
+	res.Truncated = true
+	res.TruncateReason = "test"
+	doc, err = Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Truncated(doc) {
+		t.Error("truncated run not detected by probe")
+	}
+	if Truncated([]byte("not json")) {
+		t.Error("garbage probed as truncated")
+	}
+}

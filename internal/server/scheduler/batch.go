@@ -1,0 +1,385 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BatchSpec is the submission body of POST /v1/batch: a full
+// design×workload (or design×trace) matrix in one request. Every cell
+// shares Base (seed, accesses, faults, …); Designs crosses with exactly
+// one of Workloads or Traces. The expansion is a job DAG: cells are
+// keyed by their canonical content address, so cells shared between
+// batches — or with earlier single submissions — simulate exactly once
+// and fan their result out to every parent.
+type BatchSpec struct {
+	// Designs are system design names (see JobSpec.Design); at least one.
+	Designs []string `json:"designs"`
+	// Workloads are generator names; exactly one of Workloads and
+	// Traces is non-empty.
+	Workloads []string `json:"workloads,omitempty"`
+	// Traces are registry trace names, crossed with Designs like
+	// Workloads.
+	Traces []string `json:"traces,omitempty"`
+	// Base carries the spec fields shared by every cell. Its Design,
+	// Workload, and Trace fields must be empty — the axes supply them.
+	Base JobSpec `json:"base,omitempty"`
+}
+
+// validate rejects malformed matrices before any cell is prepared.
+func (bs BatchSpec) validate() error {
+	if len(bs.Designs) == 0 {
+		return fmt.Errorf("batch: at least one design required")
+	}
+	if (len(bs.Workloads) == 0) == (len(bs.Traces) == 0) {
+		return fmt.Errorf("batch: exactly one of workloads and traces must be non-empty")
+	}
+	if bs.Base.Design != "" || bs.Base.Workload != "" || bs.Base.Trace != "" {
+		return fmt.Errorf("batch: base must not set design/workload/trace (the matrix axes supply them)")
+	}
+	for _, axis := range []struct {
+		name string
+		vals []string
+	}{{"design", bs.Designs}, {"workload", bs.Workloads}, {"trace", bs.Traces}} {
+		seen := make(map[string]bool, len(axis.vals))
+		for _, v := range axis.vals {
+			if seen[v] {
+				return fmt.Errorf("batch: duplicate %s %q", axis.name, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// expand lists the matrix cells in canonical row-major order: designs
+// outer, workloads/traces inner, exactly as given in the request.
+func (bs BatchSpec) expand() []JobSpec {
+	inner := bs.Workloads
+	isTrace := false
+	if len(bs.Traces) > 0 {
+		inner, isTrace = bs.Traces, true
+	}
+	cells := make([]JobSpec, 0, len(bs.Designs)*len(inner))
+	for _, d := range bs.Designs {
+		for _, w := range inner {
+			spec := bs.Base
+			spec.Design = d
+			if isTrace {
+				spec.Trace = w
+			} else {
+				spec.Workload = w
+			}
+			cells = append(cells, spec)
+		}
+	}
+	return cells
+}
+
+// BatchCell is one position of a batch's matrix with the job carrying
+// its result. Distinct cells that hash to the same content address
+// share one underlying simulation (piggybacking), but each keeps its
+// own Job for per-cell status.
+type BatchCell struct {
+	Design   string
+	Workload string
+	Trace    string
+	Job      *Job
+}
+
+// Batch is one accepted matrix submission: an ordered set of cells over
+// the shared-cell job DAG. It is terminal when every cell's job is.
+type Batch struct {
+	ID   string
+	Spec BatchSpec
+
+	Cells []*BatchCell
+
+	done chan struct{}
+}
+
+// Done is closed when every cell has reached a terminal state.
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// SubmitBatch validates, expands, keys, and atomically admits a whole
+// matrix: either every cell is admitted (store hit, piggyback, or fresh
+// queue slot) or none is and ErrQueueFull reports insufficient queue
+// capacity. Unique uncached cells consume one queue slot each; cells
+// whose key is already stored, already in flight, or repeated within
+// the batch consume none.
+func (s *Scheduler) SubmitBatch(spec BatchSpec) (*Batch, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	cellSpecs := spec.expand()
+	b := &Batch{Spec: spec, done: make(chan struct{})}
+	for _, cs := range cellSpecs {
+		job, err := s.prepare(cs)
+		if err != nil {
+			return nil, fmt.Errorf("batch cell (design=%s workload=%s%s): %w",
+				cs.Design, cs.Workload, cs.Trace, err)
+		}
+		b.Cells = append(b.Cells, &BatchCell{
+			Design:   job.Spec.Design,
+			Workload: job.Spec.Workload,
+			Trace:    job.Spec.Trace,
+			Job:      job,
+		})
+	}
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Count the queue slots this batch actually needs: one per unique
+	// key that is neither stored nor already in flight. Contains() is a
+	// stats-neutral peek, so planning doesn't skew cache counters; the
+	// whole check-then-admit runs under s.mu, and workers only ever
+	// free slots concurrently, so a passing plan cannot fail admission.
+	needed := 0
+	seen := make(map[string]bool, len(b.Cells))
+	for _, c := range b.Cells {
+		k := c.Job.Key.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if s.st.Contains(c.Job.Key) {
+			continue
+		}
+		if _, inFlight := s.active[c.Job.Key]; inFlight {
+			continue
+		}
+		needed++
+	}
+	if free := cap(s.queue) - len(s.queue); needed > free {
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: batch needs %d slots, %d free", ErrQueueFull, needed, free)
+	}
+	for _, c := range b.Cells {
+		if err := s.admitLocked(c.Job); err != nil {
+			// Unreachable outside a TTL-expiry race between the plan and
+			// this admit; the cell fails cleanly, the batch proceeds.
+			c.Job.finish(StateFailed, nil, err.Error())
+		}
+	}
+	s.nextBatch++
+	b.ID = fmt.Sprintf("b-%06d", s.nextBatch)
+	s.batches[b.ID] = b
+	s.batchOrder = append(s.batchOrder, b.ID)
+	s.mu.Unlock()
+
+	go func() {
+		for _, c := range b.Cells {
+			<-c.Job.Done()
+		}
+		close(b.done)
+	}()
+	return b, nil
+}
+
+// Batch returns a batch by ID.
+func (s *Scheduler) Batch(id string) (*Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	return b, ok
+}
+
+// Batches returns every batch in submission order.
+func (s *Scheduler) Batches() []*Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Batch, 0, len(s.batchOrder))
+	for _, id := range s.batchOrder {
+		out = append(out, s.batches[id])
+	}
+	return out
+}
+
+// State aggregates the batch lifecycle: running while any cell is
+// unfinished, then failed if any cell failed, truncated if any was cut
+// short, else done.
+func (b *Batch) State() State {
+	state := StateDone
+	for _, c := range b.Cells {
+		switch c.Job.State() {
+		case StateFailed:
+			return StateFailed
+		case StateTruncated:
+			state = StateTruncated
+		case StateDone:
+		default:
+			return StateRunning
+		}
+	}
+	return state
+}
+
+// BatchCellStatus is the wire form of one cell's current state.
+type BatchCellStatus struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload,omitempty"`
+	Trace    string `json:"trace,omitempty"`
+	Job      string `json:"job"`
+	Key      string `json:"key"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Deduped  bool   `json:"deduped,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BatchStatus is the wire form of a batch's current state.
+type BatchStatus struct {
+	ID        string            `json:"id"`
+	State     State             `json:"state"`
+	Designs   []string          `json:"designs"`
+	Workloads []string          `json:"workloads,omitempty"`
+	Traces    []string          `json:"traces,omitempty"`
+	Cells     []BatchCellStatus `json:"cells"`
+	Pending   int               `json:"pending"`
+}
+
+// Status snapshots the batch for API responses.
+func (b *Batch) Status() BatchStatus {
+	st := BatchStatus{
+		ID:        b.ID,
+		State:     b.State(),
+		Designs:   b.Spec.Designs,
+		Workloads: b.Spec.Workloads,
+		Traces:    b.Spec.Traces,
+	}
+	for _, c := range b.Cells {
+		js := c.Job.Status()
+		st.Cells = append(st.Cells, BatchCellStatus{
+			Design:   c.Design,
+			Workload: c.Workload,
+			Trace:    c.Trace,
+			Job:      js.ID,
+			Key:      js.Key,
+			State:    js.State,
+			CacheHit: js.CacheHit,
+			Deduped:  js.Deduped,
+			Error:    js.Error,
+		})
+		if !js.State.terminal() {
+			st.Pending++
+		}
+	}
+	return st
+}
+
+// BatchResultCell is one cell of the canonical matrix document. Result
+// is the cell's canonical result document verbatim — byte-identical to
+// what the same spec submitted singly would return.
+type BatchResultCell struct {
+	Design   string          `json:"design"`
+	Workload string          `json:"workload,omitempty"`
+	Trace    string          `json:"trace,omitempty"`
+	Key      string          `json:"key"`
+	State    State           `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// BatchResultDoc is the canonical matrix document: deterministic,
+// canonically ordered (row-major over the request's axes), free of
+// server-assigned identifiers and timestamps — the same matrix
+// submitted to any server yields the same bytes once every cell is
+// cacheably complete.
+type BatchResultDoc struct {
+	SchemaVersion int               `json:"schema_version"`
+	Designs       []string          `json:"designs"`
+	Workloads     []string          `json:"workloads,omitempty"`
+	Traces        []string          `json:"traces,omitempty"`
+	Cells         []BatchResultCell `json:"cells"`
+}
+
+// batchSchemaVersion tags the matrix document layout.
+const batchSchemaVersion = 1
+
+// ErrBatchIncomplete is returned by ResultDoc while any cell is still
+// in flight.
+var ErrBatchIncomplete = errors.New("scheduler: batch incomplete")
+
+// ResultDoc renders the canonical matrix document, available once every
+// cell is terminal.
+func (b *Batch) ResultDoc() ([]byte, error) {
+	doc := BatchResultDoc{
+		SchemaVersion: batchSchemaVersion,
+		Designs:       b.Spec.Designs,
+		Workloads:     b.Spec.Workloads,
+		Traces:        b.Spec.Traces,
+	}
+	for _, c := range b.Cells {
+		js := c.Job.Status()
+		if !js.State.terminal() {
+			return nil, ErrBatchIncomplete
+		}
+		doc.Cells = append(doc.Cells, BatchResultCell{
+			Design:   c.Design,
+			Workload: c.Workload,
+			Trace:    c.Trace,
+			Key:      js.Key,
+			State:    js.State,
+			Error:    js.Error,
+			Result:   js.Result,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// BatchEvent is one multiplexed progress record: a cell's event tagged
+// with its matrix position.
+type BatchEvent struct {
+	Cell     int
+	Design   string
+	Workload string
+	Trace    string
+	Event    Event
+}
+
+// Subscribe merges every cell's replay-then-follow stream into one
+// channel of position-tagged events, closed when all cells are
+// terminal. The returned cancel func detaches all cell subscriptions.
+// Forwarding goroutines block on the merged channel, never on the
+// workers: per-cell subscriptions stay bounded and lag-marking, so a
+// slow batch consumer can at worst lag its own stream.
+func (b *Batch) Subscribe() (<-chan BatchEvent, func()) {
+	out := make(chan BatchEvent, subscriberBuffer)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, c := range b.Cells {
+		wg.Add(1)
+		go func(i int, c *BatchCell) {
+			defer wg.Done()
+			ch, unsub := c.Job.progressTarget().Subscribe()
+			defer unsub()
+			for {
+				select {
+				case ev, ok := <-ch:
+					if !ok {
+						return
+					}
+					select {
+					case out <- BatchEvent{Cell: i, Design: c.Design, Workload: c.Workload, Trace: c.Trace, Event: ev}:
+					case <-stop:
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(i, c)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	var once sync.Once
+	return out, func() { once.Do(func() { close(stop) }) }
+}

@@ -1,4 +1,4 @@
-package server
+package scheduler
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ndpext/internal/bench"
+	"ndpext/internal/server/result"
 	"ndpext/internal/system"
 	"ndpext/internal/workloads"
 )
@@ -14,7 +15,7 @@ import (
 // TestDeterminismAcrossExecutionPaths is the concurrency-safety oracle
 // for the whole serving stack: one job spec simulated four ways —
 // serially via system.Run, through the bench worker pool, and as
-// concurrent submissions on two independent ndpserve instances — must
+// concurrent submissions on two independent scheduler instances — must
 // produce byte-identical canonical result documents under the same
 // CanonicalBytes-derived cache key. Run under -race this also proves the
 // concurrent paths share no unsynchronized state that could perturb a
@@ -28,8 +29,8 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 	}
 	key := spec.key(cfg, "")
 
-	// Path 1: plain serial system.Run, trace built exactly as the server
-	// and bench layers build it (DefaultScale + spec overrides).
+	// Path 1: plain serial system.Run, trace built exactly as the
+	// scheduler and bench layers build it (DefaultScale + spec overrides).
 	gen, err := workloads.Get(spec.Workload)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docSerial, err := EncodeResult(resSerial)
+	docSerial, err := result.Encode(resSerial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,19 +61,19 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docBench, err := EncodeResult(results[0])
+	docBench, err := result.Encode(results[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Paths 3 and 4: two independent server instances each simulate the
-	// spec concurrently (no shared cache between them, so both really
+	// Paths 3 and 4: two independent scheduler instances each simulate
+	// the spec concurrently (no shared store between them, so both really
 	// run), with an extra different job on the first to keep its worker
 	// pool busy with unrelated work.
-	serverDocs := make([][]byte, 2)
+	schedDocs := make([][]byte, 2)
 	var wg sync.WaitGroup
-	for i := range serverDocs {
-		s := newTestServer(t, Options{Workers: 4, QueueDepth: 8})
+	for i := range schedDocs {
+		s := newTestScheduler(t, Options{Workers: 4, QueueDepth: 8})
 		defer s.Drain(context.Background())
 		if i == 0 {
 			extra, err := s.Submit(JobSpec{Workload: "hotspot", Seed: 3, Accesses: 1000})
@@ -86,7 +87,7 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 			t.Fatal(err)
 		}
 		if j.Key != key {
-			t.Fatalf("server %d keyed the job %x, test computed %x", i, j.Key, key)
+			t.Fatalf("scheduler %d keyed the job %x, test computed %x", i, j.Key, key)
 		}
 		wg.Add(1)
 		go func(i int, j *Job) {
@@ -94,10 +95,10 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 			waitJob(t, j)
 			st := j.Status()
 			if st.State != StateDone {
-				t.Errorf("server %d: job state %s (err %q)", i, st.State, st.Error)
+				t.Errorf("scheduler %d: job state %s (err %q)", i, st.State, st.Error)
 				return
 			}
-			serverDocs[i] = st.Result
+			schedDocs[i] = st.Result
 		}(i, j)
 	}
 	wg.Wait()
@@ -105,8 +106,8 @@ func TestDeterminismAcrossExecutionPaths(t *testing.T) {
 		t.FailNow()
 	}
 
-	for i, doc := range [][]byte{docBench, serverDocs[0], serverDocs[1]} {
-		path := []string{"bench pool", "server A", "server B"}[i]
+	for i, doc := range [][]byte{docBench, schedDocs[0], schedDocs[1]} {
+		path := []string{"bench pool", "scheduler A", "scheduler B"}[i]
 		if !bytes.Equal(doc, docSerial) {
 			t.Errorf("%s produced a different result document than the serial run\nserial: %s\n%s: %s",
 				path, docSerial, path, doc)

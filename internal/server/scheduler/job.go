@@ -1,4 +1,4 @@
-package server
+package scheduler
 
 import (
 	"encoding/json"
@@ -33,10 +33,14 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateTruncated
 }
 
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool { return s.terminal() }
+
 // Event is one progress record on a job's stream. Type is the SSE event
 // name: "state" (lifecycle transition), "epoch" (an epoch boundary with
-// a counter snapshot), "fault" (degraded-mode activity), or a terminal
-// "done"/"failed"/"truncated" carrying the final status.
+// a counter snapshot), "fault" (degraded-mode activity), "lagged" (this
+// subscriber's buffer overflowed; Data counts the dropped events), or a
+// terminal "done"/"failed"/"truncated" carrying the final status.
 type Event struct {
 	Type string
 	Data any // JSON-marshalable payload
@@ -60,6 +64,45 @@ type FaultEvent struct {
 	Degraded        bool `json:"degraded"`
 }
 
+// LaggedEvent is the payload of "lagged" events: how many events this
+// subscriber missed because its buffer was full. The full history is
+// always available by re-subscribing (replay-then-follow).
+type LaggedEvent struct {
+	Dropped int `json:"dropped"`
+}
+
+// subscriberBuffer is the default per-subscriber live-event buffer.
+const subscriberBuffer = 64
+
+// subscriber is one bounded, non-blocking event sink. A publish into a
+// full buffer drops the event and counts it; the next successful send
+// is preceded by a "lagged" event carrying the count, so a stalled SSE
+// client learns it missed events instead of silently seeing a gap — and
+// can never back-pressure the worker goroutine publishing to it.
+type subscriber struct {
+	ch      chan Event
+	dropped int // events dropped since the last successful send
+}
+
+// send delivers ev without ever blocking. Called with the job's mu
+// held, which serializes access to dropped.
+func (s *subscriber) send(ev Event) {
+	if s.dropped > 0 {
+		select {
+		case s.ch <- Event{Type: "lagged", Data: LaggedEvent{Dropped: s.dropped}}:
+			s.dropped = 0
+		default:
+			s.dropped++ // ev joins the dropped run
+			return
+		}
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped++
+	}
+}
+
 // Job is one accepted submission. All mutable state is behind mu; the
 // event history plus subscriber set implement replay-then-follow
 // semantics for SSE.
@@ -77,7 +120,7 @@ type Job struct {
 	mu        sync.Mutex
 	state     State
 	errMsg    string
-	cacheHit  bool // served straight from the result cache at submit
+	cacheHit  bool // served straight from the result store at submit
 	deduped   bool // piggybacked on an identical in-flight job
 	result    []byte
 	created   time.Time
@@ -85,20 +128,19 @@ type Job struct {
 	finished  time.Time
 	live      telemetry.Live
 	history   []Event
-	subs      map[chan Event]struct{}
+	subs      map[*subscriber]struct{}
 	followers []*Job // jobs piggybacking on this one
 	done      chan struct{}
 }
 
-func newJob(id string, key simcache.Key, spec JobSpec, cfg system.Config) *Job {
+func newJob(key simcache.Key, spec JobSpec, cfg system.Config) *Job {
 	return &Job{
-		ID:      id,
 		Key:     key,
 		Spec:    spec,
 		cfg:     cfg,
 		state:   StateQueued,
 		created: time.Now(),
-		subs:    make(map[chan Event]struct{}),
+		subs:    make(map[*subscriber]struct{}),
 		done:    make(chan struct{}),
 	}
 }
@@ -113,35 +155,54 @@ func (j *Job) State() State {
 	return j.state
 }
 
+// Result returns the job's result document (nil until terminal).
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// CacheHit reports whether the job was served from the result store at
+// submit time.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
 // publish appends ev to the history and fans it out to subscribers.
-// Slow subscribers are skipped rather than blocking the simulation
-// goroutine; they still see every event via replay on reconnection.
+// Fan-out is bounded and non-blocking: a subscriber whose buffer is
+// full has events dropped and counted, surfacing later as a "lagged"
+// event — a stalled client never back-pressures the worker.
 func (j *Job) publish(ev Event) {
 	j.mu.Lock()
 	j.history = append(j.history, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-		}
+	for sub := range j.subs {
+		sub.send(ev)
 	}
 	j.mu.Unlock()
 }
 
-// subscribe returns a channel that first replays the event history and
+// Subscribe returns a channel that first replays the event history and
 // then follows live events, plus an unsubscribe func. The channel is
-// closed after the terminal event once the job finishes.
-func (j *Job) subscribe() (<-chan Event, func()) {
+// closed after the terminal event once the job finishes. Live delivery
+// is best-effort with an explicit "lagged" marker on overflow; replay
+// always carries the complete history.
+func (j *Job) Subscribe() (<-chan Event, func()) { return j.subscribeBuf(subscriberBuffer) }
+
+func (j *Job) subscribeBuf(buf int) (<-chan Event, func()) {
 	j.mu.Lock()
 	replay := make([]Event, len(j.history))
 	copy(replay, j.history)
-	ch := make(chan Event, len(replay)+64)
+	ch := make(chan Event, len(replay)+buf)
 	for _, ev := range replay {
 		ch <- ev
 	}
 	terminal := j.state.terminal()
+	var sub *subscriber
 	if !terminal {
-		j.subs[ch] = struct{}{}
+		sub = &subscriber{ch: ch}
+		j.subs[sub] = struct{}{}
 	}
 	j.mu.Unlock()
 	if terminal {
@@ -152,7 +213,7 @@ func (j *Job) subscribe() (<-chan Event, func()) {
 	unsub := func() {
 		once.Do(func() {
 			j.mu.Lock()
-			delete(j.subs, ch)
+			delete(j.subs, sub)
 			j.mu.Unlock()
 		})
 	}
@@ -184,12 +245,31 @@ func (j *Job) finish(state State, result []byte, errMsg string) {
 
 	j.publish(Event{Type: string(state), Data: j.Status()})
 	j.mu.Lock()
-	for ch := range j.subs {
-		close(ch)
-		delete(j.subs, ch)
+	for sub := range j.subs {
+		if sub.dropped > 0 {
+			// Best-effort: tell a lagging subscriber it missed events
+			// before its channel closes (replay still has everything).
+			select {
+			case sub.ch <- Event{Type: "lagged", Data: LaggedEvent{Dropped: sub.dropped}}:
+			default:
+			}
+		}
+		close(sub.ch)
+		delete(j.subs, sub)
 	}
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// duration returns how long the job actually ran (zero until finished
+// or for jobs that never ran).
+func (j *Job) duration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
 }
 
 // progressTarget is the job whose event stream carries this job's
@@ -200,6 +280,10 @@ func (j *Job) progressTarget() *Job {
 	}
 	return j
 }
+
+// ProgressTarget is the job whose event stream carries this job's
+// progress (the leader for piggybacked jobs).
+func (j *Job) ProgressTarget() *Job { return j.progressTarget() }
 
 // JobStatus is the wire form of a job's current state.
 type JobStatus struct {

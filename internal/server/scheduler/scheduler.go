@@ -1,59 +1,56 @@
-// Package server turns the simulator into shared infrastructure: an
-// HTTP/JSON service that accepts simulation jobs, runs them on a
-// bounded worker pool, deduplicates identical work (content-addressed
-// result cache + submit-time piggybacking + singleflight), streams live
-// progress over Server-Sent Events, and drains gracefully — finishing
-// or checkpointing running jobs and persisting the cache index for warm
-// restarts.
+// Package scheduler is the middle layer of the serving stack: queue
+// admission, the bounded worker pool, per-job watchdogs, cooperative
+// cancellation and drain, and the batch job DAG that expands a
+// design×workload matrix into unique content-addressed cells, runs each
+// unique cell exactly once, and fans results out to every parent batch.
 //
 // Job lifecycle: queued -> running -> done | failed | truncated. A
-// submission whose key is already cached completes instantly
+// submission whose key is already stored completes instantly
 // (cache_hit); one whose key is already queued/running piggybacks on
 // that job (deduped) without consuming a queue slot. A full queue
-// rejects with HTTP 429 and a Retry-After hint.
-package server
+// rejects with ErrQueueFull, which the transport layer surfaces as
+// HTTP 429 with an adaptive Retry-After hint.
+//
+// Layering: scheduler imports store (results, trace registry) and the
+// simulation packages, and is imported by transport. It must never
+// import net/http — an arch test enforces this.
+package scheduler
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"path/filepath"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ndpext/internal/server/result"
+	"ndpext/internal/server/store"
 	"ndpext/internal/simcache"
 	"ndpext/internal/system"
 	"ndpext/internal/trace"
 	"ndpext/internal/workloads"
 )
 
-// Options configures a Server. Zero values take the documented defaults.
+// Options configures a Scheduler. Zero values take the documented
+// defaults.
 type Options struct {
 	// Workers bounds concurrent simulations; default GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds jobs waiting for a worker; default 64. A full
-	// queue is backpressure: submissions get 429 + Retry-After.
+	// queue is backpressure: submissions get ErrQueueFull.
 	QueueDepth int
-	// CacheEntries bounds the result cache; default 1024.
-	CacheEntries int
-	// CacheTTL expires cached results; default 0 (never).
-	CacheTTL time.Duration
-	// CachePath, when set, persists the cache index there on Drain and
-	// warm-loads it in New.
-	CachePath string
-	// RetryAfter is the hint returned with 429; default 1s.
+	// RetryAfter is the floor of the adaptive retry hint returned with
+	// queue-full rejections; default 1s.
 	RetryAfter time.Duration
+	// RetryAfterMax clamps the adaptive retry hint; default 60s.
+	RetryAfterMax time.Duration
 	// MaxWall / MaxCycles are per-job watchdog defaults applied when a
 	// spec does not set its own (0 disables).
 	MaxWall   time.Duration
 	MaxCycles int64
-	// TraceDir enables trace-backed jobs: specs may name a trace file
-	// (relative path, confined to this directory) to replay instead of
-	// a generated workload. Empty disables trace jobs.
-	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -63,70 +60,80 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
-	if o.CacheEntries <= 0 {
-		o.CacheEntries = 1024
-	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.RetryAfterMax <= 0 {
+		o.RetryAfterMax = 60 * time.Second
+	}
+	if o.RetryAfterMax < o.RetryAfter {
+		o.RetryAfterMax = o.RetryAfter
 	}
 	return o
 }
 
-// Server is the simulation-as-a-service engine, independent of HTTP
-// wiring (Handler attaches the routes; tests can drive it directly).
-type Server struct {
+// Scheduler is the simulation-scheduling engine, independent of HTTP
+// wiring (the transport layer attaches routes; tests drive it
+// directly).
+type Scheduler struct {
 	opt    Options
-	cache  *simcache.Cache[[]byte]
-	traces *simcache.Cache[*workloads.Trace]
+	st     *store.Store
+	traces *store.TraceRegistry
+
+	// genTraces dedupes generated workload traces across jobs whose
+	// workload parameters and unit counts agree.
+	genTraces *simcache.Cache[*workloads.Trace]
 
 	queue chan *Job
 
-	mu        sync.Mutex
-	accepting bool
-	jobs      map[string]*Job
-	order     []string               // submission order, for listing
-	active    map[simcache.Key]*Job  // queued/running leaders by key
-	nextID    int
+	mu         sync.Mutex
+	accepting  bool
+	jobs       map[string]*Job
+	order      []string              // submission order, for listing
+	active     map[simcache.Key]*Job // queued/running leaders by key
+	batches    map[string]*Batch
+	batchOrder []string
+	nextID     int
+	nextBatch  int
 
 	wg        sync.WaitGroup
-	runCtx    context.Context    // canceled to checkpoint running sims
+	runCtx    context.Context // canceled to checkpoint running sims
 	runCancel context.CancelFunc
 
-	simsRun  atomic.Uint64 // simulations actually executed
-	rejected atomic.Uint64 // submissions bounced with 429
+	simsRun   atomic.Uint64 // simulations actually executed
+	rejected  atomic.Uint64 // submissions bounced with queue-full
+	meanNanos atomic.Uint64 // EWMA of completed job durations (ns)
 
 	// testJobStarted, when non-nil, is invoked at the top of runJob —
 	// tests use it to hold a worker and fill the queue deterministically.
 	testJobStarted func(*Job)
 }
 
-// New builds a server and warm-loads the cache index from
-// Options.CachePath if present. Call Start to launch the workers.
-func New(opt Options) (*Server, error) {
+// New builds a scheduler on top of a result store and (optionally
+// disabled) trace registry. Call Start to launch the workers.
+func New(st *store.Store, traces *store.TraceRegistry, opt Options) *Scheduler {
 	opt = opt.withDefaults()
+	if traces == nil {
+		traces = store.NewTraceRegistry("")
+	}
 	runCtx, runCancel := context.WithCancel(context.Background())
-	s := &Server{
+	return &Scheduler{
 		opt:       opt,
-		cache:     simcache.New[[]byte](opt.CacheEntries, opt.CacheTTL),
-		traces:    simcache.New[*workloads.Trace](32, 0),
+		st:        st,
+		traces:    traces,
+		genTraces: simcache.New[*workloads.Trace](32, 0),
 		queue:     make(chan *Job, opt.QueueDepth),
 		accepting: true,
 		jobs:      make(map[string]*Job),
 		active:    make(map[simcache.Key]*Job),
+		batches:   make(map[string]*Batch),
 		runCtx:    runCtx,
 		runCancel: runCancel,
 	}
-	if opt.CachePath != "" {
-		if _, err := simcache.LoadFile(s.cache, opt.CachePath); err != nil {
-			runCancel()
-			return nil, fmt.Errorf("server: warm-load cache: %w", err)
-		}
-	}
-	return s, nil
 }
 
 // Start launches the worker pool.
-func (s *Server) Start() {
+func (s *Scheduler) Start() {
 	for i := 0; i < s.opt.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -139,16 +146,14 @@ func (s *Server) Start() {
 }
 
 // ErrQueueFull is returned by Submit when backpressure applies.
-var ErrQueueFull = errors.New("server: job queue full")
+var ErrQueueFull = errors.New("scheduler: job queue full")
 
 // ErrDraining is returned by Submit once Drain has begun.
-var ErrDraining = errors.New("server: draining, not accepting jobs")
+var ErrDraining = errors.New("scheduler: draining, not accepting jobs")
 
-// Submit validates, keys, and admits one job. The fast paths — result
-// already cached, or an identical job already in flight — never consume
-// a queue slot; otherwise the job is enqueued or, when the queue is
-// full, rejected with ErrQueueFull.
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+// prepare validates and keys one spec, returning an unregistered job
+// ready for admission.
+func (s *Scheduler) prepare(spec JobSpec) (*Job, error) {
 	spec = spec.normalize()
 	cfg, err := spec.build(s.opt.MaxWall, s.opt.MaxCycles)
 	if err != nil {
@@ -159,33 +164,49 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		// Digest the trace now, at admission: the key must name the
 		// bytes the job will replay, and a file swapped mid-queue must
 		// not silently serve a stale cached result.
-		path, err := s.resolveTrace(spec.Trace)
+		digest, err = s.traces.Digest(spec.Trace)
 		if err != nil {
 			return nil, err
 		}
-		digest, err = trace.DigestFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("server: digesting trace %q: %w", spec.Trace, err)
-		}
 	}
-	key := spec.key(cfg, digest)
+	return newJob(spec.key(cfg, digest), spec, cfg), nil
+}
 
+// Submit validates, keys, and admits one job. The fast paths — result
+// already stored, or an identical job already in flight — never consume
+// a queue slot; otherwise the job is enqueued or, when the queue is
+// full, rejected with ErrQueueFull.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	job, err := s.prepare(spec)
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.accepting {
 		return nil, ErrDraining
 	}
-	s.nextID++
-	job := newJob(fmt.Sprintf("j-%06d", s.nextID), key, spec, cfg)
+	if err := s.admitLocked(job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
 
-	if doc, ok := s.cache.Get(key); ok {
+// admitLocked assigns an ID and admits one prepared job: store hit,
+// piggyback on an identical in-flight leader, or a fresh queue slot.
+// Caller holds s.mu.
+func (s *Scheduler) admitLocked(job *Job) error {
+	s.nextID++
+	job.ID = fmt.Sprintf("j-%06d", s.nextID)
+
+	if doc, ok := s.st.Get(job.Key); ok {
 		// Content-addressed hit: done before it ever queued.
 		job.cacheHit = true
 		s.register(job)
 		job.finish(stateForDoc(doc), doc, "")
-		return job, nil
+		return nil
 	}
-	if leader, ok := s.active[key]; ok {
+	if leader, ok := s.active[job.Key]; ok {
 		// Identical job already in flight: piggyback, costing nothing.
 		job.leader = leader
 		job.deduped = true
@@ -195,28 +216,29 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		leader.mu.Unlock()
 		job.publish(Event{Type: "state", Data: map[string]string{
 			"state": string(StateQueued), "piggyback_on": leader.ID}})
-		return job, nil
+		return nil
 	}
 	select {
 	case s.queue <- job:
 	default:
+		s.nextID-- // the ID was never exposed
 		s.rejected.Add(1)
-		return nil, ErrQueueFull
+		return ErrQueueFull
 	}
-	s.active[key] = job
+	s.active[job.Key] = job
 	s.register(job)
 	job.publish(Event{Type: "state", Data: map[string]string{"state": string(StateQueued)}})
-	return job, nil
+	return nil
 }
 
 // register records the job for lookup/listing. Caller holds s.mu.
-func (s *Server) register(j *Job) {
+func (s *Scheduler) register(j *Job) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 }
 
 // Job returns a job by ID.
-func (s *Server) Job(id string) (*Job, bool) {
+func (s *Scheduler) Job(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -224,7 +246,7 @@ func (s *Server) Job(id string) (*Job, bool) {
 }
 
 // Jobs returns every job in submission order.
-func (s *Server) Jobs() []*Job {
+func (s *Scheduler) Jobs() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Job, 0, len(s.order))
@@ -234,32 +256,91 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// SimsRun counts simulations actually executed (cache hits and
+// SimsRun counts simulations actually executed (store hits and
 // piggybacked submissions excluded) — the denominator for verifying
 // deduplication.
-func (s *Server) SimsRun() uint64 { return s.simsRun.Load() }
+func (s *Scheduler) SimsRun() uint64 { return s.simsRun.Load() }
 
-// CacheStats exposes the result cache counters.
-func (s *Server) CacheStats() simcache.Stats { return s.cache.Stats() }
+// CacheStats exposes the result store counters.
+func (s *Scheduler) CacheStats() simcache.Stats { return s.st.Stats() }
 
 // QueueDepth returns (queued, capacity).
-func (s *Server) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// Workers returns the worker-pool size.
+func (s *Scheduler) Workers() int { return s.opt.Workers }
 
 // Rejected counts submissions bounced by backpressure.
-func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+func (s *Scheduler) Rejected() uint64 { return s.rejected.Load() }
 
-// errNotCacheable marks outcomes that must not enter the result cache:
+// Traces returns the trace registry (disabled, never nil).
+func (s *Scheduler) Traces() *store.TraceRegistry { return s.traces }
+
+// observeDuration folds one completed job's wall time into the EWMA
+// that drives the adaptive Retry-After hint.
+func (s *Scheduler) observeDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.meanNanos.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = uint64(0.8*float64(old) + 0.2*float64(d))
+		}
+		if s.meanNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterFor derives the backpressure hint: the time for the current
+// backlog to drain through the worker pool at the recent mean job
+// duration, clamped to [floor, max]. With no duration samples yet the
+// floor applies.
+func retryAfterFor(queued, workers int, mean time.Duration, floor, max time.Duration) time.Duration {
+	hint := floor
+	if mean > 0 && queued > 0 && workers > 0 {
+		est := time.Duration(math.Ceil(float64(queued) * float64(mean) / float64(workers)))
+		if est > hint {
+			hint = est
+		}
+	}
+	if hint > max {
+		hint = max
+	}
+	return hint
+}
+
+// RetryAfterHint is the adaptive Retry-After for queue-full rejections:
+// queue depth × recent mean job duration / workers, clamped between
+// Options.RetryAfter and Options.RetryAfterMax.
+func (s *Scheduler) RetryAfterHint() time.Duration {
+	return retryAfterFor(len(s.queue), s.opt.Workers,
+		time.Duration(s.meanNanos.Load()), s.opt.RetryAfter, s.opt.RetryAfterMax)
+}
+
+// errNotCacheable marks outcomes that must not enter the result store:
 // wall-clock truncation (nondeterministic) and drain checkpoints.
-var errNotCacheable = errors.New("server: result not cacheable")
+var errNotCacheable = errors.New("scheduler: result not cacheable")
+
+// stateForDoc distinguishes done from truncated for a (possibly
+// cached) result document.
+func stateForDoc(doc []byte) State {
+	if result.Truncated(doc) {
+		return StateTruncated
+	}
+	return StateDone
+}
 
 // runJob executes one leader job on the calling worker.
-func (s *Server) runJob(job *Job) {
+func (s *Scheduler) runJob(job *Job) {
 	if s.testJobStarted != nil {
 		s.testJobStarted(job)
 	}
 	job.setRunning()
 
-	doc, _, err := s.cache.Do(job.Key, func() ([]byte, error) {
+	doc, _, err := s.st.Do(job.Key, func() ([]byte, error) {
 		return s.simulate(job)
 	})
 
@@ -270,7 +351,7 @@ func (s *Server) runJob(job *Job) {
 		state = stateForDoc(doc)
 	case errors.Is(err, errNotCacheable) || errors.Is(err, context.Canceled):
 		// Checkpoint: a partial document exists, keep it with the job
-		// even though it never enters the cache.
+		// even though it never enters the store.
 		if doc != nil {
 			state = StateTruncated
 		} else {
@@ -281,7 +362,7 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	// Release the key and collect piggybackers before finishing, so a
-	// new submission of the same key either sees the cache entry or
+	// new submission of the same key either sees the stored entry or
 	// starts fresh — never a finished "leader".
 	s.mu.Lock()
 	delete(s.active, job.Key)
@@ -294,12 +375,13 @@ func (s *Server) runJob(job *Job) {
 	for _, f := range followers {
 		f.finish(state, doc, errMsg)
 	}
+	s.observeDuration(job.duration())
 }
 
 // simulate runs the job's simulation, publishing progress events, and
 // returns the canonical result document. Errors wrap errNotCacheable
 // when the outcome is nondeterministic (wall truncation, cancellation).
-func (s *Server) simulate(job *Job) ([]byte, error) {
+func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 	s.simsRun.Add(1)
 	// Trace-backed jobs replay through a streaming source — memory stays
 	// bounded at one decoded chunk per core however long the file is.
@@ -309,7 +391,7 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 		src workloads.Source
 	)
 	if job.Spec.Trace != "" {
-		path, err := s.resolveTrace(job.Spec.Trace)
+		path, err := s.traces.Resolve(job.Spec.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +401,7 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 		}
 		defer r.Close()
 		if job.cfg.Design != system.Host && r.Cores() != job.cfg.NumUnits() {
-			return nil, fmt.Errorf("server: trace %q has %d cores, machine has %d units",
+			return nil, fmt.Errorf("scheduler: trace %q has %d cores, machine has %d units",
 				job.Spec.Trace, r.Cores(), job.cfg.NumUnits())
 		}
 		src, err = r.Source()
@@ -328,7 +410,7 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 		}
 	} else {
 		var err error
-		tr, err = s.trace(job.Spec)
+		tr, err = s.genTrace(job.Spec)
 		if err != nil {
 			return nil, err
 		}
@@ -365,14 +447,14 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 			return nil, err
 		}
 		// Drain checkpoint: encode the partial result but keep it out
-		// of the cache.
-		doc, encErr := EncodeResult(res)
+		// of the store.
+		doc, encErr := result.Encode(res)
 		if encErr != nil {
 			return nil, encErr
 		}
 		return doc, fmt.Errorf("%w: %w", errNotCacheable, err)
 	}
-	doc, err := EncodeResult(res)
+	doc, err := result.Encode(res)
 	if err != nil {
 		return nil, err
 	}
@@ -383,10 +465,10 @@ func (s *Server) simulate(job *Job) ([]byte, error) {
 	return doc, nil
 }
 
-// trace builds (or reuses) the workload trace for a spec. Distinct
+// genTrace builds (or reuses) the workload trace for a spec. Distinct
 // machine configs share traces when their workload parameters and unit
 // counts agree; each use gets a Clone so runs stay independent.
-func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
+func (s *Scheduler) genTrace(spec JobSpec) (*workloads.Trace, error) {
 	d, err := system.ParseDesign(spec.Design)
 	if err != nil {
 		return nil, err
@@ -396,7 +478,7 @@ func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
 		cores = system.DefaultConfig(d).NumUnits()
 	}
 	key := simcache.Sum(spec.workloadCanon(""), []byte(fmt.Sprintf("cores=%d", cores)))
-	tr, _, err := s.traces.Do(key, func() (*workloads.Trace, error) {
+	tr, _, err := s.genTraces.Do(key, func() (*workloads.Trace, error) {
 		gen, err := workloads.Get(spec.Workload)
 		if err != nil {
 			return nil, err
@@ -412,39 +494,13 @@ func (s *Server) trace(spec JobSpec) (*workloads.Trace, error) {
 	return tr.Clone(), nil
 }
 
-// resolveTrace maps a spec's trace name to a file under Options.TraceDir,
-// rejecting anything that could escape it (absolute paths, "..", empty
-// names). The name is the API surface; the directory is the trust
-// boundary.
-func (s *Server) resolveTrace(name string) (string, error) {
-	if s.opt.TraceDir == "" {
-		return "", errors.New("server: trace jobs not enabled (no trace directory configured)")
-	}
-	if name == "" || !filepath.IsLocal(name) {
-		return "", fmt.Errorf("server: trace name %q escapes the trace directory", name)
-	}
-	return filepath.Join(s.opt.TraceDir, name), nil
-}
-
-// stateForDoc distinguishes done from truncated for a (possibly cached)
-// result document without decoding the whole thing.
-func stateForDoc(doc []byte) State {
-	var probe struct {
-		Truncated bool `json:"truncated"`
-	}
-	if err := json.Unmarshal(doc, &probe); err == nil && probe.Truncated {
-		return StateTruncated
-	}
-	return StateDone
-}
-
 // Drain gracefully shuts the engine down: stop accepting submissions,
 // let the workers finish every queued and running job, then persist the
-// cache index. If ctx expires first, running simulations are canceled —
-// they checkpoint partial results and finish as truncated — and Drain
-// still waits for the workers to wind down before persisting. No
-// accepted job is ever lost: every one reaches a terminal state.
-func (s *Server) Drain(ctx context.Context) error {
+// result-store index. If ctx expires first, running simulations are
+// canceled — they checkpoint partial results and finish as truncated —
+// and Drain still waits for the workers to wind down before persisting.
+// No accepted job is ever lost: every one reaches a terminal state.
+func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := !s.accepting
 	s.accepting = false
@@ -466,10 +522,5 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.runCancel()
 
-	if s.opt.CachePath != "" {
-		if err := simcache.SaveFile(s.cache, s.opt.CachePath); err != nil {
-			return fmt.Errorf("server: persist cache: %w", err)
-		}
-	}
-	return nil
+	return s.st.Persist()
 }

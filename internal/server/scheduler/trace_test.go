@@ -1,4 +1,4 @@
-package server
+package scheduler
 
 import (
 	"context"
@@ -6,13 +6,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"ndpext/internal/server/store"
 	"ndpext/internal/system"
 	"ndpext/internal/trace"
 	"ndpext/internal/workloads"
 )
 
-// saveWorkloadTrace generates a workload at the server's machine size
-// and writes it as a native trace file.
+// saveWorkloadTrace generates a workload at the scheduler's machine
+// size and writes it as a native trace file.
 func saveWorkloadTrace(t *testing.T, path, workload string, seed uint64, accesses int) *workloads.Trace {
 	t.Helper()
 	gen, err := workloads.Get(workload)
@@ -31,15 +32,22 @@ func saveWorkloadTrace(t *testing.T, path, workload string, seed uint64, accesse
 	return tr
 }
 
+func newTraceScheduler(t *testing.T, dir string, opt Options) *Scheduler {
+	t.Helper()
+	s := New(newTestStore(t, store.Options{}), store.NewTraceRegistry(dir), opt)
+	s.Start()
+	return s
+}
+
 // TestTraceJob is the serving half of the trace subsystem's keystone:
 // a trace-backed job must produce the byte-identical canonical document
 // of the equivalent generated-workload job, and identical trace bytes
-// must hit the result cache.
+// must hit the result store.
 func TestTraceJob(t *testing.T) {
 	dir := t.TempDir()
 	saveWorkloadTrace(t, filepath.Join(dir, "pr.ndptrc"), "pr", 1, 1000)
 
-	s := newTestServer(t, Options{Workers: 2, TraceDir: dir})
+	s := newTraceScheduler(t, dir, Options{Workers: 2})
 	defer s.Drain(context.Background())
 
 	jt, err := s.Submit(JobSpec{Trace: "pr.ndptrc"})
@@ -60,15 +68,15 @@ func TestTraceJob(t *testing.T) {
 		t.Fatalf("trace replay differs from generated run:\n trace   %s\n workload %s", dt, dw)
 	}
 
-	// Same file again: content-addressed cache hit, no new simulation.
+	// Same file again: content-addressed store hit, no new simulation.
 	ran := s.SimsRun()
 	j2, err := s.Submit(JobSpec{Trace: "pr.ndptrc"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitJob(t, j2)
-	if !j2.cacheHit || s.SimsRun() != ran {
-		t.Fatalf("identical trace re-simulated (cacheHit=%v, sims %d -> %d)", j2.cacheHit, ran, s.SimsRun())
+	if !j2.CacheHit() || s.SimsRun() != ran {
+		t.Fatalf("identical trace re-simulated (cacheHit=%v, sims %d -> %d)", j2.CacheHit(), ran, s.SimsRun())
 	}
 
 	// Rewriting the file with different content must change the key:
@@ -79,7 +87,7 @@ func TestTraceJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitJob(t, j3)
-	if j3.cacheHit {
+	if j3.CacheHit() {
 		t.Fatal("rewritten trace file served the old cached result")
 	}
 	if s.SimsRun() != ran+1 {
@@ -87,11 +95,55 @@ func TestTraceJob(t *testing.T) {
 	}
 }
 
+// TestTraceBatch crosses designs with trace files: the matrix admits
+// trace axes exactly like workloads, and a trace cell matches its
+// single-submission document.
+func TestTraceBatch(t *testing.T) {
+	dir := t.TempDir()
+	saveWorkloadTrace(t, filepath.Join(dir, "a.ndptrc"), "pr", 1, 1000)
+	saveWorkloadTrace(t, filepath.Join(dir, "b.ndptrc"), "bfs", 1, 1000)
+
+	s := newTraceScheduler(t, dir, Options{Workers: 2})
+	defer s.Drain(context.Background())
+
+	single, err := s.Submit(JobSpec{Trace: "a.ndptrc", Design: "Nexus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, single)
+
+	b, err := s.SubmitBatch(BatchSpec{
+		Designs: []string{"NDPExt", "Nexus"},
+		Traces:  []string{"a.ndptrc", "b.ndptrc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b)
+	if st := b.State(); st != StateDone {
+		t.Fatalf("trace batch state = %s: %+v", st, b.Status())
+	}
+	for _, c := range b.Cells {
+		if c.Design == "Nexus" && c.Trace == "a.ndptrc" {
+			if !c.Job.CacheHit() {
+				t.Error("batch cell overlapping the single trace submission missed the store")
+			}
+			if string(c.Job.Result()) != string(single.Result()) {
+				t.Error("trace batch cell differs from the single-submission document")
+			}
+		}
+	}
+	// 1 single + 3 cold cells.
+	if got := s.SimsRun(); got != 4 {
+		t.Errorf("SimsRun = %d, want 4", got)
+	}
+}
+
 // TestTraceJobValidation covers the admission guards: path confinement,
 // exclusivity with generation parameters, and the disabled state.
 func TestTraceJobValidation(t *testing.T) {
 	dir := t.TempDir()
-	s := newTestServer(t, Options{Workers: 1, TraceDir: dir})
+	s := newTraceScheduler(t, dir, Options{Workers: 1})
 	defer s.Drain(context.Background())
 
 	for name, spec := range map[string]JobSpec{
@@ -122,8 +174,8 @@ func TestTraceJobValidation(t *testing.T) {
 		t.Fatalf("corrupt trace job ended %s, want failed", j.State())
 	}
 
-	// Without a TraceDir, trace jobs are off.
-	s2 := newTestServer(t, Options{Workers: 1})
+	// Without a trace registry directory, trace jobs are off.
+	s2 := newTestScheduler(t, Options{Workers: 1})
 	defer s2.Drain(context.Background())
 	if _, err := s2.Submit(JobSpec{Trace: "pr.ndptrc"}); err == nil {
 		t.Fatal("trace job accepted without a trace directory")
@@ -142,7 +194,7 @@ func TestTraceJobMillionAccesses(t *testing.T) {
 	if n := tr.TotalAccesses(); n < 1_000_000 {
 		t.Fatalf("trace too small for the scale test: %d accesses", n)
 	}
-	s := newTestServer(t, Options{Workers: 1, TraceDir: dir})
+	s := newTraceScheduler(t, dir, Options{Workers: 1})
 	defer s.Drain(context.Background())
 	j, err := s.Submit(JobSpec{Trace: "big.ndptrc"})
 	if err != nil {

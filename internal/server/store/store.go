@@ -1,0 +1,80 @@
+// Package store is the persistence layer of the serving stack: the
+// content-addressed result store (a simcache-backed map from canonical
+// input hashes to canonical result documents, with warm-restart index
+// persistence) and the digest-keyed trace registry behind -trace-dir.
+//
+// Layering: store sits at the bottom of the serving stack. It may be
+// imported by the scheduler and transport layers but imports neither,
+// and it must never import net/http — an arch test enforces this.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"ndpext/internal/simcache"
+)
+
+// Options configures a Store. Zero values take the documented defaults.
+type Options struct {
+	// Entries bounds the result store; default 1024 (LRU beyond that).
+	Entries int
+	// TTL expires stored results; default 0 (never).
+	TTL time.Duration
+	// Path, when set, persists the index there on Persist and
+	// warm-loads it in Open.
+	Path string
+}
+
+// Store is the content-addressed result store: canonical result
+// documents keyed by the SHA-256 of their job's canonical inputs.
+// All methods are safe for concurrent use.
+type Store struct {
+	opt     Options
+	results *simcache.Cache[[]byte]
+}
+
+// Open builds a store and warm-loads the index from Options.Path if it
+// exists (a missing file is a cold start, not an error).
+func Open(opt Options) (*Store, error) {
+	if opt.Entries <= 0 {
+		opt.Entries = 1024
+	}
+	s := &Store{opt: opt, results: simcache.New[[]byte](opt.Entries, opt.TTL)}
+	if opt.Path != "" {
+		if _, err := simcache.LoadFile(s.results, opt.Path); err != nil {
+			return nil, fmt.Errorf("store: warm-load index: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Get returns the stored document for k, bumping its recency.
+func (s *Store) Get(k simcache.Key) ([]byte, bool) { return s.results.Get(k) }
+
+// Contains reports residency without touching recency or stats.
+func (s *Store) Contains(k simcache.Key) bool { return s.results.Contains(k) }
+
+// Do returns the stored document for k, or computes it with fn exactly
+// once across concurrent callers (singleflight); errors are not stored.
+func (s *Store) Do(k simcache.Key, fn func() ([]byte, error)) ([]byte, bool, error) {
+	return s.results.Do(k, fn)
+}
+
+// Stats returns the result store's activity counters.
+func (s *Store) Stats() simcache.Stats { return s.results.Stats() }
+
+// Persist writes the index to Options.Path atomically; a store opened
+// without a path persists nothing.
+func (s *Store) Persist() error {
+	if s.opt.Path == "" {
+		return nil
+	}
+	if err := simcache.SaveFile(s.results, s.opt.Path); err != nil {
+		return fmt.Errorf("store: persist index: %w", err)
+	}
+	return nil
+}
+
+// Path returns the index path ("" when persistence is disabled).
+func (s *Store) Path() string { return s.opt.Path }

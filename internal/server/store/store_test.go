@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ndpext/internal/simcache"
+	"ndpext/internal/system"
+	"ndpext/internal/trace"
+	"ndpext/internal/workloads"
+)
+
+func key(s string) simcache.Key { return simcache.Sum([]byte(s)) }
+
+// TestPersistRoundTrip writes documents, persists, reopens from the
+// same path, and checks every byte survives the round trip.
+func TestPersistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.json")
+	s1, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string][]byte{
+		"a": []byte(`{"schema_version":1,"design":"NDPExt"}`),
+		"b": []byte(`{"schema_version":1,"design":"Nexus"}`),
+	}
+	for name, doc := range docs {
+		if _, _, err := s1.Do(key(name), func() ([]byte, error) { return doc, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Persist(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Entries; got != len(docs) {
+		t.Fatalf("warm-loaded %d entries, want %d", got, len(docs))
+	}
+	for name, want := range docs {
+		got, ok := s2.Get(key(name))
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("doc %q: got %q ok=%v, want %q", name, got, ok, want)
+		}
+	}
+
+	// A missing index file is a cold start, not an error.
+	s3, err := Open(Options{Path: filepath.Join(t.TempDir(), "absent.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Stats().Entries; got != 0 {
+		t.Errorf("cold start loaded %d entries", got)
+	}
+	// A corrupt one fails loudly: serving stale-looking garbage silently
+	// would defeat the content-addressing contract.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: bad}); err == nil {
+		t.Error("Open accepted a corrupt index file")
+	}
+
+	// No path: Persist is a no-op.
+	s4, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Persist(); err != nil {
+		t.Errorf("pathless Persist: %v", err)
+	}
+	if s4.Path() != "" {
+		t.Errorf("pathless store reports path %q", s4.Path())
+	}
+}
+
+// TestContainsIsStatsNeutral: the scheduler's batch planner peeks at
+// residency under its admission lock; that peek must not perturb the
+// hit/miss counters or entry recency.
+func TestContainsIsStatsNeutral(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(key("a")) {
+		t.Fatal("empty store contains a key")
+	}
+	if _, _, err := s.Do(key("a"), func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	for i := 0; i < 10; i++ {
+		if !s.Contains(key("a")) {
+			t.Fatal("stored key not contained")
+		}
+		if s.Contains(key("missing")) {
+			t.Fatal("missing key contained")
+		}
+	}
+	after := s.Stats()
+	if before != after {
+		t.Errorf("Contains moved the counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestContainsRespectsTTL: an expired entry must not count as resident,
+// or the batch planner would under-reserve queue slots.
+func TestContainsRespectsTTL(t *testing.T) {
+	s, err := Open(Options{TTL: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Do(key("a"), func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if s.Contains(key("a")) {
+		t.Error("expired entry still reported resident")
+	}
+}
+
+func writeTrace(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.DefaultScale()
+	sc.AccessesPerCore = 100
+	tr, err := gen(system.DefaultConfig(system.NDPExt).NumUnits(), seed, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceRegistryConfinement rejects every path shape that could
+// reach outside the registry directory.
+func TestTraceRegistryConfinement(t *testing.T) {
+	r := NewTraceRegistry(t.TempDir())
+	for _, name := range []string{"", ".", "..", "../x.ndptrc", "/etc/passwd", "a/../../x"} {
+		if _, err := r.Resolve(name); err == nil {
+			t.Errorf("Resolve(%q) escaped the registry", name)
+		}
+	}
+	if p, err := r.Resolve("sub/ok.ndptrc"); err != nil {
+		t.Errorf("Resolve rejected a legal nested name: %v", err)
+	} else if got, want := p, filepath.Join(r.Dir(), "sub", "ok.ndptrc"); got != want {
+		t.Errorf("Resolve = %q, want %q", got, want)
+	}
+
+	var disabled *TraceRegistry
+	if disabled.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	for _, r := range []*TraceRegistry{NewTraceRegistry(""), nil} {
+		if _, err := r.Resolve("x.ndptrc"); !errors.Is(err, ErrTracesDisabled) {
+			t.Errorf("disabled registry Resolve err = %v, want ErrTracesDisabled", err)
+		}
+	}
+	if _, err := NewTraceRegistry("").List(); !errors.Is(err, ErrTracesDisabled) {
+		t.Error("disabled registry List did not return ErrTracesDisabled")
+	}
+}
+
+// TestTraceRegistryDigestInvalidation: the digest must always name the
+// bytes on disk — rewriting a file re-hashes it.
+func TestTraceRegistryDigestInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ndptrc")
+	writeTrace(t, path, 1)
+	r := NewTraceRegistry(dir)
+
+	d1, err := r.Digest("t.ndptrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached: same fingerprint, same digest.
+	d1b, err := r.Digest("t.ndptrc")
+	if err != nil || d1b != d1 {
+		t.Fatalf("stable re-digest: %q vs %q (err %v)", d1b, d1, err)
+	}
+	want, err := trace.DigestFile(path)
+	if err != nil || d1 != want {
+		t.Fatalf("registry digest %q != file digest %q (err %v)", d1, want, err)
+	}
+
+	writeTrace(t, path, 2)
+	// The (size, mtime) fingerprint keys the cache; force a visibly
+	// different mtime for filesystems with coarse timestamps.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Digest("t.ndptrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == d1 {
+		t.Error("rewritten file kept its stale digest")
+	}
+}
+
+// TestTraceRegistryList enumerates native trace files sorted by name,
+// skipping foreign files.
+func TestTraceRegistryList(t *testing.T) {
+	dir := t.TempDir()
+	writeTrace(t, filepath.Join(dir, "b.ndptrc"), 1)
+	writeTrace(t, filepath.Join(dir, "a.ndptrc"), 2)
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTrace(t, filepath.Join(dir, "sub", "c.ndptrc"), 3)
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := NewTraceRegistry(dir).List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, in := range infos {
+		names = append(names, in.Name)
+		if in.Digest == "" || in.Bytes == 0 {
+			t.Errorf("trace %s listed without digest/size: %+v", in.Name, in)
+		}
+	}
+	want := []string{"a.ndptrc", "b.ndptrc", filepath.Join("sub", "c.ndptrc")}
+	if len(names) != len(want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+}

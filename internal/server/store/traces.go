@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ndpext/internal/trace"
+)
+
+// ErrTracesDisabled is returned by registry lookups when no trace
+// directory was configured.
+var ErrTracesDisabled = errors.New("store: trace jobs not enabled (no trace directory configured)")
+
+// TraceRegistry is the digest-keyed registry behind -trace-dir: it maps
+// job-facing trace names to files confined under one directory and to
+// the SHA-256 content digests that key their results. The name is the
+// API surface; the directory is the trust boundary; the digest is the
+// identity — a re-recorded file with different bytes never collides
+// with stale cached results, however it is named.
+type TraceRegistry struct {
+	dir string
+
+	mu      sync.Mutex
+	digests map[string]digestEntry
+}
+
+// digestEntry caches one file's content digest, invalidated whenever
+// the file's (size, mtime) fingerprint changes.
+type digestEntry struct {
+	size   int64
+	mtime  time.Time
+	digest string
+}
+
+// NewTraceRegistry builds a registry rooted at dir. An empty dir yields
+// a disabled registry whose lookups return ErrTracesDisabled.
+func NewTraceRegistry(dir string) *TraceRegistry {
+	return &TraceRegistry{dir: dir, digests: make(map[string]digestEntry)}
+}
+
+// Enabled reports whether trace-backed jobs are available.
+func (r *TraceRegistry) Enabled() bool { return r != nil && r.dir != "" }
+
+// Dir returns the registry root ("" when disabled).
+func (r *TraceRegistry) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.dir
+}
+
+// Resolve maps a trace name to its file path, rejecting anything that
+// could escape the registry directory (absolute paths, "..", empty
+// names).
+func (r *TraceRegistry) Resolve(name string) (string, error) {
+	if !r.Enabled() {
+		return "", ErrTracesDisabled
+	}
+	// IsLocal accepts "." (the directory itself), which is never a
+	// trace file; reject it alongside escapes.
+	if name == "" || name == "." || !filepath.IsLocal(name) {
+		return "", fmt.Errorf("store: trace name %q escapes the trace directory", name)
+	}
+	return filepath.Join(r.dir, name), nil
+}
+
+// Digest returns the SHA-256 content digest of the named trace file,
+// computed at most once per (size, mtime) fingerprint. Submissions key
+// their cache entries by this digest, so it must always name the bytes
+// currently on disk — a rewritten file is re-hashed.
+func (r *TraceRegistry) Digest(name string) (string, error) {
+	path, err := r.Resolve(name)
+	if err != nil {
+		return "", err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("store: trace %q: %w", name, err)
+	}
+	r.mu.Lock()
+	e, ok := r.digests[name]
+	r.mu.Unlock()
+	if ok && e.size == fi.Size() && e.mtime.Equal(fi.ModTime()) {
+		return e.digest, nil
+	}
+	digest, err := trace.DigestFile(path)
+	if err != nil {
+		return "", fmt.Errorf("store: digesting trace %q: %w", name, err)
+	}
+	r.mu.Lock()
+	r.digests[name] = digestEntry{size: fi.Size(), mtime: fi.ModTime(), digest: digest}
+	r.mu.Unlock()
+	return digest, nil
+}
+
+// TraceInfo describes one registered trace file.
+type TraceInfo struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	Digest string `json:"digest"`
+}
+
+// List enumerates the registry's native trace files (by extension),
+// sorted by name, each with its content digest. Files that vanish or
+// fail to hash mid-listing are skipped rather than failing the listing.
+func (r *TraceRegistry) List() ([]TraceInfo, error) {
+	if !r.Enabled() {
+		return nil, ErrTracesDisabled
+	}
+	var out []TraceInfo
+	err := filepath.WalkDir(r.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if !strings.HasSuffix(d.Name(), ".ndptrc") {
+			return nil
+		}
+		rel, err := filepath.Rel(r.dir, path)
+		if err != nil {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		digest, err := r.Digest(rel)
+		if err != nil {
+			return nil
+		}
+		out = append(out, TraceInfo{Name: rel, Bytes: fi.Size(), Digest: digest})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list traces: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLayering enforces the serving stack's one-way dependency rule at
+// the source level, tests included:
+//
+//	transport -> scheduler -> store
+//	                 \-> result
+//
+// transport is the only layer allowed to import net/http; the engine
+// and persistence layers must stay HTTP-free so they can be driven
+// directly by tests, CLIs, or a future sharded-cluster fan-out.
+func TestLayering(t *testing.T) {
+	forbidden := map[string][]string{
+		"../scheduler": {"net/http", "ndpext/internal/server/transport"},
+		"../store": {"net/http", "ndpext/internal/server/transport",
+			"ndpext/internal/server/scheduler", "ndpext/internal/server/result"},
+		"../result": {"net/http", "ndpext/internal/server/transport",
+			"ndpext/internal/server/scheduler", "ndpext/internal/server/store"},
+	}
+	fset := token.NewFileSet()
+	for dir, banned := range forbidden {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go files under %s — did the layer move?", dir)
+		}
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, bad := range banned {
+					if path == bad || strings.HasPrefix(path, bad+"/") {
+						t.Errorf("%s imports %s, breaking the transport->scheduler->store layering", file, path)
+					}
+				}
+			}
+		}
+	}
+}

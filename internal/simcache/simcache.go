@@ -134,6 +134,21 @@ func (c *Cache[V]) getLocked(k Key) (V, bool) {
 	return e.val, true
 }
 
+// Contains reports whether k is resident and unexpired without bumping
+// recency or the hit/miss counters — a side-effect-free peek for
+// admission planning (e.g. counting how many cells of a batch would
+// actually need a queue slot).
+func (c *Cache[V]) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry[V])
+	return e.expires.IsZero() || c.now().Before(e.expires)
+}
+
 // Put stores v under k with the cache's default TTL.
 func (c *Cache[V]) Put(k Key, v V) {
 	var expires time.Time
