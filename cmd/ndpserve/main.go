@@ -15,6 +15,7 @@
 //	         [-cache-index /path/to/index.json]
 //	         [-max-wall 0] [-max-cycles 0]
 //	         [-retry-after 1s] [-retry-after-max 60s]
+//	         [-max-body 1048576] [-read-header-timeout 10s]
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued
 // and running jobs finish (running ones are checkpointed if -drain-wait
@@ -52,6 +53,8 @@ func main() {
 	retryAfterMax := flag.Duration("retry-after-max", 60*time.Second, "ceiling of the adaptive Retry-After hint")
 	traceDir := flag.String("trace-dir", "", "directory of recorded trace files; enables trace-backed jobs (\"trace\" in the job spec)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "grace period for running jobs on shutdown before checkpointing")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes (oversized submissions get 413)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "slow-loris guard: deadline for reading request headers")
 	flag.Parse()
 
 	st, err := store.Open(store.Options{
@@ -75,7 +78,13 @@ func main() {
 		log.Printf("warm-loaded %d cached results from %s", n, *cacheIndex)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: transport.Handler(sched)}
+	// No WriteTimeout: SSE streams are long-lived by design. Body size is
+	// capped per-request by the transport layer instead.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           transport.NewHandler(sched, transport.Options{MaxBody: *maxBody}),
+		ReadHeaderTimeout: *readHeaderTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)

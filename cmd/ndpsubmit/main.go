@@ -1,0 +1,188 @@
+// Command ndpsubmit submits simulation jobs to an ndpserve instance
+// through the resilient client: jittered exponential backoff honoring
+// Retry-After on 429/5xx, safe idempotent resubmission when the server
+// restarts mid-wait (submissions are content-addressed, so a retry can
+// only hit the cache or re-run the identical simulation), and SSE
+// progress streaming with automatic reconnect.
+//
+// Usage:
+//
+//	ndpsubmit [-server http://localhost:8080] [-spec JSON | -f file]
+//	          [-batch] [-follow] [-attempts 5] [-timeout 0]
+//
+// The spec is a JobSpec (or, with -batch, a BatchSpec) in the server's
+// POST /v1/jobs (or /v1/batch) wire format; with neither -spec nor -f
+// it is read from stdin. The terminal result document is printed to
+// stdout; -follow additionally streams progress events to stderr.
+//
+// Exit status: 0 when the job (every cell, with -batch) completed, 1
+// when it failed or was truncated, 2 on usage or transport errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndpext/internal/client"
+	"ndpext/internal/server/scheduler"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndpsubmit: ")
+
+	server := flag.String("server", "http://localhost:8080", "ndpserve base URL")
+	specArg := flag.String("spec", "", "job spec JSON inline (default: read from -f or stdin)")
+	specFile := flag.String("f", "", "read the spec JSON from this file")
+	batch := flag.Bool("batch", false, "the spec is a BatchSpec matrix for POST /v1/batch")
+	follow := flag.Bool("follow", false, "stream SSE progress events to stderr while waiting")
+	attempts := flag.Int("attempts", 5, "max tries per request (and per vanished-job resubmission)")
+	baseDelay := flag.Duration("base-delay", 200*time.Millisecond, "first retry backoff step")
+	maxDelay := flag.Duration("max-delay", 10*time.Second, "retry backoff ceiling")
+	timeout := flag.Duration("timeout", 0, "overall deadline for submit+await (0: none)")
+	quiet := flag.Bool("q", false, "suppress retry/progress logging")
+	flag.Parse()
+
+	raw, err := readSpec(*specArg, *specFile)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opt := client.Options{
+		MaxAttempts: *attempts,
+		BaseDelay:   *baseDelay,
+		MaxDelay:    *maxDelay,
+	}
+	if !*quiet {
+		opt.Logf = log.Printf
+	}
+	c := client.New(*server, opt)
+
+	code, err := run(ctx, c, raw, *batch, *follow)
+	if err != nil {
+		log.Print(err)
+	}
+	os.Exit(code)
+}
+
+// readSpec loads the spec bytes from -spec, -f, or stdin and rejects
+// obviously invalid JSON before burning network retries on it.
+func readSpec(inline, file string) ([]byte, error) {
+	var raw []byte
+	var err error
+	switch {
+	case inline != "" && file != "":
+		return nil, fmt.Errorf("use -spec or -f, not both")
+	case inline != "":
+		raw = []byte(inline)
+	case file != "":
+		raw, err = os.ReadFile(file)
+	default:
+		raw, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(raw) {
+		return nil, fmt.Errorf("spec is not valid JSON")
+	}
+	return raw, nil
+}
+
+func run(ctx context.Context, c *client.Client, raw []byte, batch, follow bool) (int, error) {
+	if batch {
+		return runBatch(ctx, c, raw)
+	}
+	var spec scheduler.JobSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return 2, fmt.Errorf("bad job spec: %v", err)
+	}
+
+	if follow {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			return 2, err
+		}
+		if !st.State.Terminal() {
+			for ev := range c.Events(ctx, st.ID) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", ev.Type, ev.Data)
+			}
+		}
+		final, err := c.Await(ctx, st.ID)
+		if err != nil {
+			return 2, err
+		}
+		return printJob(final)
+	}
+
+	final, err := c.SubmitAndAwait(ctx, spec)
+	if err != nil {
+		return 2, err
+	}
+	return printJob(final)
+}
+
+// printJob emits the result document (or status when there is none) and
+// maps the terminal state to the exit code.
+func printJob(st scheduler.JobStatus) (int, error) {
+	out := []byte(st.Result)
+	if len(out) == 0 {
+		var err error
+		if out, err = json.MarshalIndent(st, "", "  "); err != nil {
+			return 2, err
+		}
+	}
+	os.Stdout.Write(append(out, '\n'))
+	if st.State != scheduler.StateDone {
+		return 1, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return 0, nil
+}
+
+func runBatch(ctx context.Context, c *client.Client, raw []byte) (int, error) {
+	var spec scheduler.BatchSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return 2, fmt.Errorf("bad batch spec: %v", err)
+	}
+	st, err := c.SubmitBatch(ctx, spec)
+	if err != nil {
+		return 2, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.AwaitBatch(ctx, st.ID); err != nil {
+			return 2, err
+		}
+	}
+	doc, err := c.BatchResult(ctx, st.ID)
+	if err != nil {
+		return 2, err
+	}
+	os.Stdout.Write(append([]byte(doc), '\n'))
+	if st.State != scheduler.StateDone {
+		for _, cell := range st.Cells {
+			if cell.State != scheduler.StateDone {
+				fmt.Fprintf(os.Stderr, "cell %s/%s%s: %s %s\n",
+					cell.Design, cell.Workload, cell.Trace, cell.State, cell.Error)
+			}
+		}
+		return 1, fmt.Errorf("batch %s ended %s", st.ID, st.State)
+	}
+	return 0, nil
+}

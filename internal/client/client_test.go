@@ -1,0 +1,334 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+	"ndpext/internal/server/transport"
+)
+
+// fastOpts makes retries effectively instant for tests.
+func fastOpts() Options {
+	return Options{
+		MaxAttempts:  4,
+		BaseDelay:    time.Millisecond,
+		MaxDelay:     5 * time.Millisecond,
+		PollInterval: 10 * time.Millisecond,
+		Jitter:       func() float64 { return 0.5 },
+	}
+}
+
+// newServedStack runs a real scheduler behind the real transport.
+func newServedStack(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scheduler.New(st, nil, scheduler.Options{Workers: 2, QueueDepth: 16})
+	s.Start()
+	srv := httptest.NewServer(transport.Handler(s))
+	t.Cleanup(func() {
+		srv.Close()
+		s.Drain(context.Background())
+	})
+	return srv
+}
+
+// flaky wraps a handler, failing the first n requests with code.
+func flaky(inner http.Handler, n int64, code int, header http.Header) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			for k, vs := range header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"error":"injected %d"}`, code)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}), &calls
+}
+
+// TestBackoff pins the retry delays: exponential, jittered in
+// [0.5, 1.5)·step, capped at MaxDelay, overridden by Retry-After.
+func TestBackoff(t *testing.T) {
+	c := New("http://x", Options{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Jitter:    func() float64 { return 0.5 },
+	})
+	for n, want := range map[int]time.Duration{
+		0: 100 * time.Millisecond, // 100ms · (0.5+0.5)
+		1: 200 * time.Millisecond,
+		2: 400 * time.Millisecond,
+		5: time.Second, // capped: 3.2s -> 1s
+		9: time.Second,
+	} {
+		if got := c.backoff(n, 0); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if got := c.backoff(0, 7*time.Second); got != 7*time.Second {
+		t.Errorf("Retry-After override: got %v, want 7s", got)
+	}
+	// Jitter bounds: with jitter -> 0.999 the delay stays below 1.5·step.
+	hi := New("http://x", Options{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Minute,
+		Jitter: func() float64 { return 0.999 }})
+	if got := hi.backoff(0, 0); got < 100*time.Millisecond || got >= 150*time.Millisecond {
+		t.Errorf("jittered backoff(0) = %v, want [100ms, 150ms)", got)
+	}
+}
+
+// TestRetriesTransientFailures: 503s and 429s are retried until the
+// real handler answers; the attempt count is exact.
+func TestRetriesTransientFailures(t *testing.T) {
+	for _, code := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusBadGateway} {
+		t.Run(fmt.Sprint(code), func(t *testing.T) {
+			handler, calls := flaky(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusAccepted)
+				fmt.Fprint(w, `{"id":"j-000001","state":"queued"}`)
+			}), 2, code, nil)
+			srv := httptest.NewServer(handler)
+			defer srv.Close()
+
+			c := New(srv.URL, fastOpts())
+			st, err := c.Submit(context.Background(), scheduler.JobSpec{Workload: "pr", Accesses: 1000})
+			if err != nil {
+				t.Fatalf("Submit through flaky front: %v", err)
+			}
+			if st.ID == "" {
+				t.Fatal("no job ID")
+			}
+			if got := calls.Load(); got != 3 {
+				t.Errorf("request count = %d, want 3 (2 failures + 1 success)", got)
+			}
+		})
+	}
+}
+
+// TestTerminalErrorsAreNotRetried: 400 and 422 fail immediately with
+// one request.
+func TestTerminalErrorsAreNotRetried(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusInternalServerError} {
+		var calls atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"error":"nope"}`)
+		}))
+		c := New(srv.URL, fastOpts())
+		_, err := c.Submit(context.Background(), scheduler.JobSpec{Workload: "pr"})
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != code {
+			t.Errorf("code %d: err = %v, want APIError with that code", code, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("code %d: %d requests, want exactly 1 (no retry)", code, got)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryAfterHonored: a 429's Retry-After header overrides the
+// computed backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"busy"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"j-000001","state":"done"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts()) // computed backoff would be ~1ms
+	st, err := c.Job(context.Background(), "j-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != scheduler.StateDone {
+		t.Fatalf("state = %s", st.State)
+	}
+	if got := time.Duration(gap.Load()); got < 900*time.Millisecond {
+		t.Errorf("retry gap = %v, want >= ~1s from Retry-After", got)
+	}
+}
+
+// TestSubmitAndAwaitResubmitsVanishedJob: a server restart forgets the
+// job table; the client resubmits the content-addressed spec instead of
+// erroring out.
+func TestSubmitAndAwaitResubmitsVanishedJob(t *testing.T) {
+	var submits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if submits.Add(1) == 1 {
+			// First life of the server: job accepted, then "restart".
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"id":"j-000001","state":"queued"}`)
+			return
+		}
+		// Second life: the identical spec hits the warm cache.
+		fmt.Fprint(w, `{"id":"j-000002","state":"done","cache_hit":true,"result":{"ok":true}}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound) // restarted: in-memory table gone
+		fmt.Fprint(w, `{"error":"no such job"}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts())
+	st, err := c.SubmitAndAwait(context.Background(), scheduler.JobSpec{Workload: "pr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j-000002" || !st.CacheHit {
+		t.Fatalf("final status = %+v, want the resubmitted cache hit", st)
+	}
+	if got := submits.Load(); got != 2 {
+		t.Errorf("submit count = %d, want 2", got)
+	}
+}
+
+// sseHandler scripts one job's event stream across reconnections:
+// connection i serves script[min(i, len-1)]. Events are (type, data)
+// pairs; the full history grows across connections like the real
+// replay-then-follow server.
+func sseHandler(script [][][2]string, conns *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		i := int(conns.Add(1)) - 1
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		for _, ev := range script[i] {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev[0], ev[1])
+			fl.Flush()
+		}
+		// Connection ends here; without a terminal event the client
+		// must reconnect.
+	}
+}
+
+// TestEventsReconnectResumes: a stream cut mid-way (and a "lagged"
+// drop) must resume exactly where it left off via the replay — every
+// event delivered once, in order, ending with the terminal event.
+func TestEventsReconnectResumes(t *testing.T) {
+	e := func(i int) [2]string { return [2]string{"epoch", fmt.Sprintf(`{"epoch":%d}`, i)} }
+	terminal := [2]string{"done", `{"state":"done"}`}
+	var conns atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j-1/events", sseHandler([][][2]string{
+		// Connection 1: two events, then the stream dies.
+		{e(0), e(1)},
+		// Connection 2: replay + a lagged marker (subscriber overflowed).
+		{e(0), e(1), e(2), {"lagged", `{"dropped":3}`}},
+		// Connection 3+: the full history, terminal included.
+		{e(0), e(1), e(2), e(3), e(4), terminal},
+	}, &conns))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts())
+	var got []Event
+	for ev := range c.Events(context.Background(), "j-1") {
+		got = append(got, ev)
+	}
+	want := []string{`{"epoch":0}`, `{"epoch":1}`, `{"epoch":2}`, `{"epoch":3}`, `{"epoch":4}`, `{"state":"done"}`}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if string(got[i].Data) != w {
+			t.Errorf("event %d = %s %s, want data %s", i, got[i].Type, got[i].Data, w)
+		}
+	}
+	if got[len(got)-1].Type != "done" {
+		t.Errorf("last event type = %s, want done", got[len(got)-1].Type)
+	}
+	if conns.Load() != 3 {
+		t.Errorf("connections = %d, want 3 (initial + 2 reconnects)", conns.Load())
+	}
+}
+
+// TestEndToEnd drives the real stack: submit, await, result, events,
+// and a batch — through the resilient client.
+func TestEndToEnd(t *testing.T) {
+	srv := newServedStack(t)
+	c := New(srv.URL, fastOpts())
+	ctx := context.Background()
+
+	spec := scheduler.JobSpec{Workload: "pr", Accesses: 1000}
+	st, err := c.SubmitAndAwait(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != scheduler.StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	doc, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(doc, &res); err != nil || res.SchemaVersion != 1 {
+		t.Fatalf("result doc: %v (schema %d)", err, res.SchemaVersion)
+	}
+
+	// Events on the finished job: replay ends with the terminal event.
+	var lastType string
+	for ev := range c.Events(ctx, st.ID) {
+		lastType = ev.Type
+	}
+	if lastType != string(scheduler.StateDone) {
+		t.Errorf("final event = %q, want done", lastType)
+	}
+
+	// Batch: 1×2 matrix, await, fetch the matrix document.
+	bst, err := c.SubmitBatch(ctx, scheduler.BatchSpec{
+		Designs:   []string{"NDPExt", "Host"},
+		Workloads: []string{"pr"},
+		Base:      scheduler.JobSpec{Accesses: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst, err = c.AwaitBatch(ctx, bst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if bst.State != scheduler.StateDone {
+		t.Fatalf("batch state = %s", bst.State)
+	}
+	if _, err := c.BatchResult(ctx, bst.ID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package chaos is a seeded fault injector for the ndpserve stack. It
+// produces the failures the robustness layer claims to survive —
+// panicking simulations, bit-flipped trace chunks, truncated trace
+// files, corrupted warm-restart indexes — from a deterministic PRNG so
+// every chaotic run is replayable from its seed.
+//
+// The injector lives in the server tree (not in a _test.go file) so
+// both the chaos suite and any future soak/fuzz driver can reuse it,
+// but it is pure fault machinery: it must never import net/http or the
+// transport layer (enforced by the layering test).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/trace"
+)
+
+// PoisonSeed marks a JobSpec as poison: the injector's Hook panics
+// when a simulation with this seed reaches a worker. The value is
+// arbitrary but stable, so tests and drivers agree on it.
+const PoisonSeed = 0xC4A05
+
+// Poison returns a minimal valid spec the Hook will panic on. Distinct
+// accesses values keep distinct cache keys, so n poison jobs trigger n
+// independent panics instead of piggybacking on one.
+func Poison(i int) scheduler.JobSpec {
+	return scheduler.JobSpec{Workload: "pr", Seed: PoisonSeed, Accesses: 1000 + i}
+}
+
+// IsPoison reports whether the Hook would panic on spec.
+func IsPoison(spec scheduler.JobSpec) bool { return spec.Seed == PoisonSeed }
+
+// Injector is a deterministic source of faults. All methods are safe
+// for concurrent use; the PRNG is serialized under a mutex so a fixed
+// seed plus a fixed call sequence yields a fixed fault sequence.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	panics atomic.Uint64
+}
+
+// NewInjector returns an injector whose faults are fully determined by
+// seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Hook is a scheduler.Options.SimHook: it panics inside the worker's
+// panic-recovery scope whenever a poison spec is about to simulate.
+func (in *Injector) Hook(spec scheduler.JobSpec) {
+	if IsPoison(spec) {
+		in.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected simulation panic (accesses=%d)", spec.Accesses))
+	}
+}
+
+// PanicsInjected returns how many panics the Hook has thrown; the suite
+// checks it against the scheduler's PanicsRecovered counter.
+func (in *Injector) PanicsInjected() uint64 { return in.panics.Load() }
+
+// Intn and Shuffle expose the injector's PRNG so scenario generation
+// shares the same deterministic stream as the faults.
+func (in *Injector) Intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+func (in *Injector) Shuffle(n int, swap func(i, j int)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng.Shuffle(n, swap)
+}
+
+// CorruptTrace flips one pseudo-random bit inside the payload of the
+// trace's first chunk, leaving the header and index intact: the file
+// still opens and admits, then fails its CRC mid-replay — the hardest
+// corruption to handle, because a job is already running on the bytes.
+func (in *Injector) CorruptTrace(path string) error {
+	r, err := trace.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: open %s before corrupting it: %w", path, err)
+	}
+	// Stay within the first ~60 payload bytes: past the ~15-byte chunk
+	// header, but well inside even a minimal chunk.
+	off := r.ChunkFileOffset(0) + 15 + int64(in.Intn(45))
+	r.Close()
+	return in.flipBit(path, off)
+}
+
+// TruncateTrace cuts the tail off a trace file. The chunk index lives
+// in the footer, so the loss is detected at open time — the admission-
+// path counterpart to CorruptTrace's mid-replay failure.
+func (in *Injector) TruncateTrace(path string) error {
+	return in.truncate(path, 16) // keep at least the magic
+}
+
+// CorruptIndex truncates a warm-restart index mid-document, which no
+// JSON decoder can miss. (A single flipped bit inside an entry's value
+// could go undetected — the index format is plain JSON — so truncation
+// is the deterministic way to model a torn write.)
+func (in *Injector) CorruptIndex(path string) error {
+	return in.truncate(path, 1)
+}
+
+// flipBit XORs one pseudo-random bit of the byte at off.
+func (in *Injector) flipBit(path string, off int64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= int64(len(raw)) {
+		return fmt.Errorf("chaos: flip offset %d outside %s (%d bytes)", off, path, len(raw))
+	}
+	raw[off] ^= 1 << in.Intn(8)
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// truncate cuts the file to a pseudo-random size in [keepAtLeast,
+// size-2], guaranteeing at least two bytes are lost (a JSON index ends
+// in "}\n", and cutting only the newline would leave it valid).
+func (in *Injector) truncate(path string, keepAtLeast int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	max := fi.Size() - 2
+	if max < keepAtLeast {
+		return fmt.Errorf("chaos: %s too small to truncate (%d bytes)", path, fi.Size())
+	}
+	keep := keepAtLeast + int64(in.Intn(int(max-keepAtLeast)+1))
+	return os.Truncate(path, keep)
+}

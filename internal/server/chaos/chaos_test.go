@@ -1,0 +1,356 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+	"ndpext/internal/system"
+	"ndpext/internal/trace"
+	"ndpext/internal/workloads"
+)
+
+func waitJob(t *testing.T, j *scheduler.Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in state %s", j.ID, j.State())
+	}
+}
+
+func writeChaosTrace(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny footprint: the suite writes dozens of traces across 20
+	// parallel scenarios; a full-scale graph build per trace would
+	// dominate the run.
+	sc := workloads.TinyScale()
+	sc.AccessesPerCore = 200
+	tr, err := gen(system.DefaultConfig(system.NDPExt).NumUnits(), seed, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := trace.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestChaosSeeds runs the full fault menu — panicking simulations, a
+// corrupt or truncated trace, a stalled event subscriber, and a
+// corrupted warm-restart index — across 20 deterministic seeds. The
+// invariants under every seed: the process survives, every job reaches
+// a terminal state with a diagnostic, recovered-fault counters match
+// injected faults exactly, and the result documents of unaffected jobs
+// are byte-identical to a fault-free golden run.
+func TestChaosSeeds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosScenario(t, seed)
+		})
+	}
+}
+
+func runChaosScenario(t *testing.T, seed int64) {
+	in := NewInjector(seed)
+	traceDir := t.TempDir()
+	indexPath := filepath.Join(t.TempDir(), "index.json")
+
+	writeChaosTrace(t, traceDir, "good.ndptrc", uint64(seed)+1)
+	badPath := writeChaosTrace(t, traceDir, "bad.ndptrc", uint64(seed)+2)
+	// Even seeds: bit-flip a chunk payload (fails mid-replay, after
+	// admission). Odd seeds: truncate the file (fails at open).
+	var corrupt func(string) error = in.CorruptTrace
+	if seed%2 == 1 {
+		corrupt = in.TruncateTrace
+	}
+	if err := corrupt(badPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scenario's job mix, drawn from the injector's PRNG so the
+	// whole run replays from the seed.
+	var good []scheduler.JobSpec
+	for i := 0; i < 3; i++ {
+		good = append(good, scheduler.JobSpec{
+			Workload: "pr", Seed: uint64(in.Intn(1000) + 1), Accesses: 1000, Scale: 0.12,
+		})
+	}
+	good = append(good, scheduler.JobSpec{Trace: "good.ndptrc"})
+	nPoison := 1 + in.Intn(2)
+
+	// Golden run: the same good specs on a pristine stack.
+	golden := map[string][]byte{}
+	{
+		st, err := store.Open(store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := scheduler.New(st, store.NewTraceRegistry(traceDir),
+			scheduler.Options{Workers: 2, QueueDepth: 64})
+		s.Start()
+		for _, spec := range good {
+			j, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitJob(t, j)
+			if j.State() != scheduler.StateDone {
+				t.Fatalf("golden run failed: %s (%s)", j.State(), j.Status().Error)
+			}
+			golden[j.Key.String()] = j.Result()
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Chaos run: good jobs, poison jobs, and the corrupt trace,
+	// submitted in PRNG order, with a subscriber that never reads.
+	st, err := store.Open(store.Options{Path: indexPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scheduler.New(st, store.NewTraceRegistry(traceDir),
+		scheduler.Options{Workers: 2, QueueDepth: 64, SimHook: in.Hook})
+	s.Start()
+
+	specs := append([]scheduler.JobSpec(nil), good...)
+	for i := 0; i < nPoison; i++ {
+		specs = append(specs, Poison(i))
+	}
+	specs = append(specs, scheduler.JobSpec{Trace: "bad.ndptrc"})
+	in.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	jobs := make([]*scheduler.Job, len(specs))
+	for i, spec := range specs {
+		if jobs[i], err = s.Submit(spec); err != nil {
+			t.Fatalf("submit %+v: %v", spec, err)
+		}
+	}
+	// The stalled SSE reader: subscribe to the first job and never
+	// drain the channel. Publishes must drop, not block the worker.
+	_, unsubscribe := jobs[0].Subscribe()
+	defer unsubscribe()
+
+	for _, j := range jobs {
+		waitJob(t, j)
+	}
+
+	for i, j := range jobs {
+		spec := specs[i]
+		switch {
+		case IsPoison(spec):
+			if j.State() != scheduler.StateFailed {
+				t.Errorf("poison job state = %s, want failed", j.State())
+			}
+			errMsg := j.Status().Error
+			if !strings.Contains(errMsg, "chaos: injected simulation panic") ||
+				!strings.Contains(errMsg, "goroutine") {
+				t.Errorf("poison diagnostic lost panic value or stack: %q", errMsg)
+			}
+			if st.Contains(j.Key) {
+				t.Error("panic outcome entered the result store")
+			}
+		case spec.Trace == "bad.ndptrc":
+			if j.State() != scheduler.StateFailed {
+				t.Errorf("corrupt-trace job state = %s, want failed (err %q)",
+					j.State(), j.Status().Error)
+			}
+			if j.Result() != nil {
+				t.Error("corrupt-trace job kept a result built on bad bytes")
+			}
+		default:
+			if j.State() != scheduler.StateDone {
+				t.Errorf("good job %+v state = %s (err %q)", spec, j.State(), j.Status().Error)
+				continue
+			}
+			want, ok := golden[j.Key.String()]
+			if !ok {
+				t.Errorf("good job %+v has no golden counterpart", spec)
+			} else if !bytes.Equal(j.Result(), want) {
+				t.Errorf("good job %+v result diverged under chaos", spec)
+			}
+		}
+	}
+
+	// Every injected fault was recovered, and nothing else fired.
+	if got, want := s.PanicsRecovered(), in.PanicsInjected(); got != want {
+		t.Errorf("PanicsRecovered = %d, PanicsInjected = %d", got, want)
+	}
+	if got := s.TraceQuarantines(); got != 1 {
+		t.Errorf("TraceQuarantines = %d, want 1", got)
+	}
+	if got := s.IndexQuarantines(); got != 0 {
+		t.Errorf("IndexQuarantines = %d, want 0 (index was healthy)", got)
+	}
+
+	// The quarantine sticks: resubmitting the corrupt trace is rejected
+	// at admission now.
+	if _, err := s.Submit(scheduler.JobSpec{Trace: "bad.ndptrc"}); !errors.Is(err, store.ErrTraceQuarantined) {
+		t.Errorf("resubmitted corrupt trace err = %v, want ErrTraceQuarantined", err)
+	}
+
+	// Clean shutdown after all that: drain persists the index, and a
+	// warm restart serves the survivors from it.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+	warm, err := store.Open(store.Options{Path: indexPath})
+	if err != nil {
+		t.Fatalf("warm reopen: %v", err)
+	}
+	for i, j := range jobs {
+		if IsPoison(specs[i]) || specs[i].Trace == "bad.ndptrc" {
+			if warm.Contains(j.Key) {
+				t.Errorf("failed job %+v persisted a result", specs[i])
+			}
+			continue
+		}
+		if !warm.Contains(j.Key) {
+			t.Errorf("warm restart lost good result %s", j.Key)
+		}
+	}
+
+	// Final injection: tear the persisted index and reopen. The store
+	// must quarantine the file and come up cold, never refuse to start.
+	if err := in.CorruptIndex(indexPath); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := store.Open(store.Options{Path: indexPath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open over corrupt index: %v", err)
+	}
+	if got := cold.IndexQuarantines(); got != 1 {
+		t.Errorf("IndexQuarantines after corrupt index = %d, want 1", got)
+	}
+	qp := cold.QuarantinedPath()
+	if qp == "" {
+		t.Fatal("no quarantined path recorded")
+	}
+	if _, err := os.Stat(qp); err != nil {
+		t.Errorf("quarantined index not preserved: %v", err)
+	}
+	for _, j := range jobs {
+		if cold.Contains(j.Key) {
+			t.Error("cold store after quarantine still serves old results")
+		}
+	}
+}
+
+// TestDrainUnderFire: SIGTERM arrives (modeled as Drain with an
+// already-expired context) while one worker is mid-panic, another is
+// mid-simulation, a third job is still queued, and a subscriber has
+// stalled its event channel. Drain must still return, every accepted
+// job must reach a terminal state, the interrupted simulation must
+// checkpoint a partial result, and the index must be persisted.
+func TestDrainUnderFire(t *testing.T) {
+	in := NewInjector(42)
+	indexPath := filepath.Join(t.TempDir(), "index.json")
+	st, err := store.Open(store.Options{Path: indexPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hold := make(chan struct{})
+	s := scheduler.New(st, nil, scheduler.Options{
+		Workers: 2, QueueDepth: 16,
+		SimHook: func(spec scheduler.JobSpec) {
+			if IsPoison(spec) {
+				<-hold // panic only once the drain is underway
+			}
+			in.Hook(spec)
+		},
+	})
+	s.Start()
+
+	poison, err := s.Submit(Poison(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long enough to still be mid-simulation when the drain hits, with
+	// short epochs so the cancellation check point comes around fast.
+	long, err := s.Submit(scheduler.JobSpec{
+		Workload: "pr", Seed: 3, Accesses: 2_000_000, Scale: 0.12, EpochCycles: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(scheduler.JobSpec{Workload: "pr", Seed: 4, Accesses: 1000, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall a subscriber on the long job so its progress events pile up
+	// undrained through the shutdown.
+	_, unsubscribe := long.Subscribe()
+	defer unsubscribe()
+
+	// A second, live subscriber waits for the first epoch event: proof
+	// the long job is inside its event loop, where a cancellation
+	// checkpoints a partial result instead of aborting cleanly.
+	events, stopWatching := long.Subscribe()
+	for ev := range events {
+		if ev.Type == "epoch" {
+			break
+		}
+	}
+	stopWatching()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the SIGTERM moment: no grace at all
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+	close(hold) // the panic lands while Drain is waiting on the workers
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain under fire: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain wedged under fire")
+	}
+
+	for _, j := range []*scheduler.Job{poison, long, queued} {
+		if !j.State().Terminal() {
+			t.Errorf("job %s not terminal after drain: %s", j.ID, j.State())
+		}
+	}
+	if poison.State() != scheduler.StateFailed {
+		t.Errorf("poison state = %s, want failed", poison.State())
+	}
+	if !strings.Contains(poison.Status().Error, "chaos: injected simulation panic") {
+		t.Errorf("poison diagnostic = %q", poison.Status().Error)
+	}
+	if long.State() != scheduler.StateTruncated {
+		t.Errorf("interrupted job state = %s, want truncated (err %q)",
+			long.State(), long.Status().Error)
+	} else if long.Result() == nil {
+		t.Error("interrupted job checkpointed no partial result")
+	}
+	if got, want := s.PanicsRecovered(), in.PanicsInjected(); got != want || got != 1 {
+		t.Errorf("PanicsRecovered = %d, PanicsInjected = %d, want 1/1", got, want)
+	}
+
+	// The index survived the storm: reopening it warm must succeed.
+	if _, err := os.Stat(indexPath); err != nil {
+		t.Fatalf("index not persisted by drain: %v", err)
+	}
+	if _, err := store.Open(store.Options{Path: indexPath}); err != nil {
+		t.Fatalf("warm reopen after drain under fire: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,11 @@ type Options struct {
 	// spec does not set its own (0 disables).
 	MaxWall   time.Duration
 	MaxCycles int64
+	// SimHook, when non-nil, runs at the top of every simulation on the
+	// worker goroutine, inside the panic-recovery scope. It exists as the
+	// chaos-injection seam: a hook that panics exercises exactly the
+	// path a panicking simulation would.
+	SimHook func(JobSpec)
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +109,7 @@ type Scheduler struct {
 	simsRun   atomic.Uint64 // simulations actually executed
 	rejected  atomic.Uint64 // submissions bounced with queue-full
 	meanNanos atomic.Uint64 // EWMA of completed job durations (ns)
+	panics    atomic.Uint64 // worker panics recovered into failed jobs
 
 	// testJobStarted, when non-nil, is invoked at the top of runJob —
 	// tests use it to hold a worker and fill the queue deterministically.
@@ -276,6 +283,18 @@ func (s *Scheduler) Rejected() uint64 { return s.rejected.Load() }
 // Traces returns the trace registry (disabled, never nil).
 func (s *Scheduler) Traces() *store.TraceRegistry { return s.traces }
 
+// PanicsRecovered counts worker panics recovered into failed jobs
+// (surfaced on /healthz; the process survived every one of them).
+func (s *Scheduler) PanicsRecovered() uint64 { return s.panics.Load() }
+
+// IndexQuarantines counts corrupt warm-restart indexes quarantined at
+// store open.
+func (s *Scheduler) IndexQuarantines() uint64 { return s.st.IndexQuarantines() }
+
+// TraceQuarantines counts trace digests quarantined after corrupt
+// replays.
+func (s *Scheduler) TraceQuarantines() uint64 { return s.traces.Quarantines() }
+
 // observeDuration folds one completed job's wall time into the EWMA
 // that drives the adaptive Retry-After hint.
 func (s *Scheduler) observeDuration(d time.Duration) {
@@ -324,6 +343,12 @@ func (s *Scheduler) RetryAfterHint() time.Duration {
 // wall-clock truncation (nondeterministic) and drain checkpoints.
 var errNotCacheable = errors.New("scheduler: result not cacheable")
 
+// ErrPanicked marks a job whose simulation panicked. The worker
+// recovered, the job failed with the stack in its error, and the
+// process kept serving — a poison spec can be resubmitted (errors are
+// never cached) and will fail again the same way.
+var ErrPanicked = errors.New("scheduler: simulation panicked (recovered)")
+
 // stateForDoc distinguishes done from truncated for a (possibly
 // cached) result document.
 func stateForDoc(doc []byte) State {
@@ -333,14 +358,48 @@ func stateForDoc(doc []byte) State {
 	return StateDone
 }
 
-// runJob executes one leader job on the calling worker.
+// runJob executes one leader job on the calling worker. A panic
+// anywhere in the run is the job's failure, never the process's: the
+// inner recover (inside the singleflight fn) converts it to an error so
+// waiters resolve and nothing poisons the store; the outer recover is
+// belt-and-braces for panics outside that scope, releasing the key and
+// failing the job and its followers so the worker goroutine survives.
 func (s *Scheduler) runJob(job *Job) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		s.panics.Add(1)
+		errMsg := fmt.Sprintf("%v: %v\n\n%s", ErrPanicked, p, debug.Stack())
+		s.mu.Lock()
+		delete(s.active, job.Key)
+		job.mu.Lock()
+		followers := append([]*Job(nil), job.followers...)
+		job.mu.Unlock()
+		s.mu.Unlock()
+		job.finish(StateFailed, nil, errMsg) // idempotent if already terminal
+		for _, f := range followers {
+			f.finish(StateFailed, nil, errMsg)
+		}
+	}()
 	if s.testJobStarted != nil {
 		s.testJobStarted(job)
 	}
 	job.setRunning()
 
-	doc, _, err := s.st.Do(job.Key, func() ([]byte, error) {
+	doc, _, err := s.st.Do(job.Key, func() (doc []byte, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				// Recover here, inside the singleflight fn: the key
+				// resolves cleanly (errors are shared with waiters and
+				// never cached), so piggybacked followers fail with the
+				// same diagnostic and a resubmission retries for real.
+				s.panics.Add(1)
+				doc = nil
+				err = fmt.Errorf("%w: %v\n\n%s", ErrPanicked, p, debug.Stack())
+			}
+		}()
 		return s.simulate(job)
 	})
 
@@ -383,6 +442,9 @@ func (s *Scheduler) runJob(job *Job) {
 // when the outcome is nondeterministic (wall truncation, cancellation).
 func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 	s.simsRun.Add(1)
+	if s.opt.SimHook != nil {
+		s.opt.SimHook(job.Spec)
+	}
 	// Trace-backed jobs replay through a streaming source — memory stays
 	// bounded at one decoded chunk per core however long the file is.
 	// Generated workloads keep the materialized fast path.
@@ -397,7 +459,7 @@ func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 		}
 		r, err := trace.OpenFile(path)
 		if err != nil {
-			return nil, err
+			return nil, s.quarantineIfCorrupt(job.Spec.Trace, err)
 		}
 		defer r.Close()
 		if job.cfg.Design != system.Host && r.Cores() != job.cfg.NumUnits() {
@@ -406,7 +468,7 @@ func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 		}
 		src, err = r.Source()
 		if err != nil {
-			return nil, err
+			return nil, s.quarantineIfCorrupt(job.Spec.Trace, err)
 		}
 	} else {
 		var err error
@@ -435,19 +497,39 @@ func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 			}})
 		}
 	}
+	// An optional per-job deadline nests inside the drain context: the
+	// run checkpoints as truncated when it expires, exactly like a
+	// drain cancellation. The deadline is deliberately NOT part of the
+	// cache key — a run that finishes under it is byte-identical to one
+	// without it, and a deadline-truncated result is never cached. (A
+	// submission that piggybacks on an in-flight identical job rides
+	// that job's deadline, not its own.)
+	runCtx := s.runCtx
+	if job.Spec.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, time.Duration(job.Spec.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
 	var res *system.Result
 	var err error
 	if src != nil {
-		res, err = system.RunSourceContext(s.runCtx, cfg, src)
+		res, err = system.RunSourceContext(runCtx, cfg, src)
 	} else {
-		res, err = system.RunContext(s.runCtx, cfg, tr)
+		res, err = system.RunContext(runCtx, cfg, tr)
 	}
 	if err != nil {
+		if job.Spec.Trace != "" && errors.Is(err, trace.ErrCorrupt) {
+			// Mid-replay corruption (a CRC mismatch the admission-time
+			// digest could not see): the partial result is built on bad
+			// bytes — discard it, fail the job, and quarantine the
+			// digest so the next submission is rejected at admission.
+			return nil, s.quarantineIfCorrupt(job.Spec.Trace, err)
+		}
 		if res == nil {
 			return nil, err
 		}
-		// Drain checkpoint: encode the partial result but keep it out
-		// of the store.
+		// Checkpoint (drain cancellation or deadline expiry): encode the
+		// partial result but keep it out of the store.
 		doc, encErr := result.Encode(res)
 		if encErr != nil {
 			return nil, encErr
@@ -463,6 +545,22 @@ func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 		return doc, fmt.Errorf("%w: %s", errNotCacheable, res.TruncateReason)
 	}
 	return doc, nil
+}
+
+// quarantineIfCorrupt marks the named trace's digest bad when err
+// proves its bytes corrupt (trace.ErrCorrupt), so subsequent
+// submissions are rejected at admission instead of replaying garbage.
+// Non-corruption errors (missing file, cores mismatch, I/O) pass
+// through unmarked — those are not the bytes' fault.
+func (s *Scheduler) quarantineIfCorrupt(name string, err error) error {
+	if !errors.Is(err, trace.ErrCorrupt) {
+		return err
+	}
+	digest := s.traces.Quarantine(name, err)
+	if digest == "" {
+		return err
+	}
+	return fmt.Errorf("scheduler: trace %q quarantined (digest %s): %w", name, digest, err)
 }
 
 // genTrace builds (or reuses) the workload trace for a spec. Distinct

@@ -53,6 +53,16 @@ type JobSpec struct {
 	// MaxWallMS aborts the run after this much wall-clock time
 	// (0: server default). Wall-truncated results are never cached.
 	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+	// DeadlineMS, when > 0, bounds the run with a context deadline: on
+	// expiry the simulation checkpoints and the job lands truncated with
+	// its partial result, exactly like a drain cancellation. Unlike
+	// MaxWallMS it cancels between events rather than at watchdog
+	// checks, and it is NOT part of the cache key — a run finishing
+	// under its deadline is byte-identical to one without, and a
+	// deadline-truncated result is never cached. A submission that
+	// piggybacks on an identical in-flight job rides that job's
+	// deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // normalize fills defaults in place; the result is what gets hashed,
@@ -125,6 +135,9 @@ func (js JobSpec) build(defMaxWall time.Duration, defMaxCycles int64) (system.Co
 	}
 	if js.Accesses < 0 || js.Scale < 0 {
 		return system.Config{}, fmt.Errorf("accesses and scale must be >= 0")
+	}
+	if js.DeadlineMS < 0 {
+		return system.Config{}, fmt.Errorf("deadline_ms must be >= 0")
 	}
 	spec, err := fault.Parse(js.Faults)
 	if err != nil {

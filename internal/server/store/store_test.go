@@ -3,8 +3,10 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -59,16 +61,6 @@ func TestPersistRoundTrip(t *testing.T) {
 	if got := s3.Stats().Entries; got != 0 {
 		t.Errorf("cold start loaded %d entries", got)
 	}
-	// A corrupt one fails loudly: serving stale-looking garbage silently
-	// would defeat the content-addressing contract.
-	bad := filepath.Join(t.TempDir(), "bad.json")
-	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(Options{Path: bad}); err == nil {
-		t.Error("Open accepted a corrupt index file")
-	}
-
 	// No path: Persist is a no-op.
 	s4, err := Open(Options{})
 	if err != nil {
@@ -244,5 +236,190 @@ func TestTraceRegistryList(t *testing.T) {
 		if names[i] != want[i] {
 			t.Fatalf("List = %v, want %v", names, want)
 		}
+	}
+}
+
+// TestOpenQuarantinesCorruptIndex: a corrupt warm-restart index must
+// not brick the server. Open renames it aside, logs loudly, and starts
+// cold; the next Persist writes a clean index to the original path.
+func TestOpenQuarantinesCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.json")
+
+	// Build a real index, then flip a bit in its first byte so the
+	// decoder trips immediately.
+	s0, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s0.Do(key("a"), func() ([]byte, error) { return []byte(`{"x":1}`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged bytes.Buffer
+	logf := func(format string, args ...any) { fmt.Fprintf(&logged, format+"\n", args...) }
+	s1, err := Open(Options{Path: path, Logf: logf})
+	if err != nil {
+		t.Fatalf("Open refused to start on a corrupt index: %v", err)
+	}
+	if got := s1.Stats().Entries; got != 0 {
+		t.Errorf("quarantined start loaded %d entries, want cold", got)
+	}
+	if got := s1.IndexQuarantines(); got != 1 {
+		t.Errorf("IndexQuarantines = %d, want 1", got)
+	}
+	qpath := path + ".corrupt-1"
+	if s1.QuarantinedPath() != qpath {
+		t.Errorf("QuarantinedPath = %q, want %q", s1.QuarantinedPath(), qpath)
+	}
+	moved, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatalf("corrupt index not preserved at %s: %v", qpath, err)
+	}
+	if !bytes.Equal(moved, raw) {
+		t.Error("quarantined file bytes differ from the corrupt index")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt index still present at %s (err %v)", path, err)
+	}
+	if !strings.Contains(logged.String(), "QUARANTINE") {
+		t.Errorf("quarantine was not logged loudly: %q", logged.String())
+	}
+
+	// The store works and re-persists a clean index.
+	if _, _, err := s1.Do(key("b"), func() ([]byte, error) { return []byte(`{"y":2}`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Entries; got != 1 {
+		t.Errorf("re-persisted index warm-loaded %d entries, want 1", got)
+	}
+	if got := s2.IndexQuarantines(); got != 0 {
+		t.Errorf("clean reopen counted %d quarantines", got)
+	}
+
+	// A second corruption picks the next free slot: .corrupt-2.
+	if err := os.WriteFile(path, []byte("still not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Options{Path: path, Logf: logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.QuarantinedPath() != path+".corrupt-2" {
+		t.Errorf("second quarantine path = %q, want %q", s3.QuarantinedPath(), path+".corrupt-2")
+	}
+}
+
+// TestOpenQuarantinesEmptyIndex: a zero-length index (e.g. a crash
+// between create and write) quarantines like any other corruption.
+func TestOpenQuarantinesEmptyIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Path: path, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatalf("Open refused to start on a zero-length index: %v", err)
+	}
+	if got := s.IndexQuarantines(); got != 1 {
+		t.Errorf("IndexQuarantines = %d, want 1", got)
+	}
+	if _, err := os.Stat(path + ".corrupt-1"); err != nil {
+		t.Errorf("zero-length index not quarantined: %v", err)
+	}
+	if err := s.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: path}); err != nil {
+		t.Errorf("reopen after quarantine+persist: %v", err)
+	}
+}
+
+// TestTraceRegistryQuarantine: a digest proven corrupt is rejected at
+// admission time; fresh bytes under the same name lift the quarantine.
+func TestTraceRegistryQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ndptrc")
+	writeTrace(t, path, 1)
+	r := NewTraceRegistry(dir)
+
+	d1, err := r.Digest("t.ndptrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("chunk 3: crc mismatch")
+	if got := r.Quarantine("t.ndptrc", cause); got != d1 {
+		t.Fatalf("Quarantine marked digest %q, want %q", got, d1)
+	}
+	if got := r.Quarantines(); got != 1 {
+		t.Errorf("Quarantines = %d, want 1", got)
+	}
+	// Idempotent per digest: piggybacked failures count once.
+	r.Quarantine("t.ndptrc", cause)
+	if got := r.Quarantines(); got != 1 {
+		t.Errorf("repeat Quarantine bumped the counter to %d", got)
+	}
+
+	_, err = r.Digest("t.ndptrc")
+	if !errors.Is(err, ErrTraceQuarantined) {
+		t.Fatalf("Digest err = %v, want ErrTraceQuarantined", err)
+	}
+	if !strings.Contains(err.Error(), "crc mismatch") {
+		t.Errorf("quarantine diagnostic lost: %v", err)
+	}
+
+	// Resolve still works — the name is not poisoned, the bytes are.
+	if _, err := r.Resolve("t.ndptrc"); err != nil {
+		t.Errorf("Resolve of quarantined trace: %v", err)
+	}
+
+	// Rewriting the file with fresh bytes yields a new digest and lifts
+	// the quarantine for this name.
+	writeTrace(t, path, 2)
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Digest("t.ndptrc")
+	if err != nil {
+		t.Fatalf("fresh bytes still quarantined: %v", err)
+	}
+	if d2 == d1 {
+		t.Error("rewritten file kept the quarantined digest")
+	}
+
+	// A vanished file marks nothing.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Quarantine("t.ndptrc", cause); got != "" {
+		t.Errorf("Quarantine of a vanished file marked %q", got)
+	}
+	if got := r.Quarantines(); got != 1 {
+		t.Errorf("vanished-file Quarantine bumped the counter to %d", got)
+	}
+
+	// Nil registry: counter reads as zero.
+	var nilReg *TraceRegistry
+	if got := nilReg.Quarantines(); got != 0 {
+		t.Errorf("nil registry Quarantines = %d", got)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndpext/internal/trace"
@@ -17,6 +18,13 @@ import (
 // ErrTracesDisabled is returned by registry lookups when no trace
 // directory was configured.
 var ErrTracesDisabled = errors.New("store: trace jobs not enabled (no trace directory configured)")
+
+// ErrTraceQuarantined marks a trace whose bytes were proven corrupt (a
+// CRC mismatch or undecodable framing during a replay). Submissions
+// naming a quarantined digest are rejected at admission — corrupt bytes
+// stay corrupt, so re-running them only burns a worker. Rewriting the
+// file with fresh bytes produces a new digest and lifts the quarantine.
+var ErrTraceQuarantined = errors.New("store: trace quarantined (corrupt bytes)")
 
 // TraceRegistry is the digest-keyed registry behind -trace-dir: it maps
 // job-facing trace names to files confined under one directory and to
@@ -29,6 +37,9 @@ type TraceRegistry struct {
 
 	mu      sync.Mutex
 	digests map[string]digestEntry
+	bad     map[string]string // digest -> first corruption diagnostic
+
+	quarantines atomic.Uint64
 }
 
 // digestEntry caches one file's content digest, invalidated whenever
@@ -42,7 +53,11 @@ type digestEntry struct {
 // NewTraceRegistry builds a registry rooted at dir. An empty dir yields
 // a disabled registry whose lookups return ErrTracesDisabled.
 func NewTraceRegistry(dir string) *TraceRegistry {
-	return &TraceRegistry{dir: dir, digests: make(map[string]digestEntry)}
+	return &TraceRegistry{
+		dir:     dir,
+		digests: make(map[string]digestEntry),
+		bad:     make(map[string]string),
+	}
 }
 
 // Enabled reports whether trace-backed jobs are available.
@@ -74,8 +89,26 @@ func (r *TraceRegistry) Resolve(name string) (string, error) {
 // Digest returns the SHA-256 content digest of the named trace file,
 // computed at most once per (size, mtime) fingerprint. Submissions key
 // their cache entries by this digest, so it must always name the bytes
-// currently on disk — a rewritten file is re-hashed.
+// currently on disk — a rewritten file is re-hashed. A digest proven
+// corrupt by an earlier replay fails with ErrTraceQuarantined so the
+// submission is rejected at admission instead of burning a worker.
 func (r *TraceRegistry) Digest(name string) (string, error) {
+	digest, err := r.digest(name)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	reason, bad := r.bad[digest]
+	r.mu.Unlock()
+	if bad {
+		return "", fmt.Errorf("store: trace %q (digest %s): %w: %s", name, digest, ErrTraceQuarantined, reason)
+	}
+	return digest, nil
+}
+
+// digest is Digest without the quarantine check — the path Quarantine
+// itself uses to map a failing name back to the digest being marked.
+func (r *TraceRegistry) digest(name string) (string, error) {
 	path, err := r.Resolve(name)
 	if err != nil {
 		return "", err
@@ -98,6 +131,43 @@ func (r *TraceRegistry) Digest(name string) (string, error) {
 	r.digests[name] = digestEntry{size: fi.Size(), mtime: fi.ModTime(), digest: digest}
 	r.mu.Unlock()
 	return digest, nil
+}
+
+// Quarantine marks the named trace's current content digest as corrupt,
+// recording cause as the diagnostic. Idempotent per digest: only the
+// first call for a given digest counts, so N piggybacked jobs failing
+// on the same bytes record one quarantine. Returns the digest marked
+// ("" if the file can no longer be resolved or hashed — e.g. it was
+// deleted mid-flight — in which case nothing is marked; there is no
+// digest left to protect).
+func (r *TraceRegistry) Quarantine(name string, cause error) string {
+	digest, err := r.digest(name)
+	if err != nil {
+		return ""
+	}
+	reason := "corrupt bytes"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	r.mu.Lock()
+	_, already := r.bad[digest]
+	if !already {
+		r.bad[digest] = reason
+	}
+	r.mu.Unlock()
+	if !already {
+		r.quarantines.Add(1)
+	}
+	return digest
+}
+
+// Quarantines counts distinct trace digests quarantined since startup
+// (surfaced on /healthz).
+func (r *TraceRegistry) Quarantines() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.quarantines.Load()
 }
 
 // TraceInfo describes one registered trace file.

@@ -44,7 +44,24 @@ import (
 //	                            also served at /healthz
 //	GET  /jobs                  job summaries wrapped with the counters
 func Handler(s *scheduler.Scheduler) http.Handler {
-	a := &api{s: s}
+	return NewHandler(s, Options{})
+}
+
+// Options configures the transport edge. Zero values take the
+// documented defaults.
+type Options struct {
+	// MaxBody bounds job/batch submission bodies in bytes; oversized
+	// requests get 413. Default 1 MiB — a legitimate batch matrix is a
+	// few KiB; megabytes of spec is an accident or an attack.
+	MaxBody int64
+}
+
+// NewHandler is Handler with explicit transport options.
+func NewHandler(s *scheduler.Scheduler, opt Options) http.Handler {
+	if opt.MaxBody <= 0 {
+		opt.MaxBody = 1 << 20
+	}
+	a := &api{s: s, maxBody: opt.MaxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", a.handleList)
@@ -69,7 +86,8 @@ func Handler(s *scheduler.Scheduler) http.Handler {
 
 // api binds the handlers to one scheduler.
 type api struct {
-	s *scheduler.Scheduler
+	s       *scheduler.Scheduler
+	maxBody int64
 }
 
 // errorDoc is the uniform error body.
@@ -101,12 +119,30 @@ func (a *api) writeQueueFull(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusTooManyRequests, err)
 }
 
-func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec scheduler.JobSpec
+// decodeBody decodes one submission body into v under the body-size
+// cap, writing the error response itself on failure: 413 for oversized
+// bodies, 400 for everything undecodable. Submission handlers must
+// never 500 on input, however malformed.
+func (a *api) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, a.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%s exceeds the %d-byte body limit", what, tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", what, err))
+		return false
+	}
+	return true
+}
+
+func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec scheduler.JobSpec
+	if !a.decodeBody(w, r, "job spec", &spec) {
 		return
 	}
 	job, err := a.s.Submit(spec)
@@ -116,6 +152,10 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, scheduler.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, store.ErrTraceQuarantined):
+		// The named bytes are proven corrupt; retrying cannot help.
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -229,10 +269,7 @@ func (a *api) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec scheduler.BatchSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch spec: %w", err))
+	if !a.decodeBody(w, r, "batch spec", &spec) {
 		return
 	}
 	b, err := a.s.SubmitBatch(spec)
@@ -242,6 +279,9 @@ func (a *api) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, scheduler.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, store.ErrTraceQuarantined):
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -350,6 +390,11 @@ type counters struct {
 	SimsRun  uint64         `json:"sims_run"`
 	Rejected uint64         `json:"rejected"`
 	Cache    map[string]any `json:"cache"`
+	// Robustness counters: every recovered fault leaves a trail here,
+	// so "the process survived" is observable, not just asserted.
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	IndexQuarantined  uint64 `json:"index_quarantined"`
+	TracesQuarantined uint64 `json:"traces_quarantined"`
 }
 
 func (a *api) counters() counters {
@@ -365,6 +410,9 @@ func (a *api) counters() counters {
 			"evictions": cs.Evictions, "expirations": cs.Expirations,
 			"entries": cs.Entries,
 		},
+		PanicsRecovered:   a.s.PanicsRecovered(),
+		IndexQuarantined:  a.s.IndexQuarantines(),
+		TracesQuarantined: a.s.TraceQuarantines(),
 	}
 }
 

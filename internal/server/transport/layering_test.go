@@ -25,6 +25,9 @@ func TestLayering(t *testing.T) {
 			"ndpext/internal/server/scheduler", "ndpext/internal/server/result"},
 		"../result": {"net/http", "ndpext/internal/server/transport",
 			"ndpext/internal/server/scheduler", "ndpext/internal/server/store"},
+		// The chaos injector drives the engine layers directly; it must
+		// stay HTTP-free so fault injection never depends on transport.
+		"../chaos": {"net/http", "ndpext/internal/server/transport"},
 	}
 	fset := token.NewFileSet()
 	for dir, banned := range forbidden {

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -17,6 +18,23 @@ import (
 
 // maxChunkHeader bounds one chunk header: marker + five uvarints + CRC.
 const maxChunkHeader = 1 + 5*binary.MaxVarintLen64 + 4
+
+// ErrCorrupt marks a file whose bytes cannot be decoded as a valid
+// trace: bad magic, CRC mismatches, truncation, implausible lengths.
+// Every corruption error from NewReader and from chunk decoding
+// (Validate, Materialize, Slice, and mid-replay Source reads) wraps it,
+// so the serving layer can distinguish "this file is bad and will stay
+// bad" (quarantine the digest) from transient I/O or configuration
+// errors.
+var ErrCorrupt = errors.New("corrupt trace")
+
+// corrupt wraps a decode error with ErrCorrupt (nil passes through).
+func corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
 
 // Reader gives random access to a sealed trace file: header metadata,
 // per-chunk decode (CRC-verified), streaming replay (Source), and
@@ -42,10 +60,10 @@ type Reader struct {
 func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	tr := &Reader{r: r, size: size}
 	if err := tr.readHeader(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if err := tr.readIndex(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	return tr, nil
 }
@@ -100,6 +118,11 @@ func (tr *Reader) ChunkAccesses() int { return tr.chunkAccesses }
 
 // Chunks returns the chunk count.
 func (tr *Reader) Chunks() int { return len(tr.chunks) }
+
+// ChunkFileOffset returns the file offset where chunk i's encoded bytes
+// (header + CRC-covered payload) begin. Tooling and the chaos harness
+// use it to target corruption at specific chunks.
+func (tr *Reader) ChunkFileOffset(i int) int64 { return tr.chunks[i].offset }
 
 // Compressed reports whether chunk payloads are flate-compressed.
 func (tr *Reader) Compressed() bool { return tr.flags&flagFlate != 0 }
@@ -262,8 +285,17 @@ func (tr *Reader) readIndex() error {
 
 // readChunk decodes one chunk, verifying its header against the index
 // entry and its payload against the stored CRC. Accesses are appended
-// to dst (pass a reused buffer to avoid allocation).
+// to dst (pass a reused buffer to avoid allocation). Decode failures
+// wrap ErrCorrupt.
 func (tr *Reader) readChunk(m chunkMeta, dst []workloads.Access) ([]workloads.Access, error) {
+	out, err := tr.readChunkRaw(m, dst)
+	if err != nil {
+		return out, corrupt(err)
+	}
+	return out, nil
+}
+
+func (tr *Reader) readChunkRaw(m chunkMeta, dst []workloads.Access) ([]workloads.Access, error) {
 	hb := make([]byte, maxChunkHeader)
 	if m.offset+int64(len(hb)) > tr.size {
 		hb = hb[:tr.size-m.offset]
