@@ -16,6 +16,15 @@
 //	         [-max-wall 0] [-max-cycles 0]
 //	         [-retry-after 1s] [-retry-after-max 60s]
 //	         [-max-body 1048576] [-read-header-timeout 10s]
+//	         [-peers URL,URL,... -self URL] [-vnodes 64] [-max-hops 2]
+//	         [-probe-interval 2s] [-down-after 3] [-replicate=true]
+//
+// With -peers (a static member list that must be identical on every
+// node and contain -self), the process joins an ndpserve cluster: a
+// consistent-hash ring routes each content-addressed submission to its
+// owning peer, any node accepts work for the whole service, batch
+// matrices fan out across the ring, and completed results replicate to
+// the ring successor so one peer death loses no finished work.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued
 // and running jobs finish (running ones are checkpointed if -drain-wait
@@ -29,9 +38,11 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ndpext/internal/cluster"
 	"ndpext/internal/server/scheduler"
 	"ndpext/internal/server/store"
 	"ndpext/internal/server/transport"
@@ -55,6 +66,13 @@ func main() {
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "grace period for running jobs on shutdown before checkpointing")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes (oversized submissions get 413)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "slow-loris guard: deadline for reading request headers")
+	peers := flag.String("peers", "", "comma-separated cluster member URLs (identical on every node; must include -self); empty runs single-node")
+	self := flag.String("self", "", "this node's advertised base URL within -peers")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per peer on the consistent-hash ring")
+	maxHops := flag.Int("max-hops", 2, "forwarding-chain bound before a node runs a submission locally")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cluster health-probe period")
+	downAfter := flag.Int("down-after", 3, "consecutive failed probes before a peer is down (ownership moves to its successor)")
+	replicate := flag.Bool("replicate", true, "replicate completed results to the ring successor")
 	flag.Parse()
 
 	st, err := store.Open(store.Options{
@@ -65,24 +83,65 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched := scheduler.New(st, store.NewTraceRegistry(*traceDir), scheduler.Options{
+
+	// In cluster mode the node is built first: the scheduler needs its
+	// per-node job-ID prefix and its replication hook.
+	var node *cluster.Node
+	if *peers != "" {
+		node, err = cluster.NewNode(cluster.Config{
+			Self:        *self,
+			Peers:       strings.Split(*peers, ","),
+			VNodes:      *vnodes,
+			MaxHops:     *maxHops,
+			NoReplicate: !*replicate,
+			Membership: cluster.MembershipOptions{
+				ProbeInterval: *probeInterval,
+				DownAfter:     *downAfter,
+				Logf:          log.Printf,
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	schedOpt := scheduler.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		RetryAfter:    *retryAfter,
 		RetryAfterMax: *retryAfterMax,
 		MaxWall:       *maxWall,
 		MaxCycles:     *maxCycles,
-	})
+	}
+	if node != nil {
+		schedOpt.IDPrefix = node.IDPrefix()
+		schedOpt.OnStored = node.OnStored
+	}
+	sched := scheduler.New(st, store.NewTraceRegistry(*traceDir), schedOpt)
 	sched.Start()
 	if n := st.Stats().Entries; n > 0 {
 		log.Printf("warm-loaded %d cached results from %s", n, *cacheIndex)
+	}
+
+	topt := transport.Options{MaxBody: *maxBody}
+	if node != nil {
+		topt.Cluster = node.InfoDoc
+		topt.OwnerOf = node.OwnerOf
+	}
+	var handler http.Handler = transport.NewHandler(sched, topt)
+	if node != nil {
+		node.Bind(sched)
+		handler = cluster.NewHandler(node, handler)
+		node.Start()
+		log.Printf("cluster mode: self=%s ring=%d peers, %d vnodes", *self, node.Ring().Size(), node.Ring().VNodes())
 	}
 
 	// No WriteTimeout: SSE streams are long-lived by design. Body size is
 	// capped per-request by the transport layer instead.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           transport.NewHandler(sched, transport.Options{MaxBody: *maxBody}),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 	}
 	errc := make(chan error, 1)
@@ -112,6 +171,11 @@ func main() {
 	defer cancel2()
 	if err := sched.Drain(drainCtx); err != nil {
 		log.Fatal(err)
+	}
+	if node != nil {
+		// After the drain: final completions replicate; then the prober
+		// and any in-flight pushes stop.
+		node.Close()
 	}
 	if *cacheIndex != "" {
 		log.Printf("cache index persisted to %s (%d entries)", *cacheIndex, st.Stats().Entries)

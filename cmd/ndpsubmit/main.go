@@ -7,13 +7,22 @@
 //
 // Usage:
 //
-//	ndpsubmit [-server http://localhost:8080] [-spec JSON | -f file]
+//	ndpsubmit [-server http://localhost:8080] [-peer URL]...
+//	          [-spec JSON | -f file]
 //	          [-batch] [-follow] [-attempts 5] [-timeout 0]
 //
 // The spec is a JobSpec (or, with -batch, a BatchSpec) in the server's
 // POST /v1/jobs (or /v1/batch) wire format; with neither -spec nor -f
 // it is read from stdin. The terminal result document is printed to
 // stdout; -follow additionally streams progress events to stderr.
+//
+// -peer may repeat to name the members of an ndpserve cluster; they
+// are tried in order, moving to the next only on transport-level
+// failure (an unreachable or retry-exhausted peer). Any reachable
+// member serves the whole cluster — it runs or forwards by content
+// address — so order is preference, not placement. A server's
+// authoritative verdict (4xx/5xx response) ends the attempt without
+// trying further peers. When -peer is given, -server is ignored.
 //
 // Exit status: 0 when the job (every cell, with -batch) completed, 1
 // when it failed or was truncated, 2 on usage or transport errors.
@@ -22,12 +31,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +51,8 @@ func main() {
 	log.SetPrefix("ndpsubmit: ")
 
 	server := flag.String("server", "http://localhost:8080", "ndpserve base URL")
+	var peerList peerFlag
+	flag.Var(&peerList, "peer", "cluster member base URL; repeatable, tried in order (overrides -server)")
 	specArg := flag.String("spec", "", "job spec JSON inline (default: read from -f or stdin)")
 	specFile := flag.String("f", "", "read the spec JSON from this file")
 	batch := flag.Bool("batch", false, "the spec is a BatchSpec matrix for POST /v1/batch")
@@ -73,13 +86,57 @@ func main() {
 	if !*quiet {
 		opt.Logf = log.Printf
 	}
-	c := client.New(*server, opt)
 
-	code, err := run(ctx, c, raw, *batch, *follow)
+	servers := []string(peerList)
+	if len(servers) == 0 {
+		servers = []string{*server}
+	}
+	var code int
+	for i, base := range servers {
+		code, err = run(ctx, client.New(base, opt), raw, *batch, *follow)
+		// Only transport-level failures (exit code 2, non-verdict errors)
+		// move to the next peer; completed-but-failed jobs (code 1) and
+		// authoritative server verdicts stand.
+		if err == nil || code != 2 || !tryNextPeer(err) || i == len(servers)-1 {
+			break
+		}
+		if !*quiet {
+			log.Printf("peer %s unreachable (%v); trying %s", base, err, servers[i+1])
+		}
+	}
 	if err != nil {
 		log.Print(err)
 	}
 	os.Exit(code)
+}
+
+// peerFlag accumulates repeated -peer values.
+type peerFlag []string
+
+func (p *peerFlag) String() string { return strings.Join(*p, ",") }
+
+func (p *peerFlag) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty peer URL")
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// tryNextPeer reports whether an error means "this peer is down, the
+// next may serve": transport-level failures only. A server's verdict
+// (*client.APIError) is authoritative for the whole cluster — any
+// member answers for the service — and a canceled or expired context
+// ends the run outright.
+func tryNextPeer(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
 }
 
 // readSpec loads the spec bytes from -spec, -f, or stdin and rejects

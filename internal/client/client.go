@@ -52,6 +52,10 @@ type Options struct {
 	// Logf, when set, receives one line per retry ("attempt 2/5 ...");
 	// default silent.
 	Logf func(format string, args ...any)
+	// Headers are added to every request (JSON calls and SSE streams
+	// alike). The cluster forwarder stamps its hop-count header here so
+	// a receiving peer can detect and break forwarding loops.
+	Headers map[string]string
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +182,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range c.opt.Headers {
+			req.Header.Set(k, v)
 		}
 		resp, err := c.opt.HTTPClient.Do(req)
 		if err != nil {
@@ -423,6 +430,9 @@ func (c *Client) streamOnce(ctx context.Context, jobID string, skip int, ch chan
 		return 0, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	for k, v := range c.opt.Headers {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		return 0, false, err

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ndpext/internal/server/scheduler"
+)
+
+// TestHeadersOnEveryRequest: Options.Headers must reach both the JSON
+// round-trips and the SSE stream — the cluster layer's hop counting
+// depends on the forwarding header riding every proxied call.
+func TestHeadersOnEveryRequest(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen = map[string]string{} // path -> header value
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Method+" "+r.URL.Path] = r.Header.Get("X-Ndpext-Hops")
+		mu.Unlock()
+		if r.URL.Path == "/v1/jobs/j-000001/events" {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Write([]byte("event: done\ndata: {\"id\":\"j-000001\",\"state\":\"done\"}\n\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"j-000001","state":"done"}`))
+	}))
+	defer srv.Close()
+
+	opt := fastOpts()
+	opt.Headers = map[string]string{"X-Ndpext-Hops": "1"}
+	cl := New(srv.URL, opt)
+	ctx := context.Background()
+
+	if _, err := cl.Submit(ctx, scheduler.JobSpec{Workload: "pr", Accesses: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Job(ctx, "j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	for range cl.Events(ctx, "j-000001") {
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, call := range []string{"POST /v1/jobs", "GET /v1/jobs/j-000001", "GET /v1/jobs/j-000001/events"} {
+		if got, ok := seen[call]; !ok {
+			t.Errorf("call %s never arrived", call)
+		} else if got != "1" {
+			t.Errorf("call %s carried hop header %q, want %q", call, got, "1")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ndpext/internal/client"
+	"ndpext/internal/server/chaos"
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+)
+
+// TestClusterSurvivesPeerKillMidBatch is the chaos acceptance scenario:
+// three nodes, a design×workload batch submitted to node 0, and one of
+// the other two peers killed (listener and all live connections torn
+// down) after a seeded number of cells have finished. The batch must
+// still complete, its result document must be byte-identical to a
+// single-node golden run, and the survivors' summed sims_run must not
+// exceed the unique cell count — a killed peer's work is either
+// recovered from its replica or re-run exactly once, never duplicated.
+func TestClusterSurvivesPeerKillMidBatch(t *testing.T) {
+	spec := scheduler.BatchSpec{
+		Designs:   []string{"Host", "Nexus", "NDPExt"},
+		Workloads: []string{"pr", "hotspot"},
+		Base:      scheduler.JobSpec{Seed: 11, Accesses: 1000},
+	}
+	cells := len(spec.Designs) * len(spec.Workloads)
+
+	// Golden run on a standalone scheduler: the byte-identity oracle.
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := scheduler.New(st, nil, scheduler.Options{})
+	single.Start()
+	defer single.Drain(context.Background())
+	sb, err := single.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sb.Done()
+	golden, err := sb.ResultDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill is planned up front from a fixed seed: node 0 accepts the
+	// batch, so the victim is one of the other two peers.
+	in := chaos.NewInjector(42)
+	plan, err := in.PlanKill(3, 0, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := newTestCluster(t, 3, scheduler.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	cl := client.New(nodes[0].URL, testClientOptions())
+	bst, err := cl.SubmitBatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let plan.AfterCells cells finish, then kill the victim mid-batch.
+	waitFor(t, 60*time.Second, "enough cells to finish before the kill", func() bool {
+		st, err := cl.Batch(ctx, bst.ID)
+		if err != nil {
+			return false
+		}
+		terminal := 0
+		for _, c := range st.Cells {
+			if c.State.Terminal() {
+				terminal++
+			}
+		}
+		return terminal >= plan.AfterCells
+	})
+	t.Logf("killing node %d after >=%d terminal cells", plan.Victim, plan.AfterCells)
+	nodes[plan.Victim].Kill()
+
+	final, err := cl.AwaitBatch(ctx, bst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != scheduler.StateDone {
+		t.Fatalf("batch ended %s after peer kill: %+v", final.State, final.Cells)
+	}
+	doc, err := cl.BatchResult(ctx, bst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, golden) {
+		t.Errorf("post-kill result differs from single-node golden:\ncluster: %s\ngolden:  %s", doc, golden)
+	}
+
+	// No duplicated cells among the survivors: every unique cell was
+	// simulated at most once across the nodes still standing (cells the
+	// victim finished arrive via its replica or are re-run once).
+	total := uint64(0)
+	for i, tn := range nodes {
+		if i == plan.Victim {
+			continue
+		}
+		total += tn.Sched.SimsRun()
+	}
+	if total > uint64(cells) {
+		t.Errorf("survivors ran %d sims for %d unique cells — duplicated work", total, cells)
+	}
+}

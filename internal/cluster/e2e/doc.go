@@ -1,0 +1,7 @@
+// Package e2e wires full ndpserve cluster nodes — store, scheduler,
+// transport handler, cluster layer — the same way cmd/ndpserve does,
+// and drives them over real HTTP. It exists as its own package because
+// the two HTTP-edge layers (transport and cluster) are forbidden from
+// importing each other; only wiring code, like cmd/ndpserve and these
+// tests, composes them.
+package e2e

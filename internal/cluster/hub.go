@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// hubEvent is one multiplexed cluster-batch progress record: a cell's
+// event tagged with its matrix position, with the payload kept as raw
+// JSON (local events are marshaled once at publish; proxied events pass
+// through the owner's bytes untouched).
+type hubEvent struct {
+	Cell     int
+	Design   string
+	Workload string
+	Trace    string
+	Type     string
+	Data     json.RawMessage
+}
+
+// hubSubscriberBuffer is the per-subscriber live buffer beyond the
+// replayed history.
+const hubSubscriberBuffer = 64
+
+// hubSub is one bounded, non-blocking subscriber, mirroring the
+// scheduler's per-job fanout: a full buffer drops events and counts
+// them, and the next successful send is preceded by a "lagged" event
+// (Cell -1: the lag is the subscriber's, not any cell's) so a stalled
+// SSE client can never back-pressure the cell runners.
+type hubSub struct {
+	ch      chan hubEvent
+	dropped int
+}
+
+// send delivers ev without blocking. Called with the hub's mu held,
+// which serializes dropped.
+func (s *hubSub) send(ev hubEvent) {
+	if s.dropped > 0 {
+		lag, _ := json.Marshal(map[string]int{"dropped": s.dropped})
+		select {
+		case s.ch <- hubEvent{Cell: -1, Type: "lagged", Data: lag}:
+			s.dropped = 0
+		default:
+			s.dropped++
+			return
+		}
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped++
+	}
+}
+
+// hub is a cluster batch's merged event log with replay-then-follow
+// semantics: a subscriber first receives the complete history, then
+// follows live events until the hub closes (every cell terminal).
+type hub struct {
+	mu      sync.Mutex
+	history []hubEvent
+	subs    map[*hubSub]struct{}
+	closed  bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*hubSub]struct{})}
+}
+
+// publish appends ev to the history and fans it out. Publishing to a
+// closed hub is a silent no-op (a re-routed cell's late event after the
+// batch already closed).
+func (h *hub) publish(ev hubEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.history = append(h.history, ev)
+	for sub := range h.subs {
+		sub.send(ev)
+	}
+}
+
+// subscribe returns a channel that replays the history then follows
+// live events, plus an unsubscribe func. The channel closes when the
+// hub does.
+func (h *hub) subscribe() (<-chan hubEvent, func()) {
+	h.mu.Lock()
+	ch := make(chan hubEvent, len(h.history)+hubSubscriberBuffer)
+	for _, ev := range h.history {
+		ch <- ev
+	}
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	sub := &hubSub{ch: ch}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	unsub := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, sub)
+			h.mu.Unlock()
+		})
+	}
+	return ch, unsub
+}
+
+// close ends the stream: every subscriber channel closes after the
+// events already buffered (a lagging subscriber gets its final "lagged"
+// marker first, best-effort).
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		if sub.dropped > 0 {
+			lag, _ := json.Marshal(map[string]int{"dropped": sub.dropped})
+			select {
+			case sub.ch <- hubEvent{Cell: -1, Type: "lagged", Data: lag}:
+			default:
+			}
+		}
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+}

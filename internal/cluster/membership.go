@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's health as seen by this node.
+type PeerState string
+
+const (
+	// StateAlive: the last probe (or forward) succeeded.
+	StateAlive PeerState = "alive"
+	// StateSuspect: at least SuspectAfter consecutive probes failed;
+	// the peer still owns its key ranges but is on notice.
+	StateSuspect PeerState = "suspect"
+	// StateDown: at least DownAfter consecutive probes failed; the
+	// peer's key ranges fall to their ring successors until it recovers.
+	StateDown PeerState = "down"
+)
+
+// MembershipOptions configures the prober. Zero values take the
+// documented defaults.
+type MembershipOptions struct {
+	// ProbeInterval paces the /v1/healthz sweep; default 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; default 1s.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count that demotes alive
+	// to suspect; default 1.
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that demotes to down;
+	// default 3.
+	DownAfter int
+	// Probe checks one peer, nil error meaning healthy. The default
+	// GETs <peer>/v1/healthz. Tests inject failures here.
+	Probe func(ctx context.Context, peer string) error
+	// Logf receives state-transition lines; default silent.
+	Logf func(format string, args ...any)
+}
+
+func (o MembershipOptions) withDefaults() MembershipOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 1
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	if o.DownAfter < o.SuspectAfter {
+		o.DownAfter = o.SuspectAfter
+	}
+	if o.Probe == nil {
+		o.Probe = httpProbe
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// httpProbe is the default liveness check: GET <peer>/v1/healthz must
+// answer 200.
+func httpProbe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// peerHealth is one peer's probe bookkeeping.
+type peerHealth struct {
+	state    PeerState
+	failures int // consecutive failed probes
+}
+
+// Membership tracks the health of a static peer set. The local node is
+// always alive and never probed. All methods are safe for concurrent
+// use.
+type Membership struct {
+	self  string
+	opt   MembershipOptions
+	probe []string // peers other than self, sorted
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	done     chan struct{}
+}
+
+// NewMembership tracks peers (which must include self). Peers start
+// alive — a cluster boots optimistic and demotes on evidence.
+func NewMembership(self string, peers []string, opt MembershipOptions) (*Membership, error) {
+	m := &Membership{
+		self:  self,
+		opt:   opt.withDefaults(),
+		peers: make(map[string]*peerHealth, len(peers)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		if _, dup := m.peers[p]; dup {
+			continue
+		}
+		m.peers[p] = &peerHealth{state: StateAlive}
+		m.probe = append(m.probe, p)
+	}
+	if len(m.peers) == len(peers) {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", self)
+	}
+	sort.Strings(m.probe)
+	return m, nil
+}
+
+// Start launches the periodic probe loop; Stop ends it.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Sweep(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Safe to call more
+// than once, and on a Membership that was never started.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+// Sweep probes every remote peer once, concurrently, and applies the
+// state machine. Exposed so tests (and the first routing decision after
+// boot) can force a synchronous sweep.
+func (m *Membership) Sweep(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range m.probe {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, m.opt.ProbeTimeout)
+			defer cancel()
+			if err := m.opt.Probe(pctx, p); err != nil {
+				m.observeFailure(p, err)
+			} else {
+				m.observeSuccess(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// observeSuccess resets the peer to alive.
+func (m *Membership) observeSuccess(peer string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.peers[peer]
+	if !ok {
+		return
+	}
+	if h.state != StateAlive {
+		m.opt.Logf("cluster: peer %s recovered (%s -> alive)", peer, h.state)
+	}
+	h.state = StateAlive
+	h.failures = 0
+}
+
+// observeFailure advances the suspect/down state machine by one failed
+// probe.
+func (m *Membership) observeFailure(peer string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.peers[peer]
+	if !ok {
+		return
+	}
+	h.failures++
+	next := h.state
+	switch {
+	case h.failures >= m.opt.DownAfter:
+		next = StateDown
+	case h.failures >= m.opt.SuspectAfter:
+		next = StateSuspect
+	}
+	if next != h.state {
+		m.opt.Logf("cluster: peer %s %s -> %s after %d failures (%v)",
+			peer, h.state, next, h.failures, err)
+		h.state = next
+	}
+}
+
+// ReportFailure feeds a forwarding failure into the state machine as
+// DownAfter probe failures at once: a connection refused on the hot
+// path is stronger evidence than a missed probe, and routing must move
+// to the successor now, not an interval later. The next successful
+// probe restores the peer.
+func (m *Membership) ReportFailure(peer string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.peers[peer]
+	if !ok {
+		return
+	}
+	if h.failures < m.opt.DownAfter {
+		h.failures = m.opt.DownAfter
+	}
+	if h.state != StateDown {
+		m.opt.Logf("cluster: peer %s %s -> down (forward failed: %v)", peer, h.state, err)
+		h.state = StateDown
+	}
+}
+
+// State returns one peer's current state (self is always alive;
+// unknown peers report down).
+func (m *Membership) State(peer string) PeerState {
+	if peer == m.self {
+		return StateAlive
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.peers[peer]; ok {
+		return h.state
+	}
+	return StateDown
+}
+
+// Routable reports whether the peer should still own its key ranges:
+// alive and suspect peers do, down peers do not.
+func (m *Membership) Routable(peer string) bool { return m.State(peer) != StateDown }
+
+// PeerInfo is one peer's health in API documents.
+type PeerInfo struct {
+	URL      string    `json:"url"`
+	State    PeerState `json:"state"`
+	Failures int       `json:"failures,omitempty"`
+	Self     bool      `json:"self,omitempty"`
+}
+
+// Snapshot lists every peer's health, self included, sorted by URL.
+func (m *Membership) Snapshot() []PeerInfo {
+	m.mu.Lock()
+	out := make([]PeerInfo, 0, len(m.peers)+1)
+	for p, h := range m.peers {
+		out = append(out, PeerInfo{URL: p, State: h.state, Failures: h.failures})
+	}
+	m.mu.Unlock()
+	out = append(out, PeerInfo{URL: m.self, State: StateAlive, Self: true})
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

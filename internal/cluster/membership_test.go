@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeProbe is an injectable probe whose per-peer verdicts tests flip.
+type fakeProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (f *fakeProbe) set(peer string, failing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail == nil {
+		f.fail = make(map[string]bool)
+	}
+	f.fail[peer] = failing
+}
+
+func (f *fakeProbe) probe(_ context.Context, peer string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail[peer] {
+		return errors.New("injected probe failure")
+	}
+	return nil
+}
+
+func newTestMembership(t *testing.T, probe *fakeProbe) *Membership {
+	t.Helper()
+	m, err := NewMembership("http://n0", []string{"http://n0", "http://n1", "http://n2"},
+		MembershipOptions{Probe: probe.probe, SuspectAfter: 1, DownAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMembershipStateMachine drives alive -> suspect -> down -> alive
+// through synchronous sweeps with an injected probe.
+func TestMembershipStateMachine(t *testing.T) {
+	probe := &fakeProbe{}
+	m := newTestMembership(t, probe)
+	ctx := context.Background()
+
+	if got := m.State("http://n1"); got != StateAlive {
+		t.Fatalf("boot state = %s, want alive", got)
+	}
+	probe.set("http://n1", true)
+
+	m.Sweep(ctx)
+	if got := m.State("http://n1"); got != StateSuspect {
+		t.Fatalf("after 1 failure: %s, want suspect", got)
+	}
+	if !m.Routable("http://n1") {
+		t.Fatal("suspect peer must stay routable")
+	}
+
+	m.Sweep(ctx)
+	if got := m.State("http://n1"); got != StateSuspect {
+		t.Fatalf("after 2 failures: %s, want suspect", got)
+	}
+
+	m.Sweep(ctx)
+	if got := m.State("http://n1"); got != StateDown {
+		t.Fatalf("after 3 failures: %s, want down", got)
+	}
+	if m.Routable("http://n1") {
+		t.Fatal("down peer must not be routable")
+	}
+	// The healthy peer is untouched.
+	if got := m.State("http://n2"); got != StateAlive {
+		t.Fatalf("healthy peer drifted to %s", got)
+	}
+
+	// One successful probe restores the peer fully.
+	probe.set("http://n1", false)
+	m.Sweep(ctx)
+	if got := m.State("http://n1"); got != StateAlive {
+		t.Fatalf("after recovery: %s, want alive", got)
+	}
+}
+
+// TestReportFailureFastDemotes: a forwarding failure is DownAfter
+// probes' worth of evidence at once — routing must move to the
+// successor immediately, not an interval later.
+func TestReportFailureFastDemotes(t *testing.T) {
+	m := newTestMembership(t, &fakeProbe{})
+	m.ReportFailure("http://n2", errors.New("connection refused"))
+	if got := m.State("http://n2"); got != StateDown {
+		t.Fatalf("after ReportFailure: %s, want down", got)
+	}
+	// Recovery path still works.
+	m.observeSuccess("http://n2")
+	if got := m.State("http://n2"); got != StateAlive {
+		t.Fatalf("after recovery: %s, want alive", got)
+	}
+}
+
+// TestMembershipSelfAndUnknown: self is always alive and never probed;
+// unknown peers report down (never routable).
+func TestMembershipSelfAndUnknown(t *testing.T) {
+	probe := &fakeProbe{}
+	probe.set("http://n0", true) // must never be consulted
+	m := newTestMembership(t, probe)
+	m.Sweep(context.Background())
+	if got := m.State("http://n0"); got != StateAlive {
+		t.Fatalf("self = %s, want alive always", got)
+	}
+	if m.Routable("http://nope") {
+		t.Fatal("unknown peer is routable")
+	}
+}
+
+// TestMembershipSnapshot: sorted, self-marked, states included.
+func TestMembershipSnapshot(t *testing.T) {
+	probe := &fakeProbe{}
+	m := newTestMembership(t, probe)
+	probe.set("http://n2", true)
+	m.Sweep(context.Background())
+
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d peers, want 3", len(snap))
+	}
+	for i, want := range []struct {
+		url   string
+		state PeerState
+		self  bool
+	}{
+		{"http://n0", StateAlive, true},
+		{"http://n1", StateAlive, false},
+		{"http://n2", StateSuspect, false},
+	} {
+		got := snap[i]
+		if got.URL != want.url || got.State != want.state || got.Self != want.self {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestMembershipValidation: self must be in the peer list; Stop is safe
+// without Start and safe twice.
+func TestMembershipValidation(t *testing.T) {
+	if _, err := NewMembership("http://n9", []string{"http://n0", "http://n1"}, MembershipOptions{}); err == nil {
+		t.Error("self outside the peer list accepted")
+	}
+	m := newTestMembership(t, &fakeProbe{})
+	m.Stop() // never started: must not hang
+	m.Stop() // and twice is fine
+}
+
+// TestMembershipProbeLoop: a started loop sweeps on its own.
+func TestMembershipProbeLoop(t *testing.T) {
+	swept := make(chan string, 64)
+	m, err := NewMembership("http://n0", []string{"http://n0", "http://n1"},
+		MembershipOptions{
+			ProbeInterval: 1e6, // 1ms
+			Probe: func(_ context.Context, peer string) error {
+				select {
+				case swept <- peer:
+				default:
+				}
+				return fmt.Errorf("fail")
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	// Sweeps run sequentially: the 4th probe starting proves the 3rd
+	// sweep (and its state update) completed.
+	for i := 0; i < 4; i++ {
+		if got := <-swept; got != "http://n1" {
+			t.Fatalf("probed %s, want http://n1", got)
+		}
+	}
+	if got := m.State("http://n1"); got != StateDown {
+		t.Fatalf("after >=3 loop failures: %s, want down", got)
+	}
+}

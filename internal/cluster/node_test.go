@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+	"ndpext/internal/simcache"
+)
+
+// newTestNode builds a node (self plus two remote peers) bound to a
+// real scheduler, without any HTTP.
+func newTestNode(t *testing.T) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		Self:  "http://n0",
+		Peers: []string{"http://n0", "http://n1", "http://n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := scheduler.New(st, nil, scheduler.Options{IDPrefix: n.IDPrefix()})
+	n.Bind(sched)
+	t.Cleanup(n.Close)
+	return n
+}
+
+// remoteKey finds a spec whose key n does not own, so routing tests
+// exercise the forwarding decision.
+func remoteKey(t *testing.T, n *Node) (scheduler.JobSpec, simcache.Key, string) {
+	t.Helper()
+	for seed := uint64(1); seed < 64; seed++ {
+		spec := scheduler.JobSpec{Workload: "pr", Seed: seed, Accesses: 1000}
+		key, err := n.sched.KeyFor(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner := n.ring.Owner(key); owner != n.cfg.Self {
+			return spec, key, owner
+		}
+	}
+	t.Fatal("no remotely-owned key in 64 seeds — ring balance is broken")
+	return scheduler.JobSpec{}, simcache.Key{}, ""
+}
+
+// TestRoutingDecision covers every leg of shouldRunLocally: forward to
+// a live owner, run locally on hop exhaustion, serve a replicated entry
+// locally, and fall to the successor (ultimately self) as peers die.
+func TestRoutingDecision(t *testing.T) {
+	n := newTestNode(t)
+	_, key, owner := remoteKey(t, n)
+
+	if got, local := n.shouldRunLocally(key, 0); local || got != owner {
+		t.Fatalf("fresh submission: local=%v owner=%s, want forward to %s", local, got, owner)
+	}
+	// Hop budget exhausted: the loop guard runs it here no matter who
+	// owns it.
+	if _, local := n.shouldRunLocally(key, n.cfg.MaxHops); !local {
+		t.Fatal("hop-exhausted submission was not run locally")
+	}
+	// A replicated result in the local store short-circuits forwarding.
+	if err := n.sched.InstallResult(key.String(), []byte(`{"replicated":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, local := n.shouldRunLocally(key, 0); !local {
+		t.Fatal("locally cached key was forwarded")
+	}
+}
+
+// TestRoutingFallsToSuccessor: as owners die, ownership walks the ring
+// to the first routable candidate, ending at self.
+func TestRoutingFallsToSuccessor(t *testing.T) {
+	n := newTestNode(t)
+	_, key, _ := remoteKey(t, n)
+	cands := n.ring.Candidates(key, 3)
+
+	for i, dead := range cands {
+		if dead == n.cfg.Self {
+			// Once the walk reaches self the submission runs here.
+			if _, local := n.shouldRunLocally(key, 0); !local {
+				t.Fatalf("step %d: self elected but not local", i)
+			}
+			break
+		}
+		if got, local := n.shouldRunLocally(key, 0); local || got != dead {
+			t.Fatalf("step %d: local=%v owner=%s, want forward to %s", i, local, got, dead)
+		}
+		n.members.ReportFailure(dead, errors.New("test kill"))
+	}
+}
+
+// TestIDPrefixPerNode: each peer derives a distinct prefix from its
+// sorted index, so job IDs cannot collide across the cluster.
+func TestIDPrefixPerNode(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	seen := make(map[string]bool)
+	for i, self := range peers {
+		n, err := NewNode(Config{Self: self, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := n.IDPrefix()
+		if seen[p] {
+			t.Fatalf("duplicate ID prefix %q", p)
+		}
+		seen[p] = true
+		if !strings.HasPrefix(p, "j") || !strings.HasSuffix(p, "-") {
+			t.Fatalf("prefix %q does not look like j<i>-", p)
+		}
+		n.Close()
+		_ = i
+	}
+}
+
+// TestAcceptReplica: the replication landing point validates key and
+// document before installing.
+func TestAcceptReplica(t *testing.T) {
+	n := newTestNode(t)
+	_, key, _ := remoteKey(t, n)
+
+	if err := n.acceptReplica("not-hex", []byte(`{}`)); err == nil {
+		t.Error("bad key accepted")
+	}
+	if err := n.acceptReplica(key.String(), []byte(`{broken`)); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if err := n.acceptReplica(key.String(), []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if !n.sched.Cached(key) {
+		t.Fatal("replica not installed in the store")
+	}
+	if got := n.Info().ReplicationsIn; got != 1 {
+		t.Fatalf("replications_in = %d, want 1", got)
+	}
+}
+
+// TestNodeValidation: config errors surface at construction.
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{Peers: []string{"http://a"}}); err == nil {
+		t.Error("missing Self accepted")
+	}
+	if _, err := NewNode(Config{Self: "http://z", Peers: []string{"http://a", "http://b"}}); err == nil {
+		t.Error("Self outside Peers accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package cluster turns N independent ndpserve processes into one
+// logical service. A consistent-hash ring (virtual nodes, deterministic)
+// maps every content-addressed job key to an owning peer; any node
+// accepts any submission and either runs it (owner) or forwards it to
+// the owner through the resilient internal/client transport, with a
+// hop-count header preventing forwarding loops. Static membership comes
+// from a -peers list plus periodic /v1/healthz probing with a
+// suspect/down state machine; when a peer is down, ownership falls to
+// the ring successor and lost batch cells are requeued there. Completed
+// result-cache entries are replicated to the successor so a peer death
+// does not cold-start popular cells, and the accepting node proxies
+// per-cell SSE streams from owner nodes so clients follow a whole batch
+// through whichever node took the request.
+//
+// Layering: cluster sits beside transport at the HTTP edge — it may
+// import net/http and internal/client, but the scheduler, store, and
+// result layers must never import it (enforced by the arch test in
+// internal/server/transport).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ndpext/internal/simcache"
+)
+
+// DefaultVNodes is the default number of virtual nodes per peer. 64
+// points per peer keeps the expected ownership imbalance of a handful
+// of peers under ~15% while the ring stays a few KiB.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the peer that owns the arc ending there.
+type ringPoint struct {
+	pos  uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring over a static peer set.
+// Construction is deterministic and order-independent: the same peer
+// set yields the same key→owner assignment on every node regardless of
+// the order peers were listed, and removing a peer remaps only the keys
+// that peer owned (its arcs fall to their ring successors).
+type Ring struct {
+	points []ringPoint
+	peers  []string // sorted, deduplicated
+	vnodes int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer (vnodes <= 0
+// takes DefaultVNodes). Duplicate peers are collapsed; at least one
+// peer is required.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, p := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{pos: pointHash(p, i), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.peer < b.peer // total order even on (astronomically unlikely) collisions
+	})
+	return r, nil
+}
+
+// pointHash positions one virtual node: the first 8 bytes of
+// SHA-256("ndpext-ring/v1|<peer>|<index>"). Length-prefix-free framing
+// is safe here because the index is numeric and "|" never appears in a
+// vnode index.
+func pointHash(peer string, vnode int) uint64 {
+	h := sha256.Sum256([]byte(fmt.Sprintf("ndpext-ring/v1|%s|%d", peer, vnode)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// keyPos places a content-addressed job key on the circle. The key is
+// already a SHA-256, so its first 8 bytes are uniformly distributed.
+func keyPos(k simcache.Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Peers returns the sorted peer set.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size returns the number of hash points on the ring.
+func (r *Ring) Size() int { return len(r.points) }
+
+// VNodes returns the virtual nodes per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the peer owning key: the peer of the first ring point
+// at or clockwise after the key's position.
+func (r *Ring) Owner(k simcache.Key) string {
+	return r.points[r.firstAt(keyPos(k))].peer
+}
+
+// OwnerAmong returns the first peer walking clockwise from key that
+// alive reports true for — the owner itself when it is alive, otherwise
+// its successor, and so on. ok is false when no peer qualifies.
+func (r *Ring) OwnerAmong(k simcache.Key, alive func(peer string) bool) (string, bool) {
+	it := r.walk(keyPos(k))
+	for {
+		p, ok := it()
+		if !ok {
+			return "", false
+		}
+		if alive(p) {
+			return p, true
+		}
+	}
+}
+
+// Successor returns the first distinct peer clockwise after key's
+// owner — the replication target for key. ok is false on a one-peer
+// ring.
+func (r *Ring) Successor(k simcache.Key) (string, bool) {
+	it := r.walk(keyPos(k))
+	owner, _ := it()
+	for {
+		p, ok := it()
+		if !ok {
+			return "", false
+		}
+		if p != owner {
+			return p, true
+		}
+	}
+}
+
+// Candidates returns up to n distinct peers in ring order starting at
+// key's owner — the preference order for routing when peers are down.
+func (r *Ring) Candidates(k simcache.Key, n int) []string {
+	out := make([]string, 0, n)
+	it := r.walk(keyPos(k))
+	for len(out) < n {
+		p, ok := it()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// firstAt returns the index of the first point at or after pos,
+// wrapping to 0 past the end.
+func (r *Ring) firstAt(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// walk returns an iterator over distinct peers in ring order starting
+// at pos; it yields each peer once and then reports ok=false.
+func (r *Ring) walk(pos uint64) func() (string, bool) {
+	i := r.firstAt(pos)
+	seen := make(map[string]bool, len(r.peers))
+	steps := 0
+	return func() (string, bool) {
+		for ; steps < len(r.points); steps++ {
+			p := r.points[(i+steps)%len(r.points)].peer
+			if !seen[p] {
+				seen[p] = true
+				steps++
+				return p, true
+			}
+		}
+		return "", false
+	}
+}

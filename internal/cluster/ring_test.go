@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ndpext/internal/simcache"
+)
+
+// testKeys derives n deterministic content-address-shaped keys.
+func testKeys(n int) []simcache.Key {
+	keys := make([]simcache.Key, n)
+	for i := range keys {
+		keys[i] = simcache.Key(sha256.Sum256([]byte(fmt.Sprintf("ring-test-key-%d", i))))
+	}
+	return keys
+}
+
+func peerSet(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// TestRingDeterministic: the same peer set yields the same key→owner
+// assignment on every construction — a cluster's nodes compute their
+// rings independently and must agree.
+func TestRingDeterministic(t *testing.T) {
+	peers := peerSet(5)
+	a, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("two rings over the same peers disagree on %s: %s vs %s",
+				k.String()[:12], a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingPeerOrderIndependent: ownership must not depend on the order
+// peers were listed in -peers — operators will not keep flag order
+// identical across machines.
+func TestRingPeerOrderIndependent(t *testing.T) {
+	peers := peerSet(7)
+	ref, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	keys := testKeys(1000)
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: shuffled ring owns %s by %s, reference says %s",
+					trial, k.String()[:12], got, want)
+			}
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyTheRemovedPeersKeys: consistent hashing's
+// defining property. Removing one peer must (a) never move a key
+// between two surviving peers and (b) reassign the removed peer's keys
+// to their ring successors under the full ring.
+func TestRingRemovalRemapsOnlyTheRemovedPeersKeys(t *testing.T) {
+	peers := peerSet(6)
+	full, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(3000)
+	for drop := 0; drop < len(peers); drop++ {
+		removed := peers[drop]
+		rest := make([]string, 0, len(peers)-1)
+		for i, p := range peers {
+			if i != drop {
+				rest = append(rest, p)
+			}
+		}
+		small, err := NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), small.Owner(k)
+			if before != removed {
+				if after != before {
+					t.Fatalf("removing %s moved key %s between survivors: %s -> %s",
+						removed, k.String()[:12], before, after)
+				}
+				continue
+			}
+			moved++
+			// The orphaned key must land exactly where the full ring's
+			// down-peer routing would send it: the first routable candidate.
+			want, ok := full.OwnerAmong(k, func(p string) bool { return p != removed })
+			if !ok || after != want {
+				t.Fatalf("key %s orphaned by %s went to %s, want successor %s",
+					k.String()[:12], removed, after, want)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("removing %s moved no keys out of %d — vnode placement suspicious", removed, len(keys))
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes the per-peer share of a large key
+// sample stays within a loose factor of fair — a sanity bound, not a
+// statistical claim.
+func TestRingBalance(t *testing.T) {
+	peers := peerSet(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(8000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(peers)
+	for p, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("peer %s owns %d of %d keys (fair share %d): imbalance beyond 2x", p, c, len(keys), fair)
+		}
+	}
+}
+
+// TestRingWalkAndCandidates: Candidates yields distinct peers starting
+// at the owner; Successor is the second candidate; OwnerAmong skips
+// exactly the non-alive prefix.
+func TestRingWalkAndCandidates(t *testing.T) {
+	peers := peerSet(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		cands := r.Candidates(k, len(peers))
+		if len(cands) != len(peers) {
+			t.Fatalf("Candidates returned %d of %d peers", len(cands), len(peers))
+		}
+		seen := make(map[string]bool)
+		for _, p := range cands {
+			if seen[p] {
+				t.Fatalf("Candidates repeated %s", p)
+			}
+			seen[p] = true
+		}
+		if cands[0] != r.Owner(k) {
+			t.Fatalf("Candidates[0] = %s, Owner = %s", cands[0], r.Owner(k))
+		}
+		if succ, ok := r.Successor(k); !ok || succ != cands[1] {
+			t.Fatalf("Successor = %s ok=%v, want %s", succ, ok, cands[1])
+		}
+		// With the first two candidates dead, OwnerAmong must elect the third.
+		dead := map[string]bool{cands[0]: true, cands[1]: true}
+		got, ok := r.OwnerAmong(k, func(p string) bool { return !dead[p] })
+		if !ok || got != cands[2] {
+			t.Fatalf("OwnerAmong with two dead = %s ok=%v, want %s", got, ok, cands[2])
+		}
+		// Nobody alive: no owner.
+		if _, ok := r.OwnerAmong(k, func(string) bool { return false }); ok {
+			t.Fatal("OwnerAmong with all peers dead reported an owner")
+		}
+	}
+}
+
+// TestRingValidation: empty and duplicate peer lists.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty peer name accepted")
+	}
+	r, err := NewRing([]string{"b", "a", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("duplicate peers not collapsed/sorted: %v", got)
+	}
+	if r.Size() != 16 {
+		t.Errorf("ring size = %d, want 2 peers x 8 vnodes = 16", r.Size())
+	}
+}

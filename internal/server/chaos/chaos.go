@@ -109,6 +109,43 @@ func (in *Injector) CorruptIndex(path string) error {
 	return in.truncate(path, 1)
 }
 
+// KillPlan is a cluster kill-one-peer scenario drawn from the
+// injector's deterministic PRNG: which peer dies and how many terminal
+// batch cells to wait for first, so the kill lands mid-batch rather
+// than before or after the interesting window.
+type KillPlan struct {
+	// Victim is the index of the peer to kill.
+	Victim int
+	// AfterCells is how many cells should be terminal before the kill.
+	AfterCells int
+}
+
+// PlanKill picks a victim among peers other than acceptor (the node
+// clients talk to — killing it would exercise the client, not the
+// cluster's re-routing) and a kill point strictly inside a batch of
+// cells. Like every injector method it is deterministic in the seed
+// and the call sequence, so a failing cluster chaos run replays
+// exactly. The plan stays pure data: this package must never import
+// net/http, so actually stopping the victim's server is the caller's
+// job.
+func (in *Injector) PlanKill(peers, acceptor, cells int) (KillPlan, error) {
+	if peers < 2 {
+		return KillPlan{}, fmt.Errorf("chaos: kill plan needs >= 2 peers, got %d", peers)
+	}
+	if acceptor < 0 || acceptor >= peers {
+		return KillPlan{}, fmt.Errorf("chaos: acceptor %d outside [0,%d)", acceptor, peers)
+	}
+	victim := in.Intn(peers - 1)
+	if victim >= acceptor {
+		victim++ // skip the acceptor, keeping the draw uniform
+	}
+	after := 0
+	if cells > 1 {
+		after = in.Intn(cells - 1) // in [0, cells-1): never after the last cell
+	}
+	return KillPlan{Victim: victim, AfterCells: after}, nil
+}
+
 // flipBit XORs one pseudo-random bit of the byte at off.
 func (in *Injector) flipBit(path string, off int64) error {
 	raw, err := os.ReadFile(path)

@@ -1,0 +1,69 @@
+package chaos
+
+import "testing"
+
+// TestPlanKillDeterministic: the same seed yields the same plan, and
+// different seeds cover the victim space.
+func TestPlanKillDeterministic(t *testing.T) {
+	a, err := NewInjector(7).PlanKill(3, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(7).PlanKill(3, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced %+v and %+v", a, b)
+	}
+}
+
+// TestPlanKillNeverPicksAcceptor: across many seeds the victim is never
+// the accepting node and the kill point is never past the last cell.
+func TestPlanKillNeverPicksAcceptor(t *testing.T) {
+	const peers, cells = 5, 8
+	victims := make(map[int]bool)
+	for seed := int64(0); seed < 200; seed++ {
+		for acceptor := 0; acceptor < peers; acceptor++ {
+			plan, err := NewInjector(seed).PlanKill(peers, acceptor, cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Victim == acceptor {
+				t.Fatalf("seed %d: victim is the acceptor %d", seed, acceptor)
+			}
+			if plan.Victim < 0 || plan.Victim >= peers {
+				t.Fatalf("seed %d: victim %d outside [0,%d)", seed, plan.Victim, peers)
+			}
+			if plan.AfterCells < 0 || plan.AfterCells >= cells-1 {
+				t.Fatalf("seed %d: kill after %d cells of %d — not mid-batch", seed, plan.AfterCells, cells)
+			}
+			victims[plan.Victim] = true
+		}
+	}
+	if len(victims) != peers {
+		t.Errorf("200 seeds hit only victims %v of %d peers", victims, peers)
+	}
+}
+
+// TestPlanKillValidation: degenerate clusters are rejected.
+func TestPlanKillValidation(t *testing.T) {
+	in := NewInjector(1)
+	if _, err := in.PlanKill(1, 0, 4); err == nil {
+		t.Error("single-peer kill plan accepted")
+	}
+	if _, err := in.PlanKill(3, 3, 4); err == nil {
+		t.Error("out-of-range acceptor accepted")
+	}
+	if _, err := in.PlanKill(3, -1, 4); err == nil {
+		t.Error("negative acceptor accepted")
+	}
+	// A one-cell batch still plans (kill before the only cell).
+	plan, err := in.PlanKill(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AfterCells != 0 || plan.Victim != 1 {
+		t.Errorf("two-peer one-cell plan = %+v", plan)
+	}
+}

@@ -54,6 +54,15 @@ func (bs BatchSpec) validate() error {
 	return nil
 }
 
+// Validate rejects malformed matrices; exported for the cluster layer,
+// which validates before fanning cells out across the ring.
+func (bs BatchSpec) Validate() error { return bs.validate() }
+
+// Expand lists the matrix cells in canonical row-major order; exported
+// for the cluster layer, which distributes the same cell order across
+// peers so its matrix document matches a single node's byte for byte.
+func (bs BatchSpec) Expand() []JobSpec { return bs.expand() }
+
 // expand lists the matrix cells in canonical row-major order: designs
 // outer, workloads/traces inner, exactly as given in the request.
 func (bs BatchSpec) expand() []JobSpec {
@@ -309,18 +318,13 @@ var ErrBatchIncomplete = errors.New("scheduler: batch incomplete")
 // ResultDoc renders the canonical matrix document, available once every
 // cell is terminal.
 func (b *Batch) ResultDoc() ([]byte, error) {
-	doc := BatchResultDoc{
-		SchemaVersion: batchSchemaVersion,
-		Designs:       b.Spec.Designs,
-		Workloads:     b.Spec.Workloads,
-		Traces:        b.Spec.Traces,
-	}
+	cells := make([]BatchResultCell, 0, len(b.Cells))
 	for _, c := range b.Cells {
 		js := c.Job.Status()
 		if !js.State.terminal() {
 			return nil, ErrBatchIncomplete
 		}
-		doc.Cells = append(doc.Cells, BatchResultCell{
+		cells = append(cells, BatchResultCell{
 			Design:   c.Design,
 			Workload: c.Workload,
 			Trace:    c.Trace,
@@ -330,7 +334,22 @@ func (b *Batch) ResultDoc() ([]byte, error) {
 			Result:   js.Result,
 		})
 	}
-	return json.Marshal(doc)
+	return BuildBatchResultDoc(b.Spec, cells)
+}
+
+// BuildBatchResultDoc marshals the canonical matrix document from
+// already-terminal cells. It is the single encoder for batch results —
+// the cluster layer assembles cells gathered from peers through the
+// same function, which is what makes a clustered batch's document
+// byte-identical to a single node's for the same spec and results.
+func BuildBatchResultDoc(spec BatchSpec, cells []BatchResultCell) ([]byte, error) {
+	return json.Marshal(BatchResultDoc{
+		SchemaVersion: batchSchemaVersion,
+		Designs:       spec.Designs,
+		Workloads:     spec.Workloads,
+		Traces:        spec.Traces,
+		Cells:         cells,
+	})
 }
 
 // BatchEvent is one multiplexed progress record: a cell's event tagged

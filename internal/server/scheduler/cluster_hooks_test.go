@@ -1,0 +1,135 @@
+// Tests for the hooks the cluster layer hangs off the scheduler:
+// OnStored (replication trigger), IDPrefix (cluster-unique job IDs),
+// and the KeyFor/Cached/InstallResult trio the routing and replica
+// paths use. The cluster package itself is not imported — layering
+// forbids it — so these drive the hooks exactly as a caller would.
+package scheduler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"ndpext/internal/server/store"
+	"ndpext/internal/simcache"
+)
+
+// TestOnStoredFiresOnFreshResultsOnly: the hook must fire once per
+// simulation that lands in the store, and never for cache hits —
+// replicating a result a peer already pushed to us would bounce
+// documents around the ring forever.
+func TestOnStoredFiresOnFreshResultsOnly(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		stored []string
+		docs   [][]byte
+	)
+	s := New(newTestStore(t, store.Options{}), nil, Options{
+		Workers: 2,
+		OnStored: func(key simcache.Key, doc []byte) {
+			mu.Lock()
+			stored = append(stored, key.String())
+			docs = append(docs, doc)
+			mu.Unlock()
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+
+	spec := fastSpec(1)
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j1)
+
+	// Second submission of the same spec is a cache hit: no new call.
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j2)
+	if !j2.Status().CacheHit {
+		t.Fatal("identical resubmission was not a cache hit")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stored) != 1 {
+		t.Fatalf("OnStored fired %d times, want exactly 1 (fresh result only)", len(stored))
+	}
+	key, err := s.KeyFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored[0] != key.String() {
+		t.Errorf("OnStored key = %s, want %s", stored[0], key)
+	}
+	if !json.Valid(docs[0]) || !bytes.Equal(docs[0], j1.Status().Result) {
+		t.Error("OnStored doc is not the job's stored result document")
+	}
+}
+
+// TestIDPrefixNamespacesJobs: a configured prefix replaces the default
+// "j-" so IDs minted by different cluster nodes can never collide.
+func TestIDPrefixNamespacesJobs(t *testing.T) {
+	s := newTestScheduler(t, Options{Workers: 1, IDPrefix: "j2-"})
+	defer s.Drain(context.Background())
+	j, err := s.Submit(fastSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if !strings.HasPrefix(j.ID, "j2-") {
+		t.Fatalf("job ID %q does not carry the configured prefix", j.ID)
+	}
+}
+
+// TestInstallResultServesLaterSubmissions: a replica installed via
+// InstallResult must short-circuit a later identical submission as a
+// cache hit with zero simulations — that is what makes failover to the
+// replica holder free.
+func TestInstallResultServesLaterSubmissions(t *testing.T) {
+	s := newTestScheduler(t, Options{Workers: 1})
+	defer s.Drain(context.Background())
+
+	spec := fastSpec(3)
+	key, err := s.KeyFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cached(key) {
+		t.Fatal("fresh scheduler claims the key is cached")
+	}
+	doc := []byte(`{"schema_version":1,"replica":true}`)
+	if err := s.InstallResult(key.String(), doc); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cached(key) {
+		t.Fatal("installed replica not visible via Cached")
+	}
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	st := j.Status()
+	if !st.CacheHit || !bytes.Equal(st.Result, doc) {
+		t.Fatalf("submission after InstallResult: cache_hit=%v result=%s, want hit with the replica doc", st.CacheHit, st.Result)
+	}
+	if got := s.SimsRun(); got != 0 {
+		t.Fatalf("replica-served submission ran %d sims, want 0", got)
+	}
+
+	// Malformed inputs are rejected before touching the store.
+	if err := s.InstallResult("zz-not-hex", doc); err == nil {
+		t.Error("bad key hex accepted")
+	}
+	if err := s.InstallResult(key.String(), []byte(`{broken`)); err == nil {
+		t.Error("invalid JSON document accepted")
+	}
+}

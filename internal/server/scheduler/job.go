@@ -287,9 +287,13 @@ func (j *Job) ProgressTarget() *Job { return j.progressTarget() }
 
 // JobStatus is the wire form of a job's current state.
 type JobStatus struct {
-	ID         string              `json:"id"`
-	Key        string              `json:"key"`
-	State      State               `json:"state"`
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Owner is the cluster node that owns this job's key ("" outside
+	// cluster mode). Filled by the transport layer from the ring, never
+	// by the scheduler.
+	Owner      string              `json:"owner,omitempty"`
 	CacheHit   bool                `json:"cache_hit,omitempty"`
 	Deduped    bool                `json:"deduped,omitempty"`
 	Error      string              `json:"error,omitempty"`

@@ -18,6 +18,7 @@ package scheduler
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -57,6 +58,16 @@ type Options struct {
 	// chaos-injection seam: a hook that panics exercises exactly the
 	// path a panicking simulation would.
 	SimHook func(JobSpec)
+	// OnStored, when non-nil, runs on the worker goroutine after a
+	// freshly simulated document first enters the result store (cache
+	// hits, piggybacks, and uncacheable outcomes excluded). The cluster
+	// layer hooks successor replication here; implementations must not
+	// block the worker — spawn a goroutine for anything slow.
+	OnStored func(key simcache.Key, doc []byte)
+	// IDPrefix namespaces job IDs ("j-" by default, yielding j-000001).
+	// Cluster nodes set a per-node prefix so IDs never collide across
+	// peers and a proxied lookup is unambiguous.
+	IDPrefix string
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfterMax < o.RetryAfter {
 		o.RetryAfterMax = o.RetryAfter
+	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = "j-"
 	}
 	return o
 }
@@ -179,6 +193,42 @@ func (s *Scheduler) prepare(spec JobSpec) (*Job, error) {
 	return newJob(spec.key(cfg, digest), spec, cfg), nil
 }
 
+// KeyFor validates and normalizes spec and returns its content
+// address — the SHA-256 the job would be cached and deduplicated
+// under — without admitting anything. The cluster router keys every
+// submission here to decide which peer owns it; because normalization
+// and trace digesting run exactly as in Submit, the routing key and the
+// execution key can never disagree.
+func (s *Scheduler) KeyFor(spec JobSpec) (simcache.Key, error) {
+	job, err := s.prepare(spec)
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	return job.Key, nil
+}
+
+// Cached reports whether the result store already holds key, without
+// touching recency or stats. The cluster router serves replicated
+// entries locally instead of forwarding to a (possibly dead) owner.
+func (s *Scheduler) Cached(key simcache.Key) bool { return s.st.Contains(key) }
+
+// InstallResult stores a canonical result document computed elsewhere
+// under its content address — the receiving half of cluster
+// replication. The document must be valid JSON; the key is trusted to
+// be its content address (peers compute keys from the same canonical
+// inputs, so a correct peer cannot disagree).
+func (s *Scheduler) InstallResult(keyHex string, doc []byte) error {
+	key, err := simcache.ParseKey(keyHex)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(doc) {
+		return fmt.Errorf("scheduler: replicated document for %s is not valid JSON", keyHex)
+	}
+	s.st.Put(key, doc)
+	return nil
+}
+
 // Submit validates, keys, and admits one job. The fast paths — result
 // already stored, or an identical job already in flight — never consume
 // a queue slot; otherwise the job is enqueued or, when the queue is
@@ -204,7 +254,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 // Caller holds s.mu.
 func (s *Scheduler) admitLocked(job *Job) error {
 	s.nextID++
-	job.ID = fmt.Sprintf("j-%06d", s.nextID)
+	job.ID = fmt.Sprintf("%s%06d", s.opt.IDPrefix, s.nextID)
 
 	if doc, ok := s.st.Get(job.Key); ok {
 		// Content-addressed hit: done before it ever queued.
@@ -388,7 +438,7 @@ func (s *Scheduler) runJob(job *Job) {
 	}
 	job.setRunning()
 
-	doc, _, err := s.st.Do(job.Key, func() (doc []byte, err error) {
+	doc, cached, err := s.st.Do(job.Key, func() (doc []byte, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				// Recover here, inside the singleflight fn: the key
@@ -402,6 +452,11 @@ func (s *Scheduler) runJob(job *Job) {
 		}()
 		return s.simulate(job)
 	})
+	if err == nil && !cached && s.opt.OnStored != nil {
+		// A fresh document just entered the store; let the cluster layer
+		// replicate it to the ring successor.
+		s.opt.OnStored(job.Key, doc)
+	}
 
 	var state State
 	var errMsg string

@@ -95,6 +95,11 @@ func quarantineFile(path string) (string, error) {
 // Get returns the stored document for k, bumping its recency.
 func (s *Store) Get(k simcache.Key) ([]byte, bool) { return s.results.Get(k) }
 
+// Put stores a document computed elsewhere under its content address —
+// the landing point for cluster replication. Like every entry, it is
+// subject to LRU eviction and TTL expiry.
+func (s *Store) Put(k simcache.Key, doc []byte) { s.results.Put(k, doc) }
+
 // Contains reports residency without touching recency or stats.
 func (s *Store) Contains(k simcache.Key) bool { return s.results.Contains(k) }
 

@@ -1,0 +1,95 @@
+// Tests for the cluster observability hooks: Options.Cluster embeds a
+// cluster section in the health/stats/jobs documents, and
+// Options.OwnerOf annotates per-job owner on the overview pages. Both
+// are plain callbacks — transport never imports the cluster package —
+// so fakes stand in for the ring here.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ndpext/internal/server/scheduler"
+	"ndpext/internal/server/store"
+)
+
+func newClusteredStack(t *testing.T) (*scheduler.Scheduler, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scheduler.New(st, nil, scheduler.Options{Workers: 2})
+	s.Start()
+	srv := httptest.NewServer(NewHandler(s, Options{
+		Cluster: func() any {
+			return map[string]any{"self": "http://n0", "ring_size": 48}
+		},
+		OwnerOf: func(keyHex string) string { return "http://owner-of-" + keyHex[:4] },
+	}))
+	t.Cleanup(func() {
+		srv.Close()
+		s.Drain(context.Background())
+	})
+	return s, srv
+}
+
+// TestClusterSectionInObservability: every overview document carries
+// the cluster section verbatim when the hook is set, and omits it when
+// it is not.
+func TestClusterSectionInObservability(t *testing.T) {
+	_, srv := newClusteredStack(t)
+	for _, path := range []string{"/healthz", "/v1/healthz", "/jobs", "/v1/stats"} {
+		var doc struct {
+			Cluster map[string]any `json:"cluster"`
+		}
+		if err := json.Unmarshal(getBody(t, srv.URL+path, http.StatusOK), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Cluster["self"] != "http://n0" || doc.Cluster["ring_size"] != float64(48) {
+			t.Errorf("%s cluster section = %v, want the hook's document", path, doc.Cluster)
+		}
+	}
+
+	// Without the hook the section disappears entirely.
+	_, plain := newTestStack(t, scheduler.Options{Workers: 1})
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(getBody(t, plain.URL+"/v1/healthz", http.StatusOK), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["cluster"]; ok {
+		t.Error("standalone /v1/healthz carries a cluster section")
+	}
+}
+
+// TestOwnerAnnotation: job statuses on the overview pages name their
+// ring owner; a standalone server leaves the field absent.
+func TestOwnerAnnotation(t *testing.T) {
+	_, srv := newClusteredStack(t)
+	resp := postJSON(t, srv.URL+"/v1/jobs", `{"workload":"pr","accesses":1000}`)
+	st := decode[scheduler.JobStatus](t, resp)
+	pollJobDone(t, srv.URL, st.ID)
+
+	var jo struct {
+		Jobs []scheduler.JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(getBody(t, srv.URL+"/jobs", http.StatusOK), &jo); err != nil {
+		t.Fatal(err)
+	}
+	if len(jo.Jobs) != 1 {
+		t.Fatalf("overview lists %d jobs, want 1", len(jo.Jobs))
+	}
+	got := jo.Jobs[0]
+	if got.Key == "" || got.Owner != "http://owner-of-"+got.Key[:4] {
+		t.Errorf("job owner = %q for key %q, want the OwnerOf annotation", got.Owner, got.Key)
+	}
+
+	// Single job GET is annotated too.
+	one := decode[scheduler.JobStatus](t, postJSON(t, srv.URL+"/v1/jobs", `{"workload":"pr","accesses":1000}`))
+	if one.Owner == "" {
+		t.Error("submission response missing owner annotation")
+	}
+}

@@ -54,6 +54,15 @@ type Options struct {
 	// requests get 413. Default 1 MiB — a legitimate batch matrix is a
 	// few KiB; megabytes of spec is an accident or an attack.
 	MaxBody int64
+	// Cluster, when non-nil, is polled per request to embed a cluster
+	// document (ring size, peer states, forwarding counters) in
+	// /v1/healthz, /v1/stats, and /jobs. The cluster layer installs it;
+	// single-node servers leave it nil and the section is omitted.
+	Cluster func() any
+	// OwnerOf, when non-nil, maps a job's content-address hex to the
+	// cluster node owning it, annotating job statuses and listings with
+	// an "owner" field. Nil outside cluster mode.
+	OwnerOf func(keyHex string) string
 }
 
 // NewHandler is Handler with explicit transport options.
@@ -61,7 +70,7 @@ func NewHandler(s *scheduler.Scheduler, opt Options) http.Handler {
 	if opt.MaxBody <= 0 {
 		opt.MaxBody = 1 << 20
 	}
-	a := &api{s: s, maxBody: opt.MaxBody}
+	a := &api{s: s, maxBody: opt.MaxBody, cluster: opt.Cluster, ownerOf: opt.OwnerOf}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", a.handleList)
@@ -88,6 +97,25 @@ func NewHandler(s *scheduler.Scheduler, opt Options) http.Handler {
 type api struct {
 	s       *scheduler.Scheduler
 	maxBody int64
+	cluster func() any
+	ownerOf func(keyHex string) string
+}
+
+// annotateOwner fills the status's Owner field from the cluster ring
+// (no-op outside cluster mode).
+func (a *api) annotateOwner(st *scheduler.JobStatus) {
+	if a.ownerOf != nil {
+		st.Owner = a.ownerOf(st.Key)
+	}
+}
+
+// clusterDoc returns the embedded cluster section (nil outside cluster
+// mode, which omits the JSON field).
+func (a *api) clusterDoc() any {
+	if a.cluster == nil {
+		return nil
+	}
+	return a.cluster()
 }
 
 // errorDoc is the uniform error body.
@@ -165,7 +193,9 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if job.State().Terminal() {
 		code = http.StatusOK // cache hit: already complete
 	}
-	writeJSON(w, code, job.Status())
+	st := job.Status()
+	a.annotateOwner(&st)
+	writeJSON(w, code, st)
 }
 
 func (a *api) handleList(w http.ResponseWriter, r *http.Request) {
@@ -180,6 +210,7 @@ func (a *api) jobSummaries() []scheduler.JobStatus {
 	for i, j := range jobs {
 		st := j.Status()
 		st.Result = nil
+		a.annotateOwner(&st)
 		out[i] = st
 	}
 	return out
@@ -191,7 +222,9 @@ func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	st := job.Status()
+	a.annotateOwner(&st)
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (a *api) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +456,7 @@ type statsDoc struct {
 	Jobs       int                     `json:"jobs"`
 	Batches    int                     `json:"batches"`
 	StatesById map[scheduler.State]int `json:"job_states"`
+	Cluster    any                     `json:"cluster,omitempty"`
 }
 
 func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -436,15 +470,18 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:       totalJobs(states),
 		Batches:    len(a.s.Batches()),
 		StatesById: states,
+		Cluster:    a.clusterDoc(),
 	})
 }
 
 // healthDoc is the GET /healthz body: liveness plus the counters an
-// operator or load balancer wants in one probe.
+// operator or load balancer wants in one probe, and — in cluster
+// mode — the ring/peer/forwarding section.
 type healthDoc struct {
 	Status  string `json:"status"`
 	Workers int    `json:"workers"`
 	counters
+	Cluster any `json:"cluster,omitempty"`
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -452,20 +489,23 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   "ok",
 		Workers:  a.s.Workers(),
 		counters: a.counters(),
+		Cluster:  a.clusterDoc(),
 	})
 }
 
 // jobsOverviewDoc is the GET /jobs body: the counters plus per-job
-// summaries (results stripped).
+// summaries (results stripped, owners annotated in cluster mode).
 type jobsOverviewDoc struct {
 	counters
-	Jobs []scheduler.JobStatus `json:"jobs"`
+	Jobs    []scheduler.JobStatus `json:"jobs"`
+	Cluster any                   `json:"cluster,omitempty"`
 }
 
 func (a *api) handleJobsOverview(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobsOverviewDoc{
 		counters: a.counters(),
 		Jobs:     a.jobSummaries(),
+		Cluster:  a.clusterDoc(),
 	})
 }
 

@@ -20,14 +20,24 @@ import (
 // directly by tests, CLIs, or a future sharded-cluster fan-out.
 func TestLayering(t *testing.T) {
 	forbidden := map[string][]string{
-		"../scheduler": {"net/http", "ndpext/internal/server/transport"},
+		"../scheduler": {"net/http", "ndpext/internal/server/transport",
+			"ndpext/internal/cluster"},
 		"../store": {"net/http", "ndpext/internal/server/transport",
-			"ndpext/internal/server/scheduler", "ndpext/internal/server/result"},
+			"ndpext/internal/server/scheduler", "ndpext/internal/server/result",
+			"ndpext/internal/cluster"},
 		"../result": {"net/http", "ndpext/internal/server/transport",
-			"ndpext/internal/server/scheduler", "ndpext/internal/server/store"},
+			"ndpext/internal/server/scheduler", "ndpext/internal/server/store",
+			"ndpext/internal/cluster"},
 		// The chaos injector drives the engine layers directly; it must
 		// stay HTTP-free so fault injection never depends on transport.
-		"../chaos": {"net/http", "ndpext/internal/server/transport"},
+		"../chaos": {"net/http", "ndpext/internal/server/transport",
+			"ndpext/internal/cluster"},
+		// The cluster layer sits BESIDE transport at the HTTP edge: it
+		// may import net/http and the client, but the two edge packages
+		// must never import each other (cluster wraps transport's handler
+		// as a plain http.Handler).
+		".":             {"ndpext/internal/cluster"},
+		"../../cluster": {"ndpext/internal/server/transport"},
 	}
 	fset := token.NewFileSet()
 	for dir, banned := range forbidden {
