@@ -6,10 +6,18 @@
 //
 //	ndpsim -workload pr -design NDPExt [-mem hbm|hmc] [-seed 1]
 //	       [-accesses 30000] [-scale 1.0] [-verbose] [-json]
+//	       [-parallel 4 [-parallel-mode pipeline|shard]]
 //	       [-record run.ndptrc] [-trace-sample 100 [-trace-out trace.jsonl]]
 //
 // With -json, the run emits the canonical JSON result document — the
 // same bytes ndpserve caches and serves — as one object on stdout.
+//
+// With -parallel=N (N >= 2), the run uses the parallel execution modes
+// in internal/parallel: "pipeline" (the default) overlaps epoch
+// bookkeeping with simulation and is byte-identical to the serial run;
+// "shard" splits cores across N independent simulator instances and
+// merges, which is statistically equivalent within the declared
+// tolerance gate but not bit-exact.
 //
 // With -record=FILE, every simulated memory access is captured into a
 // native trace file (see internal/trace) that replays byte-identically
@@ -25,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"ndpext/internal/fault"
+	"ndpext/internal/parallel"
 	"ndpext/internal/server/result"
 	"ndpext/internal/stream"
 	"ndpext/internal/system"
@@ -65,6 +75,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (deterministic per (spec, seed))")
 	maxWall := flag.Duration("max-wall", 0, "abort after this much wall-clock time, flushing partial results (0 disables)")
 	maxCycles := flag.Int64("max-cycles", 0, "abort once simulated time passes this many core cycles (0 disables)")
+	parallelN := flag.Int("parallel", 1, "parallel workers: <=1 serial; pipeline mode uses one epoch worker, shard mode runs min(N, cores) shards")
+	parallelMode := flag.String("parallel-mode", "pipeline", `parallel strategy: "pipeline" (byte-identical to serial) or "shard" (statistically equivalent; see internal/parallel)`)
 	flag.Parse()
 
 	if *list {
@@ -215,12 +227,18 @@ func main() {
 		cfg.AttachProbe(rec)
 	}
 
+	pmode, err := parallel.ParseMode(*parallelMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	popts := parallel.Options{Workers: *parallelN, Mode: pmode}
+
 	simStart := time.Now()
 	var res *system.Result
 	if src != nil {
-		res, err = system.RunSource(cfg, src)
+		res, err = parallel.RunSource(context.Background(), cfg, src, popts)
 	} else {
-		res, err = system.Run(cfg, tr)
+		res, err = parallel.Run(context.Background(), cfg, tr, popts)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,149 @@
+package golden
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndpext/internal/system"
+	"ndpext/internal/trace"
+	"ndpext/internal/workloads"
+)
+
+// TestGoldenParityPipelined is the parallel path's oracle fence, run
+// over the full pinned matrix (every design family, both memory
+// technologies, the reconfiguration modes, and the fault scenarios):
+// the epoch-pipelined mode must reproduce the committed golden bytes —
+// the same documents the serial path is pinned to — so the two modes
+// are interchangeable everywhere results are cached or compared.
+func TestGoldenParityPipelined(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", c.Name+".json"))
+			if err != nil {
+				t.Fatalf("missing golden (run TestGolden -update first): %v", err)
+			}
+			got, err := c.RunWith(system.RunPipelined)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				reportDrift(t, "pipelined vs golden", want, got)
+			}
+		})
+	}
+}
+
+// The content-addressed cache key must not see the execution mode:
+// a pipelined run and a serial run of the same configuration share one
+// cache entry, which is only sound because the parity suite above
+// proves their results byte-identical. This test pins the key's
+// mode-independence so a future "parallelism" Config field can't leak
+// into it unnoticed.
+func TestCanonicalBytesModeIndependent(t *testing.T) {
+	c := Cases()[0]
+	cfg, err := c.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cfg.CanonicalBytes()
+	tr, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := system.RunPipelined(cfg, tr.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := system.Run(cfg, tr.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key, cfg.CanonicalBytes()) {
+		t.Fatal("CanonicalBytes changed across serial and pipelined runs of the same config")
+	}
+}
+
+// TestGoldenRecordReplayPipelined extends the record/replay keystone to
+// the parallel path: a trace recorded through the probe bus during a
+// PIPELINED run must be byte-identical to one recorded serially (probe
+// events fire on the event-loop thread in serial order), and replaying
+// it — serially or pipelined — must reproduce the live run's canonical
+// document.
+func TestGoldenRecordReplayPipelined(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			record := func(run func(system.Config, *workloads.Trace) (*system.Result, error)) (trc, doc []byte) {
+				cfg, err := c.Config()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := c.Trace()
+				if err != nil {
+					t.Fatal(err)
+				}
+				recCores := cfg.NumUnits()
+				if cfg.Design == system.Host {
+					recCores = cfg.HostCores
+				}
+				var file bytes.Buffer
+				w, err := trace.NewWriter(&file, trace.Options{
+					Name: tr.Name, Table: tr.Table, Cores: recCores, Compress: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := trace.NewRecorder(w)
+				cfg.AttachProbe(rec)
+				res, err := run(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rec.Close(); err != nil {
+					t.Fatalf("recorder: %v", err)
+				}
+				doc, err = encodeIndent(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return file.Bytes(), doc
+			}
+
+			serialTrc, serialDoc := record(system.Run)
+			pipeTrc, pipeDoc := record(system.RunPipelined)
+			if !bytes.Equal(serialDoc, pipeDoc) {
+				reportDrift(t, "pipelined recorded run", serialDoc, pipeDoc)
+			}
+			if !bytes.Equal(serialTrc, pipeTrc) {
+				t.Fatal("trace recorded under pipelined mode differs from serial recording")
+			}
+
+			// Replaying the pipelined-recorded trace — itself pipelined —
+			// must close the loop on the live document.
+			r, err := trace.NewReader(bytes.NewReader(pipeTrc), int64(len(pipeTrc)))
+			if err != nil {
+				t.Fatalf("reopen recorded trace: %v", err)
+			}
+			mat, err := r.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := c.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := system.RunPipelined(cfg, mat)
+			if err != nil {
+				t.Fatalf("pipelined replay: %v", err)
+			}
+			replayed, err := encodeIndent(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pipeDoc, replayed) {
+				reportDrift(t, "pipelined replay", pipeDoc, replayed)
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ndpext/internal/system"
+	"ndpext/internal/workloads"
+)
+
+// BenchmarkParallelEpochs measures the whole-run cost of each execution
+// mode across worker counts on an epoch-heavy configuration (short
+// epochs force frequent boundaries, which is exactly the work the
+// pipeline overlaps and sharding divides). workers=1 is the serial
+// oracle and the speedup denominator. Note when reading results: the
+// achievable speedup is bounded by the host's core count — on a 1-CPU
+// runner the parallel modes can only show their overhead, not their
+// speedup.
+func BenchmarkParallelEpochs(b *testing.B) {
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := workloads.TinyScale()
+	sc.CoresPerProc = 4
+	sc.AccessesPerCore = 10_000
+	tr, err := gen(8, 1, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := smallConfig(system.NDPExt)
+	cfg.EpochCycles = 25_000
+
+	for _, mode := range []Mode{ModePipeline, ModeShard} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, w), func(b *testing.B) {
+				opts := Options{Workers: w, Mode: mode}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(context.Background(), cfg, tr.Clone(), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package parallel
+
+import "fmt"
+
+// Mode selects the parallel execution strategy.
+type Mode int
+
+const (
+	// ModePipeline overlaps epoch bookkeeping with the next epoch's
+	// event loop. Byte-identical to serial; the default.
+	ModePipeline Mode = iota
+	// ModeShard splits the cores across independent simulator
+	// instances and merges. Statistically equivalent to serial, within
+	// DefaultTolerance.
+	ModeShard
+)
+
+// String returns the mode's flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModePipeline:
+		return "pipeline"
+	case ModeShard:
+		return "shard"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -parallel-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "pipeline":
+		return ModePipeline, nil
+	case "shard":
+		return ModeShard, nil
+	default:
+		return 0, fmt.Errorf(`parallel: unknown mode %q (want "pipeline" or "shard")`, s)
+	}
+}
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers is the requested parallelism. <= 1 selects the serial
+	// path. Pipeline mode uses at most one extra goroutine regardless of
+	// the value; shard mode spawns min(Workers, cores) shards.
+	Workers int
+	// Mode selects the strategy; the zero value is ModePipeline.
+	Mode Mode
+}
+
+// Validate rejects meaningless option combinations.
+func (o Options) Validate() error {
+	if o.Mode != ModePipeline && o.Mode != ModeShard {
+		return fmt.Errorf("parallel: invalid mode %d", int(o.Mode))
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("parallel: negative worker count %d", o.Workers)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package parallel orchestrates the simulator's parallel execution
+// modes behind one entry point, with the serial path as the golden
+// oracle:
+//
+//   - Pipeline mode overlaps each epoch's sampler/miss-curve bookkeeping
+//     with the event-loop simulation of the next epoch on a second
+//     goroutine (system.RunPipelined). Results are BYTE-IDENTICAL to the
+//     serial run — the golden suite asserts it — so cached and canonical
+//     results are interchangeable.
+//
+//   - Shard mode deals the trace's cores round-robin onto N independent
+//     simulator instances (each pipelined, each modeling the full
+//     machine over its core subset) and deterministically merges the
+//     per-shard results (system.MergeShardResults). Sharding removes the
+//     cross-core interleaving at shared resources, so the merged result
+//     is only STATISTICALLY equivalent to serial; stats.Equivalent with
+//     DefaultTolerance is the declared gate.
+//
+// Both modes are deterministic: the same inputs produce the same output
+// regardless of goroutine scheduling. Telemetry probes stay deterministic
+// too — pipeline mode fires them on the event-loop thread in serial
+// order, and shard mode buffers per shard and replays in ascending shard
+// order after the run (telemetry.ShardFanIn's documented order).
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ndpext/internal/system"
+	"ndpext/internal/telemetry"
+	"ndpext/internal/workloads"
+)
+
+// Run simulates the trace with the selected parallel mode. Workers <= 1
+// (or a design without epoch profiling, in pipeline mode) falls back to
+// the serial path, so callers can wire a -parallel flag straight through.
+func Run(ctx context.Context, cfg system.Config, tr *workloads.Trace, opts Options) (*system.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case opts.Workers <= 1:
+		return system.RunContext(ctx, cfg, tr)
+	case opts.Mode == ModeShard:
+		return runShards(ctx, cfg, tr, opts.Workers)
+	default:
+		return system.RunPipelinedContext(ctx, cfg, tr)
+	}
+}
+
+// RunSource is Run over a streaming access source. Shard mode needs
+// random access to deal cores onto shards, so the source is materialized
+// into a trace first (bounded only by the trace size — callers that need
+// bounded memory should use pipeline mode, which streams).
+func RunSource(ctx context.Context, cfg system.Config, src workloads.Source, opts Options) (*system.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case opts.Workers <= 1:
+		return system.RunSourceContext(ctx, cfg, src)
+	case opts.Mode == ModeShard:
+		tr, err := materialize(src)
+		if err != nil {
+			return nil, err
+		}
+		return runShards(ctx, cfg, tr, opts.Workers)
+	default:
+		return system.RunSourcePipelinedContext(ctx, cfg, src)
+	}
+}
+
+// runShards deals the cores round-robin onto min(workers, cores) shards,
+// simulates each shard concurrently (pipelined), and merges.
+func runShards(ctx context.Context, cfg system.Config, tr *workloads.Trace, workers int) (*system.Result, error) {
+	if cfg.Design == system.Host {
+		// The host model folds the trace onto a smaller core count;
+		// dealing unit-indexed shards at it would change what is being
+		// modeled, not just how fast.
+		return nil, fmt.Errorf("parallel: shard mode does not support the Host design (use pipeline mode)")
+	}
+	cores := len(tr.PerCore)
+	n := workers
+	if n > cores {
+		n = cores
+	}
+	if n <= 1 {
+		return system.RunPipelinedContext(ctx, cfg, tr)
+	}
+
+	// Deterministic probe fan-in: each shard records into its own buffer;
+	// after the join the buffers replay into the caller's probe in shard
+	// order with renumbered sequence numbers.
+	var fanin *telemetry.ShardFanIn
+	if cfg.Probe != nil {
+		fanin = telemetry.NewShardFanIn(n)
+	}
+	// OnEpoch callbacks fire concurrently across shards; serialize them
+	// so a caller's hook needs no locking of its own. Cross-shard
+	// interleaving is NOT deterministic — epoch hooks in shard mode are
+	// progress signals, not part of the equivalence-checked result.
+	var epochMu sync.Mutex
+	onEpoch := cfg.OnEpoch
+
+	parts := make([]*system.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		if fanin != nil {
+			scfg.Probe = fanin.Probe(i)
+		}
+		if onEpoch != nil {
+			scfg.OnEpoch = func(ei system.EpochInfo) {
+				epochMu.Lock()
+				defer epochMu.Unlock()
+				onEpoch(ei)
+			}
+		}
+		wg.Add(1)
+		go func(i int, scfg system.Config) {
+			defer wg.Done()
+			parts[i], errs[i] = system.RunPipelinedContext(ctx, scfg, shardTrace(tr, i, n))
+		}(i, scfg)
+	}
+	wg.Wait()
+	if fanin != nil {
+		fanin.Drain(cfg.Probe)
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	for _, p := range parts {
+		if p == nil {
+			// A shard failed before producing even a partial result;
+			// there is nothing coherent to merge.
+			return nil, firstErr
+		}
+	}
+	merged, err := system.MergeShardResults(cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror RunContext's cancellation contract: the partial merged
+	// result is returned alongside the first shard error.
+	return merged, firstErr
+}
+
+// shardTrace builds shard i's view of the trace: the full stream table
+// (freshly cloned — the simulation mutates stream read-only bits) with
+// the access sequences of every core c where c % n != i emptied. The
+// member cores' access slices are shared, not copied.
+func shardTrace(tr *workloads.Trace, i, n int) *workloads.Trace {
+	st := tr.Clone()
+	pc := make([][]workloads.Access, len(tr.PerCore))
+	for c := range tr.PerCore {
+		if c%n == i {
+			pc[c] = tr.PerCore[c]
+		}
+	}
+	st.PerCore = pc
+	return st
+}
+
+// materialize drains a streaming source into an in-memory trace.
+func materialize(src workloads.Source) (*workloads.Trace, error) {
+	tr := &workloads.Trace{
+		Name:    src.Name(),
+		Table:   src.Table(),
+		PerCore: make([][]workloads.Access, src.Cores()),
+	}
+	for c := 0; c < src.Cores(); c++ {
+		for {
+			a, ok := src.Next(c)
+			if !ok {
+				break
+			}
+			tr.PerCore[c] = append(tr.PerCore[c], a)
+		}
+	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("parallel: materializing source for shard mode: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,268 @@
+package parallel
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ndpext/internal/stats"
+	"ndpext/internal/system"
+	"ndpext/internal/telemetry"
+	"ndpext/internal/workloads"
+)
+
+// smallConfig is the 8-unit test machine (mirrors internal/system's).
+func smallConfig(d system.Design) system.Config {
+	cfg := system.DefaultConfig(d)
+	cfg.NoC.StacksX, cfg.NoC.StacksY = 2, 1
+	cfg.NoC.UnitsX, cfg.NoC.UnitsY = 2, 2
+	cfg.UnitRows = 64
+	cfg.Sampler.MinBytes = 2 << 10
+	cfg.Sampler.MaxBytes = 8 * cfg.UnitCacheBytes()
+	cfg.EpochCycles = 50_000
+	cfg.HostCores = 4
+	return cfg
+}
+
+func tinyTrace(t testing.TB, name string, seed uint64) *workloads.Trace {
+	t.Helper()
+	gen, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.TinyScale()
+	sc.CoresPerProc = 4
+	tr, err := gen(8, seed, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// signature condenses a Result's full visible surface for identity
+// comparisons: the metric set, the stream reports, and the registry.
+func signature(t testing.TB, r *system.Result) string {
+	t.Helper()
+	m, err := json.Marshal(struct {
+		Metrics map[string]float64
+		Streams []system.StreamReport
+		Reg     *telemetry.Registry
+	}{MetricSet(r), r.StreamReports(), r.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(m)
+}
+
+func mustRun(t testing.TB, cfg system.Config, tr *workloads.Trace, opts Options) *system.Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg, tr.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Pipeline mode through the orchestrator must be byte-identical to the
+// serial oracle, and Workers<=1 must be the serial path itself.
+func TestPipelineModeMatchesSerial(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "pr", 42)
+	serial, err := system.Run(cfg, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(t, serial)
+	for _, w := range []int{0, 1, 2, 8} {
+		got := signature(t, mustRun(t, cfg, tr, Options{Workers: w}))
+		if got != want {
+			t.Fatalf("workers=%d diverged from serial", w)
+		}
+	}
+}
+
+// Property test: seeded random configurations must produce identical
+// results across 1, 2, and 8 workers in pipeline mode. 20 draws cover
+// designs, workloads, epoch lengths, and reconfiguration modes.
+func TestPropertyPipelineWorkerCountInvariant(t *testing.T) {
+	designs := system.NDPDesigns()
+	names := []string{"pr", "recsys", "gnn", "bfs", "backprop", "mv"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		d := designs[rng.Intn(len(designs))]
+		w := names[rng.Intn(len(names))]
+		seed := uint64(rng.Int63n(1 << 30))
+		cfg := smallConfig(d)
+		cfg.EpochCycles = []int64{20_000, 50_000, 120_000}[rng.Intn(3)]
+		cfg.ConsistentHash = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			cfg.Reconfig = system.ReconfigPartial
+			cfg.PartialEpochs = 1 + rng.Intn(3)
+		}
+		tr := tinyTrace(t, w, seed)
+		base := signature(t, mustRun(t, cfg, tr, Options{Workers: 1}))
+		for _, workers := range []int{2, 8} {
+			got := signature(t, mustRun(t, cfg, tr, Options{Workers: workers}))
+			if got != base {
+				t.Fatalf("draw %d (%v/%s/seed=%d): workers=%d diverged", i, d, w, seed, workers)
+			}
+		}
+	}
+}
+
+// Shard mode must be deterministic: the same inputs give the same
+// merged result regardless of goroutine scheduling.
+func TestShardDeterministic(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "pr", 42)
+	opts := Options{Workers: 4, Mode: ModeShard}
+	a := signature(t, mustRun(t, cfg, tr, opts))
+	for i := 0; i < 3; i++ {
+		if b := signature(t, mustRun(t, cfg, tr, opts)); b != a {
+			t.Fatalf("run %d diverged from run 0", i+1)
+		}
+	}
+}
+
+// Shard mode must clear the declared equivalence gate against the
+// serial oracle on every design, at 2 and 8 shards. The trace is long
+// enough (30k accesses/core) for the per-shard statistics to converge;
+// tiny traces amplify cold-start and epoch-decision noise.
+func TestShardEquivalence(t *testing.T) {
+	gen, err := workloads.Get("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workloads.TinyScale()
+	sc.CoresPerProc = 4
+	sc.AccessesPerCore = 30000
+	tr, err := gen(8, 42, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range system.NDPDesigns() {
+		cfg := smallConfig(d)
+		serial, err := system.Run(cfg, tr.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			sharded := mustRun(t, cfg, tr, Options{Workers: workers, Mode: ModeShard})
+			rep, ok := stats.Equivalent(GateMetricSet(serial), GateMetricSet(sharded), DefaultTolerance())
+			if !ok {
+				t.Errorf("%v workers=%d: %v", d, workers, rep.Failures)
+			}
+		}
+	}
+}
+
+// The conservation half of the gate, spelled out: shard mode must
+// simulate every access exactly once.
+func TestShardConservation(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "recsys", 7)
+	res := mustRun(t, cfg, tr, Options{Workers: 3, Mode: ModeShard})
+	if res.Accesses != uint64(tr.TotalAccesses()) {
+		t.Fatalf("merged %d accesses, trace has %d", res.Accesses, tr.TotalAccesses())
+	}
+	var hits, misses uint64
+	for _, sr := range res.StreamReports() {
+		hits += sr.Hits
+		misses += sr.Misses
+	}
+	if hits != res.CacheHits || misses != res.CacheMisses {
+		t.Fatalf("stream reports (%d/%d) disagree with counters (%d/%d)",
+			hits, misses, res.CacheHits, res.CacheMisses)
+	}
+}
+
+// Probe fan-in: shard mode must deliver a deterministic merged event
+// stream with contiguous sequence numbers.
+func TestShardProbeDeterministic(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "pr", 42)
+	capture := func() []telemetry.Event {
+		var evs []telemetry.Event
+		c := cfg
+		c.AttachProbe(telemetry.FuncProbe(func(ev *telemetry.Event) { evs = append(evs, *ev) }))
+		if _, err := Run(context.Background(), c, tr.Clone(), Options{Workers: 4, Mode: ModeShard}); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a := capture()
+	b := capture()
+	if len(a) == 0 {
+		t.Fatal("no probe events delivered")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("probe event streams diverged between identical runs")
+	}
+	for i := range a {
+		if a[i].Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d; want contiguous renumbering", i, a[i].Seq)
+		}
+	}
+}
+
+// Sharded source runs materialize and must agree with the trace path.
+func TestRunSourceShard(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "pr", 42)
+	opts := Options{Workers: 4, Mode: ModeShard}
+	want := signature(t, mustRun(t, cfg, tr, opts))
+	res, err := RunSource(context.Background(), cfg, tr.Clone().Source(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signature(t, res) != want {
+		t.Fatal("sharded source run diverged from sharded trace run")
+	}
+}
+
+// OnEpoch hooks must keep firing in shard mode (serialized across
+// shards) and cancellation must surface the context error.
+func TestShardOnEpochAndCancel(t *testing.T) {
+	cfg := smallConfig(system.NDPExt)
+	tr := tinyTrace(t, "pr", 42)
+	epochs := 0
+	cfg.OnEpoch = func(system.EpochInfo) { epochs++ }
+	if _, err := Run(context.Background(), cfg, tr.Clone(), Options{Workers: 2, Mode: ModeShard}); err != nil {
+		t.Fatal(err)
+	}
+	if epochs == 0 {
+		t.Fatal("no OnEpoch callbacks in shard mode")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.OnEpoch = func(system.EpochInfo) { cancel() }
+	res, err := Run(ctx, cfg, tr.Clone(), Options{Workers: 2, Mode: ModeShard})
+	if err == nil {
+		t.Fatal("want error after mid-run cancellation")
+	}
+	// A shard canceled mid-run yields a truncated partial; a shard that
+	// never started yields nothing to merge. Either way the error must
+	// surface — only a coherent merged partial may accompany it.
+	if res != nil && !res.Truncated {
+		t.Fatalf("merged partial not marked truncated: %+v", res)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus mode")
+	}
+	for _, s := range []string{"", "pipeline", "shard"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Fatalf("ParseMode(%q): %v", s, err)
+		}
+	}
+	if err := (Options{Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if err := (Options{Workers: 2, Mode: Mode(9)}).Validate(); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package scheduler
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ndpext/internal/server/store"
+)
+
+// TestParallelSchedulerByteIdentical pins the property that lets the
+// serving layer enable -parallel at all: a pipelined-mode scheduler must
+// produce the same result document as a serial one, and — because the
+// cache key does not see the execution mode — a document computed under
+// one mode must be served as a cache hit to the other.
+func TestParallelSchedulerByteIdentical(t *testing.T) {
+	spec := JobSpec{Workload: "pr", Seed: 9, Accesses: 2000}
+
+	// Serial reference document from a scheduler with its own store.
+	serial := newTestScheduler(t, Options{Workers: 1})
+	defer serial.Drain(context.Background())
+	sj, err := serial.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, sj)
+	if sj.Status().State != StateDone {
+		t.Fatalf("serial job failed: %s", sj.Status().Error)
+	}
+
+	// Pipelined scheduler over a fresh store, then a serial scheduler
+	// sharing that store: the second submission must hit the cache entry
+	// the pipelined run stored.
+	shared := newTestStore(t, store.Options{})
+	par := New(shared, nil, Options{Workers: 1, Parallel: 4})
+	par.Start()
+	defer par.Drain(context.Background())
+	pj, err := par.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, pj)
+	if pj.Status().State != StateDone {
+		t.Fatalf("pipelined job failed: %s", pj.Status().Error)
+	}
+	if !bytes.Equal(sj.Status().Result, pj.Status().Result) {
+		t.Fatal("pipelined scheduler produced a different result document than serial")
+	}
+
+	ser2 := New(shared, nil, Options{Workers: 1})
+	ser2.Start()
+	defer ser2.Drain(context.Background())
+	cj, err := ser2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, cj)
+	st := cj.Status()
+	if st.State != StateDone {
+		t.Fatalf("cached job failed: %s", st.Error)
+	}
+	if !st.CacheHit {
+		t.Fatal("serial submission missed the cache entry a pipelined run stored")
+	}
+	if !bytes.Equal(st.Result, pj.Status().Result) {
+		t.Fatal("cache served different bytes than the pipelined run stored")
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Equivalence gate: the fence for any simulation mode that is not
+// byte-identical to the serial golden oracle (today the sharded parallel
+// mode; tomorrow a sampled fast-forward mode). The caller extracts a
+// named metric set from each run and declares a tolerance; Equivalent
+// reports exactly which metrics drifted and by how much.
+
+// Tolerance declares how far a parallel run may drift from serial.
+type Tolerance struct {
+	// Rel is the maximum per-metric relative error, |p-s| / |s|.
+	Rel float64
+	// Abs is the absolute slack used when a metric's serial value is
+	// zero (the relative error is undefined there): the parallel value
+	// must then satisfy |p| <= Abs. It also floors the denominator for
+	// near-zero serial values so a 1e-12 baseline does not turn float
+	// noise into a gate failure.
+	Abs float64
+	// Conserved names metrics that must match exactly, tolerance zero:
+	// conservation laws such as total access counts (every access is
+	// simulated exactly once in any mode) or request balance
+	// (hits + misses = lookups). A conserved name absent from both runs
+	// passes; absent from only one fails.
+	Conserved []string
+}
+
+// Delta is one metric's comparison.
+type Delta struct {
+	Name             string
+	Serial, Parallel float64
+	RelErr           float64 // 0 when the serial value is zero
+	Conserved        bool
+	OK               bool
+}
+
+// Report is the full comparison, one Delta per metric, in sorted name
+// order. Failures lists human-readable descriptions of every violation.
+type Report struct {
+	Deltas   []Delta
+	Failures []string
+}
+
+// String summarizes the report's failures (empty when equivalent).
+func (r Report) String() string {
+	if len(r.Failures) == 0 {
+		return "equivalent"
+	}
+	s := r.Failures[0]
+	if len(r.Failures) > 1 {
+		s += fmt.Sprintf(" (and %d more)", len(r.Failures)-1)
+	}
+	return s
+}
+
+// Equivalent compares the two metric sets under the tolerance and
+// reports whether every metric passes. Metrics are matched by name; a
+// name present in one set but not the other is a failure (a mode that
+// silently drops a metric is not equivalent). The report covers every
+// name in either set, sorted, so output is deterministic.
+func Equivalent(serial, parallel map[string]float64, tol Tolerance) (Report, bool) {
+	conserved := make(map[string]bool, len(tol.Conserved))
+	for _, n := range tol.Conserved {
+		conserved[n] = true
+	}
+	names := make(map[string]bool, len(serial)+len(parallel))
+	for n := range serial {
+		names[n] = true
+	}
+	for n := range parallel {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var rep Report
+	for _, n := range ordered {
+		s, haveS := serial[n]
+		p, haveP := parallel[n]
+		d := Delta{Name: n, Serial: s, Parallel: p, Conserved: conserved[n]}
+		switch {
+		case !haveS || !haveP:
+			side := "serial"
+			if !haveP {
+				side = "parallel"
+			}
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s: missing from %s run", n, side))
+		case d.Conserved:
+			d.OK = s == p
+			if !d.OK {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s: conservation violated: serial %v, parallel %v", n, s, p))
+			}
+		case s == 0:
+			d.OK = math.Abs(p) <= tol.Abs
+			if !d.OK {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s: serial is zero, parallel %v exceeds absolute slack %v", n, p, tol.Abs))
+			}
+		default:
+			denom := math.Max(math.Abs(s), tol.Abs)
+			d.RelErr = math.Abs(p-s) / denom
+			d.OK = d.RelErr <= tol.Rel
+			if !d.OK {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s: relative error %.4f exceeds %.4f (serial %v, parallel %v)",
+						n, d.RelErr, tol.Rel, s, p))
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep, len(rep.Failures) == 0
+}

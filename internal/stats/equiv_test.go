@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEquivalent(t *testing.T) {
+	tol := Tolerance{Rel: 0.05, Abs: 1e-9, Conserved: []string{"accesses"}}
+	cases := []struct {
+		name     string
+		serial   map[string]float64
+		parallel map[string]float64
+		tol      Tolerance
+		want     bool
+		failHint string // substring expected in the first failure
+	}{
+		{
+			name:     "identical",
+			serial:   map[string]float64{"accesses": 1000, "amat_ns": 42.5},
+			parallel: map[string]float64{"accesses": 1000, "amat_ns": 42.5},
+			tol:      tol,
+			want:     true,
+		},
+		{
+			name:     "within tolerance",
+			serial:   map[string]float64{"accesses": 1000, "amat_ns": 100},
+			parallel: map[string]float64{"accesses": 1000, "amat_ns": 104},
+			tol:      tol,
+			want:     true,
+		},
+		{
+			name:     "relative error too large",
+			serial:   map[string]float64{"accesses": 1000, "amat_ns": 100},
+			parallel: map[string]float64{"accesses": 1000, "amat_ns": 110},
+			tol:      tol,
+			want:     false,
+			failHint: "relative error",
+		},
+		{
+			name:     "negative metrics compare by magnitude of drift",
+			serial:   map[string]float64{"accesses": 10, "skew": -100},
+			parallel: map[string]float64{"accesses": 10, "skew": -104},
+			tol:      tol,
+			want:     true,
+		},
+		{
+			name:     "conservation law violated within rel tolerance",
+			serial:   map[string]float64{"accesses": 1000000},
+			parallel: map[string]float64{"accesses": 1000001}, // 1e-6 rel, but must be exact
+			tol:      tol,
+			want:     false,
+			failHint: "conservation violated",
+		},
+		{
+			name:     "zero denominator passes when parallel also ~zero",
+			serial:   map[string]float64{"accesses": 10, "exceptions": 0},
+			parallel: map[string]float64{"accesses": 10, "exceptions": 0},
+			tol:      tol,
+			want:     true,
+		},
+		{
+			name:     "zero denominator fails when parallel is nonzero",
+			serial:   map[string]float64{"accesses": 10, "exceptions": 0},
+			parallel: map[string]float64{"accesses": 10, "exceptions": 3},
+			tol:      tol,
+			want:     false,
+			failHint: "serial is zero",
+		},
+		{
+			name:     "near-zero denominator floored by Abs",
+			serial:   map[string]float64{"accesses": 10, "noise": 1e-12},
+			parallel: map[string]float64{"accesses": 10, "noise": 2e-12}, // 100% rel, but below Abs floor
+			tol:      Tolerance{Rel: 0.05, Abs: 1e-9, Conserved: []string{"accesses"}},
+			want:     true,
+		},
+		{
+			name:     "metric missing from parallel run",
+			serial:   map[string]float64{"accesses": 10, "amat_ns": 5},
+			parallel: map[string]float64{"accesses": 10},
+			tol:      tol,
+			want:     false,
+			failHint: "missing from parallel",
+		},
+		{
+			name:     "metric missing from serial run",
+			serial:   map[string]float64{"accesses": 10},
+			parallel: map[string]float64{"accesses": 10, "extra": 1},
+			tol:      tol,
+			want:     false,
+			failHint: "missing from serial",
+		},
+		{
+			name:     "conserved metric absent from both passes",
+			serial:   map[string]float64{"amat_ns": 5},
+			parallel: map[string]float64{"amat_ns": 5},
+			tol:      tol,
+			want:     true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, ok := Equivalent(tc.serial, tc.parallel, tc.tol)
+			if ok != tc.want {
+				t.Fatalf("Equivalent = %v, want %v; report: %v", ok, tc.want, rep.Failures)
+			}
+			if !tc.want {
+				if len(rep.Failures) == 0 {
+					t.Fatal("failing comparison produced no failure messages")
+				}
+				if tc.failHint != "" && !strings.Contains(rep.Failures[0], tc.failHint) {
+					t.Fatalf("first failure %q does not mention %q", rep.Failures[0], tc.failHint)
+				}
+			}
+			if tc.want && rep.String() != "equivalent" {
+				t.Fatalf("String() = %q for passing report", rep.String())
+			}
+		})
+	}
+}
+
+// The report must enumerate every metric, sorted, regardless of outcome.
+func TestEquivalentReportDeterministic(t *testing.T) {
+	serial := map[string]float64{"c": 1, "a": 2, "b": 3}
+	parallel := map[string]float64{"c": 1, "a": 2, "b": 3}
+	rep, ok := Equivalent(serial, parallel, Tolerance{Rel: 0.01})
+	if !ok {
+		t.Fatal(rep.Failures)
+	}
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(rep.Deltas))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if rep.Deltas[i].Name != want {
+			t.Fatalf("delta %d is %q, want %q", i, rep.Deltas[i].Name, want)
+		}
+	}
+}

@@ -323,30 +323,26 @@ func (s *ndpSim) epochBoundary() {
 
 	// Harvest miss curves: the global sampler (home-set view, all
 	// cores) drives sizing; the local sampler (one core) reveals whether
-	// per-core reuse would survive replication.
-	for sid, smp := range s.samplers.global {
-		if smp == nil || smp.Accesses() == 0 {
-			continue
-		}
-		cv := smp.Curve()
-		if len(cv.Points) == 0 {
-			continue
-		}
-		cv.Accesses = totals[stream.ID(sid)]
-		s.curves[stream.ID(sid)] = cv
+	// per-core reuse would survive replication. In pipelined mode the
+	// curves come from the epoch worker (which has, by hand-off order,
+	// already applied every observation of the closing epoch); the
+	// extraction itself is the shared harvestCurves, so both modes
+	// produce identical curves.
+	var hg, hl []harvestedCurve
+	if s.pipe != nil {
+		rep := s.pipe.harvest()
+		s.tel.Observes = rep.observes
+		hg, hl = rep.global, rep.local
+	} else {
+		hg, hl = harvestCurves(s.samplers)
 	}
-	for _, row := range s.samplers.local {
-		for sid, smp := range row {
-			if smp == nil || smp.Accesses() == 0 {
-				continue
-			}
-			cv := smp.Curve()
-			if len(cv.Points) == 0 {
-				continue
-			}
-			cv.Accesses = totals[stream.ID(sid)]
-			s.localCurves[stream.ID(sid)] = cv
-		}
+	for _, h := range hg {
+		h.cv.Accesses = totals[h.sid]
+		s.curves[h.sid] = h.cv
+	}
+	for _, h := range hl {
+		h.cv.Accesses = totals[h.sid]
+		s.localCurves[h.sid] = h.cv
 	}
 
 	// Build the configuration inputs from the decayed history (covers
@@ -512,78 +508,23 @@ func (s *ndpSim) epochBoundary() {
 	// epoch's access bitvectors. If the previous epoch could not cover
 	// every stream, last epoch's uncovered streams are assigned first
 	// and the leftover sampler slots go to the rest (the multi-epoch
-	// rotation of §V-B).
-	sids := make([]stream.ID, 0, len(totals))
-	for sid := range totals {
-		sids = append(sids, sid)
-	}
-	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
-	unitsOf := func(sid stream.ID) []int {
-		units := make([]int, 0, len(accBy[sid]))
-		for u := range accBy[sid] {
-			units = append(units, u)
-		}
-		sort.Ints(units)
-		return units
-	}
-
-	caps := make([]int, s.cfg.NumUnits())
-	for u := range caps {
-		caps[u] = s.cfg.Sampler.SamplersPerUnit
-	}
-	// Dead vaults host no samplers: the max-flow assignment runs over
-	// surviving units only.
-	for _, u := range failed {
-		caps[u] = 0
-	}
-	s.samplers.retire()
-	install := func(u int, sid stream.ID) {
-		s.samplers.local[u][sid] = s.samplers.get(s.cfg.Sampler, s.itemBytes(sid))
-		s.samplers.global[sid] = s.samplers.get(s.cfg.Sampler, s.itemBytes(sid))
-		caps[u]--
-	}
-
+	// rotation of §V-B). The job's inputs are built here (they depend on
+	// the injector and the stream table, both owned by the event-loop
+	// thread); in pipelined mode its execution moves to the epoch
+	// worker, overlapping the next epoch's event loop, and is joined
+	// lazily — immediately only when OnEpoch needs the coverage count.
+	job := s.buildReassignJob(totals, accBy, failed)
 	covered := 0
-	if len(s.uncovered) > 0 {
-		var prio []stream.ID
-		for _, sid := range sids {
-			if s.uncovered[sid] {
-				prio = append(prio, sid)
-			}
+	if s.pipe != nil {
+		if s.cfg.OnEpoch != nil {
+			covered = s.pipe.reassignSync(job)
+			s.tel.SamplerCovered = covered
+		} else {
+			s.pipe.reassignAsync(job)
 		}
-		accessedBy := make([][]int, len(prio))
-		for i, sid := range prio {
-			accessedBy[i] = unitsOf(sid)
-		}
-		first := maxflow.AssignSamplersCapacity(s.cfg.NumUnits(), accessedBy, caps)
-		covered += first.Covered
-		for u, list := range first.ByUnit {
-			for _, si := range list {
-				install(u, prio[si])
-			}
-		}
-	}
-	var rest []stream.ID
-	for _, sid := range sids {
-		if s.samplers.global[sid] == nil {
-			rest = append(rest, sid)
-		}
-	}
-	accessedBy := make([][]int, len(rest))
-	for i, sid := range rest {
-		accessedBy[i] = unitsOf(sid)
-	}
-	assign := maxflow.AssignSamplersCapacity(s.cfg.NumUnits(), accessedBy, caps)
-	covered += assign.Covered
-	for u, list := range assign.ByUnit {
-		for _, si := range list {
-			install(u, rest[si])
-		}
-	}
-	s.tel.SamplerCovered = covered
-	s.uncovered = make(map[stream.ID]bool)
-	for _, si := range assign.Uncovered {
-		s.uncovered[rest[si]] = true
+	} else {
+		covered, s.uncovered = job.run(s.samplers, s.uncovered)
+		s.tel.SamplerCovered = covered
 	}
 
 	if s.cfg.OnEpoch != nil {
@@ -600,4 +541,154 @@ func (s *ndpSim) epochBoundary() {
 			Counters:        s.tel.Snapshot(),
 		})
 	}
+}
+
+// harvestedCurve is one sampler's extracted miss curve, tagged with the
+// stream it was assigned to.
+type harvestedCurve struct {
+	sid stream.ID
+	cv  sampler.Curve
+}
+
+// harvestCurves extracts the miss curve every installed sampler observed
+// this epoch, in deterministic bank order (the global bank by ascending
+// stream ID, then each unit's local bank). Samplers that saw no accesses
+// or produced empty curves are skipped. The function is shared by the
+// serial epoch boundary and the epoch-pipeline worker so both modes
+// extract bit-identical curves.
+func harvestCurves(b *samplerBank) (global, local []harvestedCurve) {
+	for sid, smp := range b.global {
+		if smp == nil || smp.Accesses() == 0 {
+			continue
+		}
+		cv := smp.Curve()
+		if len(cv.Points) == 0 {
+			continue
+		}
+		global = append(global, harvestedCurve{stream.ID(sid), cv})
+	}
+	for _, row := range b.local {
+		for sid, smp := range row {
+			if smp == nil || smp.Accesses() == 0 {
+				continue
+			}
+			cv := smp.Curve()
+			if len(cv.Points) == 0 {
+				continue
+			}
+			local = append(local, harvestedCurve{stream.ID(sid), cv})
+		}
+	}
+	return global, local
+}
+
+// reassignJob is the immutable input of one epoch's sampler
+// reassignment: which streams were accessed (ascending), from which
+// units, at what sampler item granularity, and how many sampler slots
+// each unit offers (zero on failed vaults). It is built on the
+// event-loop thread — its inputs depend on the fault injector and the
+// stream table, both owned there — and executed either inline (serial
+// mode) or on the epoch-pipeline worker.
+type reassignJob struct {
+	sids      []stream.ID
+	unitsOf   [][]int
+	itemBytes []int
+	caps      []int
+	scfg      sampler.Config
+	numUnits  int
+}
+
+// buildReassignJob snapshots this epoch's access bitvectors and machine
+// state into a reassignment job.
+func (s *ndpSim) buildReassignJob(totals map[stream.ID]uint64, accBy map[stream.ID]map[int]uint64, failed []int) *reassignJob {
+	j := &reassignJob{
+		sids:     make([]stream.ID, 0, len(totals)),
+		scfg:     s.cfg.Sampler,
+		numUnits: s.cfg.NumUnits(),
+	}
+	for sid := range totals {
+		j.sids = append(j.sids, sid)
+	}
+	sort.Slice(j.sids, func(i, k int) bool { return j.sids[i] < j.sids[k] })
+	j.unitsOf = make([][]int, len(j.sids))
+	j.itemBytes = make([]int, len(j.sids))
+	for i, sid := range j.sids {
+		units := make([]int, 0, len(accBy[sid]))
+		for u := range accBy[sid] {
+			units = append(units, u)
+		}
+		sort.Ints(units)
+		j.unitsOf[i] = units
+		j.itemBytes[i] = s.itemBytes(sid)
+	}
+	j.caps = make([]int, j.numUnits)
+	for u := range j.caps {
+		j.caps[u] = s.cfg.Sampler.SamplersPerUnit
+	}
+	// Dead vaults host no samplers: the max-flow assignment runs over
+	// surviving units only.
+	for _, u := range failed {
+		j.caps[u] = 0
+	}
+	return j
+}
+
+// run retires the bank and installs the next epoch's samplers via
+// max-flow, honoring the §V-B rotation: streams the previous epoch could
+// not cover are assigned first, then the leftover slots go to the rest.
+// It returns the covered-stream count and the new uncovered set. The
+// receiver-side state (bank, uncovered) belongs to whichever goroutine
+// executes the job — the event loop in serial mode, the epoch worker in
+// pipelined mode — so the same code serves both byte-identically.
+func (j *reassignJob) run(bank *samplerBank, uncovered map[stream.ID]bool) (int, map[stream.ID]bool) {
+	bank.retire()
+	install := func(u, i int) {
+		sid := j.sids[i]
+		bank.local[u][sid] = bank.get(j.scfg, j.itemBytes[i])
+		bank.global[sid] = bank.get(j.scfg, j.itemBytes[i])
+		j.caps[u]--
+	}
+
+	covered := 0
+	if len(uncovered) > 0 {
+		var prio []int
+		for i, sid := range j.sids {
+			if uncovered[sid] {
+				prio = append(prio, i)
+			}
+		}
+		accessedBy := make([][]int, len(prio))
+		for k, i := range prio {
+			accessedBy[k] = j.unitsOf[i]
+		}
+		first := maxflow.AssignSamplersCapacity(j.numUnits, accessedBy, j.caps)
+		covered += first.Covered
+		for u, list := range first.ByUnit {
+			for _, si := range list {
+				install(u, prio[si])
+			}
+		}
+	}
+	var rest []int
+	for i, sid := range j.sids {
+		if bank.global[sid] == nil {
+			rest = append(rest, i)
+		}
+	}
+	accessedBy := make([][]int, len(rest))
+	for k, i := range rest {
+		accessedBy[k] = j.unitsOf[i]
+	}
+	assign := maxflow.AssignSamplersCapacity(j.numUnits, accessedBy, j.caps)
+	covered += assign.Covered
+	for u, list := range assign.ByUnit {
+		for _, si := range list {
+			install(u, rest[si])
+		}
+	}
+	next := make(map[stream.ID]bool)
+	for _, si := range assign.Uncovered {
+		next[j.sids[rest[si]]] = true
+	}
+	return covered, next
 }

@@ -1,0 +1,141 @@
+package system
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// serialVsPipelined runs the same config + trace through both modes and
+// fails on any externally visible divergence: the fingerprint (every
+// Result field), the per-stream reports, and the full telemetry
+// registry must all be byte-identical.
+func serialVsPipelined(t *testing.T, cfg Config, workload string) {
+	t.Helper()
+	tr := tinyTrace(t, workload)
+	serial, err := Run(cfg, tr.Clone())
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	par, err := RunPipelined(cfg, tr.Clone())
+	if err != nil {
+		t.Fatalf("pipelined: %v", err)
+	}
+	if fp(serial) != fp(par) {
+		t.Fatalf("fingerprint diverged:\nserial    %+v\npipelined %+v", fp(serial), fp(par))
+	}
+	if !reflect.DeepEqual(serial.StreamReports(), par.StreamReports()) {
+		t.Fatalf("stream reports diverged:\nserial    %+v\npipelined %+v",
+			serial.StreamReports(), par.StreamReports())
+	}
+	sm, _ := json.Marshal(serial.Metrics())
+	pm, _ := json.Marshal(par.Metrics())
+	if string(sm) != string(pm) {
+		t.Fatalf("metrics registry diverged:\nserial    %s\npipelined %s", sm, pm)
+	}
+}
+
+// Every NDP design must produce byte-identical results in pipelined
+// mode, including the designs that do not profile (they fall back to the
+// serial path internally, but the entry point must still work).
+func TestPipelinedMatchesSerialAllDesigns(t *testing.T) {
+	for _, d := range NDPDesigns() {
+		t.Run(d.String(), func(t *testing.T) {
+			serialVsPipelined(t, smallConfig(d), "pr")
+		})
+	}
+}
+
+// Parity across contrasting access patterns for the main design.
+func TestPipelinedMatchesSerialWorkloads(t *testing.T) {
+	for _, w := range []string{"recsys", "gnn", "bfs", "backprop"} {
+		t.Run(w, func(t *testing.T) {
+			serialVsPipelined(t, smallConfig(NDPExt), w)
+		})
+	}
+}
+
+// Fault injection exercises the degraded epoch boundary: dead vaults
+// zero sampler capacity in the reassignment job and force remaps. The
+// pipeline must carry those inputs to the worker unchanged.
+func TestPipelinedMatchesSerialFaults(t *testing.T) {
+	cfg := faultConfig(t, NDPExt,
+		"vault-fail,unit=5,at=100us;cxl-retry,rate=0.05,lat=200ns;cxl-degrade,at=200us,dur=100us,factor=4")
+	serialVsPipelined(t, cfg, "pr")
+}
+
+// OnEpoch forces the synchronous reassignment join; the per-epoch info
+// stream must match the serial run field for field.
+func TestPipelinedOnEpochParity(t *testing.T) {
+	tr := tinyTrace(t, "pr")
+	collect := func(pipelined bool) []EpochInfo {
+		var infos []EpochInfo
+		cfg := smallConfig(NDPExt)
+		cfg.OnEpoch = func(ei EpochInfo) { infos = append(infos, ei) }
+		run := Run
+		if pipelined {
+			run = RunPipelined
+		}
+		if _, err := run(cfg, tr.Clone()); err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+		return infos
+	}
+	serial := collect(false)
+	par := collect(true)
+	if len(serial) == 0 {
+		t.Fatal("no epochs observed")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("epoch info diverged:\nserial    %+v\npipelined %+v", serial, par)
+	}
+}
+
+// Cancellation mid-run must drain the pipeline cleanly and flush the
+// same partial-statistics shape as the serial path (Truncated set, the
+// context error returned).
+func TestPipelinedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := smallConfig(NDPExt)
+	cfg.OnEpoch = func(EpochInfo) { cancel() } // cancel mid-run, after the first boundary
+	tr := tinyTrace(t, "pr")
+	res, err := RunPipelinedContext(ctx, cfg, tr)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if res == nil || !res.Truncated || res.TruncateReason != truncatedCanceled {
+		t.Fatalf("partial result not marked canceled: %+v", res)
+	}
+}
+
+// A tripped wall-clock watchdog must likewise join the worker before
+// finishStats reads the counters.
+func TestPipelinedWatchdog(t *testing.T) {
+	cfg := smallConfig(NDPExt)
+	cfg.MaxWall = time.Nanosecond
+	res, err := RunPipelined(cfg, tinyTrace(t, "pr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("watchdog did not trip")
+	}
+}
+
+// A panic inside worker-side code must surface on the caller's
+// goroutine, exactly where the serial path would have raised it.
+func TestPipePanicPropagates(t *testing.T) {
+	bank := newSamplerBank(2)
+	cfg := smallConfig(NDPExt)
+	p := newEpochPipe(bank, cfg.Sampler)
+	p.observe(99, 1, 0) // out-of-range unit: worker's apply will panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	p.harvest()
+}

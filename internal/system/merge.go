@@ -1,0 +1,146 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"ndpext/internal/energy"
+	"ndpext/internal/stream"
+	"ndpext/internal/telemetry"
+)
+
+// MergeShardResults combines per-shard Results from a sharded parallel
+// run (each shard simulated the full machine over a disjoint subset of
+// the cores) into one run-level Result. The merge is deterministic —
+// a pure function of the parts in shard order — but the merged result is
+// only STATISTICALLY equivalent to the serial run, not byte-identical:
+// sharding removes the cross-core interleaving at shared resources, so
+// queueing, cache contention, and epoch decisions all shift slightly.
+// stats.Equivalent is the fence that bounds the drift.
+//
+// Merge semantics, metric by metric:
+//
+//   - Counters (accesses, hits, misses, latency buckets, energy's
+//     dynamic terms, the full telemetry registry) add: each access was
+//     simulated exactly once, in exactly one shard.
+//   - Time is the max over shards — the makespan of the slowest shard,
+//     exactly as the serial makespan is the max over cores.
+//   - StaticPJ is recomputed from the merged makespan (summing would
+//     multiply the machine's static power by the shard count).
+//   - Derived rates (cache/SLB/metadata hit rates) are recomputed from
+//     the merged counters, not averaged.
+//   - Last-epoch gauges (ReplicatedRows, RowsAllocated, SamplerCovered)
+//     take the max: each shard ran its own configurator over the full
+//     capacity, so these are per-shard snapshots of the same physical
+//     machine, and summing would exceed it.
+//   - Per-stream reports merge by stream ID: hit/miss tallies add; the
+//     capacity fields (Rows, Groups, KneeBytes) come from the shard that
+//     saw the stream hardest (most hits+misses, ties to the lowest
+//     shard index).
+func MergeShardResults(cfg Config, parts []*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("system: no shard results to merge")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("system: shard %d result is nil", i)
+		}
+		if p.Design != parts[0].Design {
+			return nil, fmt.Errorf("system: shard %d design %v, shard 0 %v",
+				i, p.Design, parts[0].Design)
+		}
+	}
+	out := &Result{
+		Design:   parts[0].Design,
+		Workload: parts[0].Workload,
+	}
+	regs := make([]*telemetry.Registry, len(parts))
+	for i, p := range parts {
+		regs[i] = p.metrics
+		if p.Time > out.Time {
+			out.Time = p.Time
+		}
+		out.Accesses += p.Accesses
+		out.L1Hits += p.L1Hits
+		out.Breakdown.Core += p.Breakdown.Core
+		out.Breakdown.Meta += p.Breakdown.Meta
+		out.Breakdown.IntraNoC += p.Breakdown.IntraNoC
+		out.Breakdown.InterNoC += p.Breakdown.InterNoC
+		out.Breakdown.CacheDRAM += p.Breakdown.CacheDRAM
+		out.Breakdown.Extended += p.Breakdown.Extended
+		out.Breakdown.Accesses += p.Breakdown.Accesses
+		out.CacheHits += p.CacheHits
+		out.CacheMisses += p.CacheMisses
+		out.Energy.NDPDramPJ += p.Energy.NDPDramPJ
+		out.Energy.ExtDramPJ += p.Energy.ExtDramPJ
+		out.Energy.NoCPJ += p.Energy.NoCPJ
+		out.Energy.CXLLinkPJ += p.Energy.CXLLinkPJ
+		out.Energy.SRAMPJ += p.Energy.SRAMPJ
+		out.Reconfigs += p.Reconfigs
+		out.ReconfigKept += p.ReconfigKept
+		out.ReconfigDropped += p.ReconfigDropped
+		out.Exceptions += p.Exceptions
+		if p.ReplicatedRows > out.ReplicatedRows {
+			out.ReplicatedRows = p.ReplicatedRows
+		}
+		if p.RowsAllocated > out.RowsAllocated {
+			out.RowsAllocated = p.RowsAllocated
+		}
+		if p.SamplerCovered > out.SamplerCovered {
+			out.SamplerCovered = p.SamplerCovered
+		}
+		if p.Truncated && !out.Truncated {
+			out.Truncated = true
+			out.TruncateReason = p.TruncateReason
+		}
+	}
+	out.metrics = telemetry.MergeRegistries(regs...)
+	// Static energy scales with the machine's wall-clock, which after the
+	// merge is the combined makespan, and with ONE machine's static power.
+	out.Energy.StaticPJ = energy.Static(staticPowerMW(&cfg), out.Time)
+	// Derived hit rates come from the merged counters.
+	streamCache := out.metrics.Has("streamcache.hits") || out.metrics.Has("streamcache.slb_hits")
+	if t := out.metrics.Uint("streamcache.slb_hits") + out.metrics.Uint("streamcache.slb_misses"); t > 0 {
+		out.SLBHitRate = float64(out.metrics.Uint("streamcache.slb_hits")) / float64(t)
+	}
+	if t := out.metrics.Uint("nuca.meta_hits") + out.metrics.Uint("nuca.meta_misses"); t > 0 {
+		out.MetaHitRate = float64(out.metrics.Uint("nuca.meta_hits")) / float64(t)
+	}
+	out.CacheHits = cacheHits(out.metrics, streamCache)
+	out.CacheMisses = cacheMisses(out.metrics, streamCache)
+	out.streams = mergeStreamReports(parts)
+	return out, nil
+}
+
+// mergeStreamReports merges per-stream diagnostics by stream ID.
+func mergeStreamReports(parts []*Result) []StreamReport {
+	merged := make(map[stream.ID]*StreamReport)
+	repWeight := make(map[stream.ID]uint64) // representative shard's traffic
+	var order []stream.ID
+	for _, p := range parts {
+		for _, sr := range p.streams {
+			m, ok := merged[sr.SID]
+			if !ok {
+				cp := sr
+				merged[sr.SID] = &cp
+				repWeight[sr.SID] = sr.Hits + sr.Misses
+				order = append(order, sr.SID)
+				continue
+			}
+			if w := sr.Hits + sr.Misses; w > repWeight[sr.SID] {
+				// This shard saw the stream hardest: its capacity view
+				// (Rows, Groups, KneeBytes) represents the stream.
+				m.Rows, m.Groups, m.KneeBytes = sr.Rows, sr.Groups, sr.KneeBytes
+				repWeight[sr.SID] = w
+			}
+			m.Hits += sr.Hits
+			m.Misses += sr.Misses
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]StreamReport, 0, len(order))
+	for _, sid := range order {
+		out = append(out, *merged[sid])
+	}
+	return out
+}

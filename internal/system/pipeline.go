@@ -1,0 +1,274 @@
+package system
+
+import (
+	"ndpext/internal/sampler"
+	"ndpext/internal/stream"
+)
+
+// The epoch pipeline overlaps the host runtime's sampler bookkeeping
+// with the event-loop simulation, byte-identically to the serial path.
+//
+// The key observation is that sampler observations never influence the
+// timing of the epoch that produces them: Observe feeds shadow state
+// whose only outputs are the miss curves harvested at the next epoch
+// boundary and the Observes counter (SRAM energy). So the event loop can
+// hand each observation to a dedicated worker goroutine over a bounded
+// channel of immutable batches, and keep simulating. The boundary then
+// proceeds in three beats:
+//
+//  1. join — the boundary flushes the batch in flight and asks the
+//     worker to harvest curves; FIFO hand-off order guarantees every
+//     observation of the closing epoch has been applied first.
+//  2. solve — the configuration solve (policy.Optimize / nuca.Configure)
+//     and Apply run on the event-loop thread: the next epoch's accesses
+//     depend on the installed allocation, so this part is inherently
+//     serial and stays the critical path.
+//  3. detach — the sampler reassignment (retire, max-flow, install) is
+//     posted to the worker and overlaps the next epoch's event loop.
+//     Observations of the next epoch queue behind it, so they meet the
+//     newly installed samplers exactly as they would serially.
+//
+// Everything the worker owns after start-up — the sampler bank, the
+// uncovered-stream rotation set, the observation counter — is touched by
+// the event-loop thread only through the channel protocol, and rejoined
+// at the boundary (curves, counters) or at end of run.
+const (
+	// obsBatchSize is the hand-off granularity: big enough to amortize
+	// channel overhead, small enough that a batch is cache-resident.
+	obsBatchSize = 4096
+	// pipeDepth bounds batches in flight; the event loop backpressures
+	// (blocks on send) rather than queueing unbounded observations.
+	pipeDepth = 8
+)
+
+// obs is one sampler observation: the unit that served the access, the
+// stream it belongs to, and the item ID observed.
+type obs struct {
+	unit int32
+	sid  stream.ID
+	item uint64
+}
+
+// harvestReply carries one epoch's curves (and the authoritative
+// observation counter) back to the event-loop thread.
+type harvestReply struct {
+	global, local []harvestedCurve
+	observes      uint64
+	panicked      any
+}
+
+// jobReply acknowledges a synchronous reassignment.
+type jobReply struct {
+	covered  int
+	panicked any
+}
+
+// finalReply is the end-of-run join.
+type finalReply struct {
+	observes uint64
+	covered  int
+	panicked any
+}
+
+// pipeMsg is one hand-off message; exactly one field is set.
+type pipeMsg struct {
+	batch   []obs
+	harvest chan harvestReply
+	job     *reassignJob
+	jobDone chan jobReply // non-nil with job: caller wants the coverage count now
+	final   chan finalReply
+}
+
+// epochPipe is the event-loop side of the pipeline plus the worker's
+// exclusive state.
+type epochPipe struct {
+	msgs chan pipeMsg
+	free chan []obs // batch recycling; best-effort
+	cur  []obs
+
+	// Worker-owned after newEpochPipe returns.
+	bank      *samplerBank
+	scfg      sampler.Config
+	observes  uint64
+	uncovered map[stream.ID]bool
+	covered   int
+	panicked  any
+}
+
+// newEpochPipe starts the epoch worker over the given sampler bank. The
+// caller must not touch the bank again until the pipe is closed.
+func newEpochPipe(bank *samplerBank, scfg sampler.Config) *epochPipe {
+	p := &epochPipe{
+		msgs: make(chan pipeMsg, pipeDepth),
+		free: make(chan []obs, pipeDepth+1),
+		cur:  make([]obs, 0, obsBatchSize),
+		bank: bank,
+		scfg: scfg,
+	}
+	go p.worker()
+	return p
+}
+
+// observe is the pipelined counterpart of ndpSim.observe: record the
+// observation and hand it off once the batch fills. Runs on the
+// event-loop thread.
+func (p *epochPipe) observe(unit int, sid stream.ID, item uint64) {
+	p.cur = append(p.cur, obs{unit: int32(unit), sid: sid, item: item})
+	if len(p.cur) == cap(p.cur) {
+		p.flush()
+	}
+}
+
+// flush sends the batch in flight (if any) and takes a recycled one.
+func (p *epochPipe) flush() {
+	if len(p.cur) == 0 {
+		return
+	}
+	p.msgs <- pipeMsg{batch: p.cur}
+	select {
+	case b := <-p.free:
+		p.cur = b[:0]
+	default:
+		p.cur = make([]obs, 0, obsBatchSize)
+	}
+}
+
+// harvest drains every pending observation and returns the epoch's
+// curves. Called at the boundary, before the configuration solve.
+func (p *epochPipe) harvest() harvestReply {
+	p.flush()
+	ch := make(chan harvestReply, 1)
+	p.msgs <- pipeMsg{harvest: ch}
+	rep := <-ch
+	if rep.panicked != nil {
+		panic(rep.panicked)
+	}
+	return rep
+}
+
+// reassignAsync posts the reassignment without waiting: the worker runs
+// it concurrently with the next epoch's event loop.
+func (p *epochPipe) reassignAsync(job *reassignJob) {
+	p.msgs <- pipeMsg{job: job}
+}
+
+// reassignSync posts the reassignment and waits for the coverage count
+// (needed when Config.OnEpoch observes it at the boundary).
+func (p *epochPipe) reassignSync(job *reassignJob) int {
+	ch := make(chan jobReply, 1)
+	p.msgs <- pipeMsg{job: job, jobDone: ch}
+	rep := <-ch
+	if rep.panicked != nil {
+		panic(rep.panicked)
+	}
+	return rep.covered
+}
+
+// close drains the pipeline, stops the worker, and returns the final
+// counters. A panic that escaped the worker is re-raised here, on the
+// event-loop thread, where the serial path would have raised it.
+func (p *epochPipe) close() finalReply {
+	p.flush()
+	ch := make(chan finalReply, 1)
+	p.msgs <- pipeMsg{final: ch}
+	rep := <-ch
+	if rep.panicked != nil {
+		panic(rep.panicked)
+	}
+	return rep
+}
+
+// abort stops the worker without joining its results or re-raising its
+// panic — the crash-cleanup path, called while the event-loop thread is
+// itself unwinding a panic. The worker stays alive until it sees the
+// final marker (it answers joins even when poisoned), so the send and
+// receive both complete.
+func (p *epochPipe) abort() {
+	ch := make(chan finalReply, 1)
+	p.msgs <- pipeMsg{final: ch}
+	<-ch
+}
+
+// worker is the epoch worker's loop: apply observation batches, harvest
+// curves, run reassignments — strictly in hand-off order.
+func (p *epochPipe) worker() {
+	for m := range p.msgs {
+		p.step(m)
+		if m.final != nil {
+			m.final <- finalReply{observes: p.observes, covered: p.covered, panicked: p.panicked}
+			return
+		}
+	}
+}
+
+// step processes one message. A panic inside sampler or max-flow code is
+// captured and the pipe poisoned: state stops advancing, every
+// subsequent join is answered with the panic value so the event loop
+// re-raises it instead of deadlocking.
+func (p *epochPipe) step(m pipeMsg) {
+	replied := false
+	defer func() {
+		if r := recover(); r != nil {
+			if p.panicked == nil {
+				p.panicked = r
+			}
+			if !replied {
+				if m.harvest != nil {
+					m.harvest <- harvestReply{panicked: p.panicked}
+				}
+				if m.jobDone != nil {
+					m.jobDone <- jobReply{panicked: p.panicked}
+				}
+			}
+		}
+	}()
+	if p.panicked != nil {
+		if m.harvest != nil {
+			m.harvest <- harvestReply{panicked: p.panicked}
+		}
+		if m.jobDone != nil {
+			m.jobDone <- jobReply{panicked: p.panicked}
+		}
+		replied = true
+		return
+	}
+	switch {
+	case m.batch != nil:
+		for _, o := range m.batch {
+			p.apply(o)
+		}
+		select {
+		case p.free <- m.batch:
+		default:
+		}
+	case m.harvest != nil:
+		g, l := harvestCurves(p.bank)
+		m.harvest <- harvestReply{global: g, local: l, observes: p.observes}
+		replied = true
+	case m.job != nil:
+		p.covered, p.uncovered = m.job.run(p.bank, p.uncovered)
+		if m.jobDone != nil {
+			m.jobDone <- jobReply{covered: p.covered}
+			replied = true
+		}
+	}
+}
+
+// apply feeds one observation to the stream's samplers — the same
+// local/global/pair logic as ndpSim.observe, applied in identical order,
+// so shadow state and the Observes counter match the serial run exactly.
+func (p *epochPipe) apply(o obs) {
+	l := p.bank.local[o.unit][o.sid]
+	g := p.bank.global[o.sid]
+	switch {
+	case l != nil && g != nil:
+		sampler.ObservePair(l, g, o.item)
+		p.observes += 2
+	case g != nil:
+		g.Observe(o.item)
+		p.observes++
+	case l != nil:
+		l.Observe(o.item)
+		p.observes++
+	}
+}

@@ -116,7 +116,7 @@ func Run(cfg Config, tr *workloads.Trace) (*Result, error) {
 // the Result on error; callers that checkpoint (the serving layer) use
 // both.
 func RunContext(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
-	return runInput(ctx, cfg, traceInput(tr))
+	return runInput(ctx, cfg, traceInput(tr), false)
 }
 
 // RunSource simulates a streaming access source (e.g. a recorded trace
@@ -130,7 +130,36 @@ func RunSource(cfg Config, src workloads.Source) (*Result, error) {
 // run. A source read error surfaces after the event loop alongside the
 // partial Result.
 func RunSourceContext(ctx context.Context, cfg Config, src workloads.Source) (*Result, error) {
-	return runInput(ctx, cfg, sourceInput(src))
+	return runInput(ctx, cfg, sourceInput(src), false)
+}
+
+// RunPipelined simulates the trace with the epoch pipeline: sampler and
+// miss-curve bookkeeping for each epoch runs on a dedicated worker
+// goroutine, overlapping the event-loop simulation of the next epoch.
+// The result is byte-identical to Run on the same inputs — the pipeline
+// changes where the bookkeeping runs, never what it computes — so cached
+// and golden results are interchangeable between the two modes. Designs
+// without epoch profiling (Host, NDPExtStatic, StaticInterleave) fall
+// back to the serial path.
+func RunPipelined(cfg Config, tr *workloads.Trace) (*Result, error) {
+	return RunPipelinedContext(context.Background(), cfg, tr)
+}
+
+// RunPipelinedContext is RunPipelined with cooperative cancellation
+// (RunContext's contract).
+func RunPipelinedContext(ctx context.Context, cfg Config, tr *workloads.Trace) (*Result, error) {
+	return runInput(ctx, cfg, traceInput(tr), true)
+}
+
+// RunSourcePipelined is RunSource with the epoch pipeline (RunPipelined's
+// byte-identity contract).
+func RunSourcePipelined(cfg Config, src workloads.Source) (*Result, error) {
+	return RunSourcePipelinedContext(context.Background(), cfg, src)
+}
+
+// RunSourcePipelinedContext is RunSourceContext with the epoch pipeline.
+func RunSourcePipelinedContext(ctx context.Context, cfg Config, src workloads.Source) (*Result, error) {
+	return runInput(ctx, cfg, sourceInput(src), true)
 }
 
 // simInput is the normalized workload feed handed to the simulators:
@@ -180,7 +209,7 @@ func (in *simInput) err() error {
 }
 
 // runInput validates and dispatches one simulation.
-func runInput(ctx context.Context, cfg Config, in simInput) (*Result, error) {
+func runInput(ctx context.Context, cfg Config, in simInput, pipelined bool) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -200,6 +229,21 @@ func runInput(ctx context.Context, cfg Config, in simInput) (*Result, error) {
 	}
 	s.ctx = ctx
 	s.bootstrap()
+	if pipelined && s.profiles() {
+		// Start the epoch worker only after bootstrap installed the
+		// initial samplers: bank ownership transfers to the worker here.
+		s.pipe = newEpochPipe(s.samplers, s.cfg.Sampler)
+		s.deps.observe = s.pipe.observe
+		// If the event loop panics (a simulator bug surfacing mid-run),
+		// stop the worker so the panic-isolating callers (the ndpserve
+		// scheduler) do not leak a goroutine per failed job. The normal
+		// path clears s.pipe before finishStats.
+		defer func() {
+			if s.pipe != nil {
+				s.pipe.abort()
+			}
+		}()
+	}
 	s.loop()
 	if err := in.err(); err != nil {
 		return s.result(), fmt.Errorf("system: access feed failed mid-run: %w", err)
@@ -315,6 +359,9 @@ type ndpSim struct {
 	tel   telemetry.Counters
 	probe telemetry.Probe
 
+	deps *pathDeps // the serving path's wiring; observe is re-pointed in pipelined mode
+	pipe *epochPipe // non-nil in pipelined mode: the epoch bookkeeping worker
+
 	att [][]float64 // attenuation factors for the policy
 
 	samplers    *samplerBank                  // local + global samplers, pooled
@@ -387,6 +434,7 @@ func newNDPSim(cfg Config, in simInput) (*ndpSim, error) {
 		observe: s.observe,
 		inj:     s.inj,
 	}
+	s.deps = deps
 	switch cfg.Design {
 	case NDPExt, NDPExtStatic:
 		s.sc = streamcache.NewController(cfg.Stream, n, in.table)
@@ -483,6 +531,17 @@ func (s *ndpSim) loop() {
 		}
 	}
 	s.res.Time = end
+	if s.pipe != nil {
+		// End-of-run join: drain every observation still in flight and
+		// adopt the worker's authoritative counters before finishStats
+		// reads them. s.pipe is cleared first so the runInput panic
+		// guard does not double-close on a worker panic re-raised here.
+		p := s.pipe
+		s.pipe = nil
+		rep := p.close()
+		s.tel.Observes = rep.observes
+		s.tel.SamplerCovered = rep.covered
+	}
 	s.finishStats()
 }
 
@@ -569,8 +628,7 @@ func (s *ndpSim) finishStats() {
 	// energies are summed in registration (device) order so the floating-
 	// point result matches the pre-telemetry accumulation exactly.
 	ndpDram := reg.SumFloat("dram.unit")
-	staticMW := float64(s.cfg.NumUnits())*(s.cfg.Mem.StaticMWPerU+s.cfg.CoreStaticMW) +
-		float64(s.cfg.CXL.Channels)*s.cfg.CXL.DRAM.StaticMWPerU
+	staticMW := staticPowerMW(&s.cfg)
 	// SRAM access energy (§VI: the paper models SLB/ATA/samplers with
 	// CACTI; the baselines' metadata caches get the same treatment).
 	var sram float64
@@ -632,6 +690,15 @@ func cacheMisses(reg *telemetry.Registry, streamCache bool) uint64 {
 			reg.Uint("streamcache.no_space") + reg.Uint("streamcache.bypasses")
 	}
 	return reg.Uint("nuca.misses")
+}
+
+// staticPowerMW is the machine's static power draw: every NDP unit's
+// DRAM + core static power plus the extended memory's. Shared by
+// finishStats and the shard merge so both derive StaticPJ from the same
+// expression.
+func staticPowerMW(cfg *Config) float64 {
+	return float64(cfg.NumUnits())*(cfg.Mem.StaticMWPerU+cfg.CoreStaticMW) +
+		float64(cfg.CXL.Channels)*cfg.CXL.DRAM.StaticMWPerU
 }
 
 func (s *ndpSim) result() *Result { return &s.res }

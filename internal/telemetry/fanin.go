@@ -1,0 +1,95 @@
+package telemetry
+
+// Shard fan-in: deterministic probe and registry merging for parallel
+// simulation modes that split one logical run across several simulator
+// instances (internal/parallel's sharded mode).
+//
+// Ordering contract: each shard's events are delivered in that shard's
+// simulation order (the same order a serial run of that shard would
+// produce), and Drain replays the shards back-to-back in ascending shard
+// index — a documented per-shard order, not a global timestamp
+// interleave. The merged sequence is therefore a pure function of the
+// inputs: two runs of the same sharded simulation drain byte-identical
+// event streams regardless of goroutine scheduling.
+
+// ShardFanIn collects per-access events from N concurrent shards into
+// per-shard buffers and replays them deterministically after the run.
+// Each shard writes only to its own buffer, so the probes are race-free
+// without locks; Drain must not be called until every shard's simulation
+// has finished.
+type ShardFanIn struct {
+	buffers [][]Event
+}
+
+// NewShardFanIn returns a fan-in for n shards.
+func NewShardFanIn(n int) *ShardFanIn {
+	return &ShardFanIn{buffers: make([][]Event, n)}
+}
+
+// shardProbe buffers one shard's events by value (the simulator reuses
+// the *Event backing storage between calls).
+type shardProbe struct {
+	f     *ShardFanIn
+	shard int
+}
+
+func (p *shardProbe) Record(ev *Event) {
+	p.f.buffers[p.shard] = append(p.f.buffers[p.shard], *ev)
+}
+
+// Probe returns shard i's buffering probe. Each returned probe must only
+// be invoked from its own shard's simulation goroutine.
+func (f *ShardFanIn) Probe(shard int) Probe { return &shardProbe{f: f, shard: shard} }
+
+// Len returns the total buffered event count.
+func (f *ShardFanIn) Len() int {
+	n := 0
+	for _, b := range f.buffers {
+		n += len(b)
+	}
+	return n
+}
+
+// Drain replays every buffered event into sink in the deterministic
+// merged order (shard 0's events in shard order, then shard 1's, ...),
+// renumbering Seq to be contiguous across the merged stream, and
+// releases the buffers.
+func (f *ShardFanIn) Drain(sink Probe) {
+	if sink == nil {
+		f.buffers = nil
+		return
+	}
+	var seq uint64
+	for _, b := range f.buffers {
+		for i := range b {
+			b[i].Seq = seq
+			seq++
+			sink.Record(&b[i])
+		}
+	}
+	f.buffers = nil
+}
+
+// MergeRegistries sums the parts into one registry: metrics are combined
+// by name (uints, floats, and times each add), and names appear in
+// first-seen registration order across the parts, so the merged
+// registry — like its inputs — is deterministic. Nil parts are skipped.
+func MergeRegistries(parts ...*Registry) *Registry {
+	out := NewRegistry()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		p.Each(func(name string, v Value) {
+			switch v.Kind {
+			case KindUint:
+				out.PutUint(name, out.Uint(name)+v.U)
+			case KindFloat:
+				out.PutFloat(name, out.Float(name)+v.F)
+			case KindTime:
+				out.PutTime(name, out.Time(name)+v.T)
+			}
+		})
+	}
+	return out
+}
