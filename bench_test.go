@@ -289,3 +289,17 @@ func BenchmarkFaultSweep(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAdaptSweep(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tbl, metrics, err := bench.AdaptSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+			b.ReportMetric(metrics["mab_vs_best_fixed"], "mab-vs-best-fixed")
+		}
+	}
+}

@@ -9,7 +9,8 @@
 //	experiments -trace run.ndptrc  # sweep all designs over a recorded trace
 //
 // Figures: 2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a..9f, vd (consistent hashing),
-// meta (metadata hit rates), faults (degraded-mode sweep). With -trace,
+// meta (metadata hit rates), faults (degraded-mode sweep), adapt
+// (NDPExt-MAB vs fixed arms on the phased workload). With -trace,
 // the figure matrix is replaced by a design sweep replaying the given
 // trace file (recorded with ndpsim -record or imported with ndptrace
 // convert) on every machine.
@@ -33,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	fig := flag.String("fig", "", "figure to reproduce (2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a-9f, vd, meta, faults)")
+	fig := flag.String("fig", "", "figure to reproduce (2, 4b, 5a, 5b, 6, 7, 8a, 8b, 9a-9f, vd, meta, faults, adapt)")
 	all := flag.Bool("all", false, "run the full matrix")
 	quick := flag.Bool("quick", false, "reduced workload set and trace length")
 	accesses := flag.Int("accesses", 0, "override per-core access budget")
@@ -73,7 +74,7 @@ func main() {
 	}
 
 	figs := []string{"2", "4b", "5a", "5b", "6", "7", "8a", "8b",
-		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred", "faults"}
+		"9a", "9b", "9c", "9d", "9e", "9f", "vd", "meta", "attach", "waypred", "faults", "adapt"}
 	if !*all {
 		if *fig == "" {
 			log.Fatal("pass -fig <id> or -all")
@@ -172,6 +173,9 @@ func dispatch(fig string, opt bench.Options) (bench.Table, error) {
 		return tbl, err
 	case "faults":
 		return bench.FaultSweep(opt)
+	case "adapt":
+		tbl, _, err := bench.AdaptSweep(opt)
+		return tbl, err
 	default:
 		return bench.Table{}, fmt.Errorf("unknown figure %q", fig)
 	}

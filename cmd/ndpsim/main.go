@@ -8,6 +8,10 @@
 //	       [-accesses 30000] [-scale 1.0] [-verbose] [-json]
 //	       [-parallel 4 [-parallel-mode pipeline|shard]]
 //	       [-record run.ndptrc] [-trace-sample 100 [-trace-out trace.jsonl]]
+//	       [-bandit-seed 7 -arms paper,greedy]   (NDPExt-MAB only)
+//
+// -list prints the workload names, -list-designs the registered design
+// names (including the adaptive ndpext-mab); both exit 0.
 //
 // With -json, the run emits the canonical JSON result document — the
 // same bytes ndpserve caches and serves — as one object on stdout.
@@ -57,12 +61,13 @@ func main() {
 	log.SetPrefix("ndpsim: ")
 
 	workload := flag.String("workload", "pr", "workload name (see -list)")
-	design := flag.String("design", "NDPExt", "design: NDPExt, NDPExt-static, Nexus, Whirlpool, Jigsaw, Static, Host")
+	design := flag.String("design", "NDPExt", "design name (see -list-designs)")
 	mem := flag.String("mem", "hbm", "NDP stack memory: hbm or hmc")
 	seed := flag.Uint64("seed", 1, "workload generation seed")
 	accesses := flag.Int("accesses", 30000, "per-core access budget")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	list := flag.Bool("list", false, "list workloads and exit")
+	listDesigns := flag.Bool("list-designs", false, "list registered design names and exit")
 	jsonOut := flag.Bool("json", false, "emit the canonical JSON result document instead of text")
 	verbose := flag.Bool("verbose", false, "print per-component detail")
 	reconfig := flag.String("reconfig", "full", "reconfiguration mode: full, partial, static")
@@ -73,6 +78,8 @@ func main() {
 	traceOut := flag.String("trace-out", "-", "JSONL access trace destination (\"-\" = stdout)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "vault-fail,unit=3,at=40us;cxl-retry,rate=0.01" (see internal/fault)`)
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (deterministic per (spec, seed))")
+	banditSeed := flag.Uint64("bandit-seed", 1, "NDPExt-MAB Thompson-sampler seed (ignored by other designs)")
+	arms := flag.String("arms", "", `NDPExt-MAB arm set, comma-separated (empty = all: "paper,static,greedy,replicate")`)
 	maxWall := flag.Duration("max-wall", 0, "abort after this much wall-clock time, flushing partial results (0 disables)")
 	maxCycles := flag.Int64("max-cycles", 0, "abort once simulated time passes this many core cycles (0 disables)")
 	parallelN := flag.Int("parallel", 1, "parallel workers: <=1 serial; pipeline mode uses one epoch worker, shard mode runs min(N, cores) shards")
@@ -81,6 +88,10 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+	if *listDesigns {
+		fmt.Println(strings.Join(system.DesignNames(), "\n"))
 		return
 	}
 
@@ -109,6 +120,11 @@ func main() {
 	}
 	cfg.Faults = spec
 	cfg.FaultSeed = *faultSeed
+	cfg.BanditSeed = *banditSeed
+	cfg.Adapt.Arms = *arms
+	if *arms != "" && d != system.NDPExtMAB {
+		log.Fatal("-arms applies only to the NDPExt-MAB design")
+	}
 	cfg.MaxWall = *maxWall
 	cfg.MaxCycles = *maxCycles
 
@@ -297,6 +313,12 @@ func main() {
 		fmt.Printf("faults        injected=%d retries=%d redirects=%d remapped=%d degraded-epochs=%d\n",
 			m.Uint("fault.injected"), m.Uint("fault.retries"), m.Uint("fault.vault_redirects"),
 			m.Uint("fault.remapped_streams"), m.Uint("fault.degraded_epochs"))
+	}
+	if res.AdaptArm != "" {
+		m := res.Metrics()
+		fmt.Printf("adaptive      arm=%s switches=%d modeled-amat=%.1f ns migrated-rows=%d\n",
+			res.AdaptArm, res.AdaptSwitches,
+			m.Float("adapt.modeled_amat_ns"), m.Uint("adapt.migrated_rows"))
 	}
 	if rec != nil {
 		fmt.Printf("recorded      %d accesses to %s\n", res.Accesses, *record)

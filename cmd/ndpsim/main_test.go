@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildNdpsim compiles the command once per test binary into a temp
+// dir and returns the executable path.
+func buildNdpsim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ndpsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestListDesigns: -list-designs prints every registered design —
+// including the adaptive ndpext-mab — one per line, and exits 0.
+func TestListDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildNdpsim(t)
+	out, err := exec.Command(bin, "-list-designs").Output()
+	if err != nil {
+		t.Fatalf("-list-designs exited non-zero: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	got := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		got[l] = true
+	}
+	for _, want := range []string{"NDPExt", "NDPExt-static", "Nexus", "Whirlpool", "Jigsaw", "Static", "Host", "NDPExt-MAB"} {
+		if !got[want] {
+			t.Errorf("-list-designs output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUnknownDesignListsValid: a bogus -design fails with the valid
+// list in the message (the structured ParseDesign error).
+func TestUnknownDesignListsValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildNdpsim(t)
+	out, err := exec.Command(bin, "-design", "bogus").CombinedOutput()
+	if err == nil {
+		t.Fatal("bogus design accepted")
+	}
+	if !strings.Contains(string(out), "valid:") || !strings.Contains(string(out), "NDPExt-MAB") {
+		t.Fatalf("error does not list valid designs:\n%s", out)
+	}
+}
+
+// TestMABJSONSerialParallelIdentical: the canonical JSON document of an
+// adaptive run is byte-identical between the serial path and the
+// pipelined parallel path — the CLI-level determinism fence.
+func TestMABJSONSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and simulates")
+	}
+	bin := buildNdpsim(t)
+	args := []string{"-design", "ndpext-mab", "-workload", "recsys",
+		"-accesses", "4000", "-bandit-seed", "7", "-json"}
+	ser, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	par, err := exec.Command(bin, append(args, "-parallel", "2")...).Output()
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if !bytes.Equal(ser, par) {
+		t.Fatalf("serial and pipelined documents differ:\n%s\nvs\n%s", ser, par)
+	}
+	if !bytes.Contains(ser, []byte(`"adapt_arm"`)) {
+		t.Fatalf("document missing adapt_arm:\n%s", ser)
+	}
+}

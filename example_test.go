@@ -45,9 +45,10 @@ func ExampleNewBuilder() {
 	// Output: kernel 2 2
 }
 
-// ExampleWorkloads lists the paper's evaluation workloads.
+// ExampleWorkloads lists the built-in workloads (the paper's 13 plus
+// the phase-changing adaptive-experiment trace).
 func ExampleWorkloads() {
 	ws := ndpext.Workloads()
 	fmt.Println(len(ws), ws[0])
-	// Output: 13 backprop
+	// Output: 14 backprop
 }

@@ -1,0 +1,137 @@
+package adapt
+
+import (
+	"math"
+
+	"ndpext/internal/sim"
+)
+
+// bandit is a discounted Thompson sampler over Beta posteriors, one per
+// arm (the shape of as-cache's policy selector). Shadow evaluation
+// yields full information — every arm's reward is observed every epoch,
+// not just the pulled one — so update refreshes all posteriors before
+// sample draws the next live arm. The per-epoch discount keeps the
+// posteriors tracking the current phase instead of averaging over the
+// whole run.
+//
+// All randomness comes from the seeded sim.RNG, and every floating-
+// point operation happens in fixed arm order, so the pick sequence is a
+// pure function of (seed, reward history).
+type bandit struct {
+	rng    *sim.RNG
+	alpha  []float64
+	beta   []float64
+	decay  float64
+	weight float64 // pseudo-count per full-information observation
+}
+
+func newBandit(arms int, decay, weight float64, seed uint64) *bandit {
+	b := &bandit{
+		rng:    sim.NewRNG(seed),
+		alpha:  make([]float64, arms),
+		beta:   make([]float64, arms),
+		decay:  decay,
+		weight: weight,
+	}
+	for i := range b.alpha {
+		b.alpha[i], b.beta[i] = 1, 1 // uniform prior
+	}
+	return b
+}
+
+// update discounts every posterior and folds in this epoch's rewards
+// (each in [0, 1]; fractional counts are fine for Beta updates).
+func (b *bandit) update(rewards []float64) {
+	for i := range b.alpha {
+		b.alpha[i] = 1 + (b.alpha[i]-1)*b.decay
+		b.beta[i] = 1 + (b.beta[i]-1)*b.decay
+		r := rewards[i]
+		if r < 0 {
+			r = 0
+		} else if r > 1 {
+			r = 1
+		}
+		b.alpha[i] += b.weight * r
+		b.beta[i] += b.weight * (1 - r)
+	}
+}
+
+// samples draws one Beta sample per arm (in fixed arm order, so the
+// RNG consumption is deterministic).
+func (b *bandit) samples() []float64 {
+	out := make([]float64, len(b.alpha))
+	for i := range b.alpha {
+		out[i] = b.betaSample(b.alpha[i], b.beta[i])
+	}
+	return out
+}
+
+// sample draws and returns the argmax arm (ties to the lower index,
+// deterministically).
+func (b *bandit) sample() int {
+	s := b.samples()
+	best := 0
+	for i, v := range s {
+		if v > s[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// means returns the posterior means (diagnostics / telemetry).
+func (b *bandit) means() []float64 {
+	out := make([]float64, len(b.alpha))
+	for i := range out {
+		out[i] = b.alpha[i] / (b.alpha[i] + b.beta[i])
+	}
+	return out
+}
+
+// betaSample draws Beta(a, b) via two Gamma draws.
+func (b *bandit) betaSample(a, bb float64) float64 {
+	x := b.gamma(a)
+	y := b.gamma(bb)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gamma draws Gamma(a, 1) with Marsaglia–Tsang squeeze; shapes below 1
+// use the boost Gamma(a) = Gamma(a+1) * U^(1/a).
+func (b *bandit) gamma(a float64) float64 {
+	if a < 1 {
+		u := b.openUniform()
+		return b.gamma(a+1) * math.Pow(u, 1/a)
+	}
+	d := a - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := b.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := b.openUniform()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// normal draws a standard normal via Box–Muller.
+func (b *bandit) normal() float64 {
+	u1 := b.openUniform()
+	u2 := b.rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// openUniform draws from (0, 1] so logarithms stay finite.
+func (b *bandit) openUniform() float64 {
+	return 1 - b.rng.Float64()
+}

@@ -1,0 +1,60 @@
+package adapt
+
+import (
+	"testing"
+
+	"ndpext/internal/stream"
+	"ndpext/internal/streamcache"
+)
+
+// BenchmarkShadowScore measures the per-epoch cost of scoring one arm's
+// candidate allocation — the marginal work NDPExt-MAB adds per arm per
+// epoch over the plain ndpext design (BENCH_adapt.json baseline).
+func BenchmarkShadowScore(b *testing.B) {
+	m := testModel()
+	ins := testInputs()
+	allocs, err := (greedyArm{}).Decide(testConfig(), ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Score(ins, allocs)
+	}
+}
+
+// BenchmarkDecide measures one full epoch decision over the default
+// four arms: candidates, scores, posterior update, Thompson sample.
+func BenchmarkDecide(b *testing.B) {
+	c, err := New(Params{}, 1, testModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig()
+	ins := testInputs()
+	live := map[stream.ID]streamcache.Allocation{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := c.Decide(cfg, ins, live, 10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = d.Allocs
+	}
+}
+
+// BenchmarkPaperArm isolates the expensive arm so the shadow overhead
+// (BenchmarkDecide minus this) is visible in the report.
+func BenchmarkPaperArm(b *testing.B) {
+	cfg := testConfig()
+	ins := testInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (paperArm{}).Decide(cfg, ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestAdaptSweepMABBeatsEveryFixedArm is the committed phase-changing
+// experiment: on the phased workload (dense mv half, sparse pr half) the
+// bandit's end-to-end modeled AMAT must beat every fixed arm, since no
+// single arm is optimal across both phases.
+func TestAdaptSweepMABBeatsEveryFixedArm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five end-to-end simulations")
+	}
+	tbl, metrics, err := AdaptSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(adaptRegimes) {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), len(adaptRegimes))
+	}
+	mab := metrics["mab_amat_ns"]
+	if mab <= 0 {
+		t.Fatalf("MAB modeled AMAT = %g, want > 0", mab)
+	}
+	for _, row := range tbl.Rows[1:] {
+		fixed, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if fixed <= mab {
+			t.Errorf("fixed arm %s modeled AMAT %.2f <= MAB %.2f; bandit should win end-to-end",
+				row[0], fixed, mab)
+		}
+	}
+	if r := metrics["mab_vs_best_fixed"]; r >= 1 {
+		t.Errorf("mab_vs_best_fixed = %.3f, want < 1", r)
+	}
+}
+
+// TestAdaptSweepDeterministic pins the experiment's reproducibility: two
+// invocations must agree cell for cell (pinned trace seed, pinned bandit
+// seed, event-loop decisions).
+func TestAdaptSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten end-to-end simulations")
+	}
+	a, _, err := AdaptSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := AdaptSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -45,6 +45,10 @@ type Case struct {
 	Faults    string
 	FaultSeed uint64
 
+	// BanditSeed seeds the NDPExt-MAB Thompson sampler (0 keeps the
+	// config default); only meaningful for the adaptive design.
+	BanditSeed uint64
+
 	// AccessesPerCore sizes the trace (default 2500, TinyScale's own).
 	AccessesPerCore int
 	Seed            uint64
@@ -74,6 +78,14 @@ func Cases() []Case {
 		{Name: "ndpext-hmc-pr", Design: system.NDPExt, Workload: "pr", HMC: true},
 		{Name: "ndpext-partial-pr", Design: system.NDPExt, Workload: "pr",
 			Reconfig: system.ReconfigPartial},
+
+		// The adaptive design: bandit decisions, shadow scoring, and the
+		// migration accounting are all pinned, on a steady workload and
+		// on the phase-changing trace it exists for.
+		{Name: "ndpext-mab-recsys", Design: system.NDPExtMAB, Workload: "recsys",
+			BanditSeed: 7},
+		{Name: "ndpext-mab-phased", Design: system.NDPExtMAB, Workload: "phased",
+			BanditSeed: 7},
 
 		// Fault scenarios: degraded-mode reconfiguration arithmetic.
 		{Name: "ndpext-faults-pr", Design: system.NDPExt, Workload: "pr",
@@ -108,6 +120,9 @@ func (c Case) Config() (system.Config, error) {
 	}
 	cfg.Faults = spec
 	cfg.FaultSeed = c.FaultSeed
+	if c.BanditSeed != 0 {
+		cfg.BanditSeed = c.BanditSeed
+	}
 	if err := cfg.Validate(); err != nil {
 		return system.Config{}, err
 	}

@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"testing"
+)
+
+// Degenerate-input coverage: the adaptive design's shadow arms call the
+// optimizer with whatever the profiling epoch produced — including
+// streams nobody touched, one-unit machines, and a replication cap of
+// one — so these paths must hold up, not just the benchmark shapes.
+
+func TestAllStreamsZeroAccess(t *testing.T) {
+	cfg := testCfg(4, 64)
+	ins := []StreamInput{
+		{SID: 1, ReadOnly: true, Curve: curveWS(64*2048, 0.1, 0)},
+		{SID: 2, Curve: curveWS(32*2048, 0.1, 0)},
+	}
+	allocs, rep, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid, a := range allocs {
+		if a.TotalRows() != 0 {
+			t.Fatalf("zero-access stream %d got %d rows", sid, a.TotalRows())
+		}
+	}
+	if rep.RowsAllocated != 0 {
+		t.Fatalf("report claims %d rows allocated with no accesses", rep.RowsAllocated)
+	}
+}
+
+func TestZeroAccessStreamStarvesNextToHotOne(t *testing.T) {
+	cfg := testCfg(4, 64)
+	hot := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve: curveWS(64*2048, 0.01, 1_000_000),
+		Acc:   map[int]uint64{0: 500_000, 1: 500_000},
+	}
+	idle := StreamInput{SID: 2, ReadOnly: true, Curve: curveWS(64*2048, 0.01, 0)}
+	allocs, _, err := Optimize(cfg, []StreamInput{hot, idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[2].TotalRows() != 0 {
+		t.Fatalf("idle stream got %d rows", allocs[2].TotalRows())
+	}
+	if allocs[1].TotalRows() == 0 {
+		t.Fatal("hot stream got nothing")
+	}
+}
+
+func TestSingleUnitMachine(t *testing.T) {
+	cfg := testCfg(1, 64)
+	ins := []StreamInput{
+		{
+			SID: 1, ReadOnly: true,
+			Curve:      curveWS(32*2048, 0.05, 100_000),
+			LocalCurve: curveWS(4*2048, 0.05, 25_000),
+			Acc:        map[int]uint64{0: 100_000},
+		},
+		{
+			SID:   2,
+			Curve: curveWS(16*2048, 0.1, 50_000),
+			Acc:   map[int]uint64{0: 50_000},
+		},
+	}
+	allocs, _, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used uint64
+	for sid, a := range allocs {
+		if err := a.Validate(1); err != nil {
+			t.Fatalf("stream %d: %v", sid, err)
+		}
+		if g := a.GroupIDs(); len(g) > 1 {
+			t.Fatalf("stream %d formed %d groups on a 1-unit machine", sid, len(g))
+		}
+		used += a.TotalRows()
+	}
+	if used == 0 {
+		t.Fatal("nothing allocated on the single unit")
+	}
+	if used > uint64(cfg.UnitRows) {
+		t.Fatalf("allocated %d rows on a unit with %d", used, cfg.UnitRows)
+	}
+	// The static baseline must handle the same degenerate machine.
+	sAllocs, err := StaticEqual(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sUsed uint64
+	for _, a := range sAllocs {
+		sUsed += a.TotalRows()
+	}
+	if sUsed == 0 || sUsed > uint64(cfg.UnitRows) {
+		t.Fatalf("static allocated %d rows on a unit with %d", sUsed, cfg.UnitRows)
+	}
+}
+
+func TestMaxGroupsOneForbidsReplication(t *testing.T) {
+	cfg := testCfg(8, 256)
+	cfg.MaxGroups = 1
+	// A hot read-only stream with strong per-core reuse: exactly the
+	// shape that replicates maximally when allowed (one group per
+	// accessing unit).
+	in := StreamInput{
+		SID: 1, ReadOnly: true,
+		Curve:      curveWS(256*2048, 0.01, 1_000_000),
+		LocalCurve: curveWS(8*2048, 0.01, 125_000),
+		Acc: map[int]uint64{
+			0: 125_000, 1: 125_000, 2: 125_000, 3: 125_000,
+			4: 125_000, 5: 125_000, 6: 125_000, 7: 125_000,
+		},
+	}
+	allocs, _, err := Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := allocs[1]
+	if g := a.GroupIDs(); len(g) != 1 {
+		t.Fatalf("MaxGroups=1 produced %d groups: %+v", len(g), a)
+	}
+	if err := a.Validate(cfg.NumUnits); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRows() == 0 {
+		t.Fatal("hot stream got nothing under MaxGroups=1")
+	}
+	// Sanity: the same input with replication allowed does form groups,
+	// so the cap (not the input) is what forbade them above.
+	cfg.MaxGroups = 64
+	allocs, _, err = Optimize(cfg, []StreamInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := allocs[1].GroupIDs(); len(g) < 2 {
+		t.Fatalf("control without the cap formed %d groups; test shape is wrong", len(g))
+	}
+}
+
+func TestMaxGroupsOneMixedStreams(t *testing.T) {
+	// MaxGroups=1 with several streams competing must still respect
+	// per-unit capacity and keep every stream single-group.
+	cfg := testCfg(4, 32)
+	cfg.MaxGroups = 1
+	ins := []StreamInput{
+		{SID: 1, ReadOnly: true, Curve: curveWS(64*2048, 0.05, 400_000),
+			Acc: map[int]uint64{0: 200_000, 1: 200_000}},
+		{SID: 2, Curve: curveWS(64*2048, 0.05, 300_000),
+			Acc: map[int]uint64{2: 300_000}},
+		{SID: 3, ReadOnly: true, Curve: curveWS(32*2048, 0.1, 100_000),
+			Acc: map[int]uint64{3: 100_000}},
+	}
+	allocs, _, err := Optimize(cfg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]uint64, cfg.NumUnits)
+	for sid, a := range allocs {
+		if g := a.GroupIDs(); len(g) > 1 {
+			t.Fatalf("stream %d got %d groups under MaxGroups=1", sid, len(g))
+		}
+		for u, s := range a.Shares {
+			used[u] += uint64(s)
+		}
+	}
+	for u, n := range used {
+		if n > uint64(cfg.UnitRows) {
+			t.Fatalf("unit %d overcommitted: %d rows > %d", u, n, cfg.UnitRows)
+		}
+	}
+}

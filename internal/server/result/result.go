@@ -42,6 +42,13 @@ type Doc struct {
 	Reconfigs  int    `json:"reconfigs,omitempty"`
 	Exceptions uint64 `json:"exceptions,omitempty"`
 
+	// NDPExt-MAB summary (omitted for every other design, so existing
+	// documents stay byte-identical): the live arm at end of run and
+	// the bandit's switch count. Per-arm posteriors live under the
+	// "adapt." prefix in Metrics.
+	AdaptArm      string `json:"adapt_arm,omitempty"`
+	AdaptSwitches int    `json:"adapt_switches,omitempty"`
+
 	Truncated      bool   `json:"truncated,omitempty"`
 	TruncateReason string `json:"truncate_reason,omitempty"`
 
@@ -111,6 +118,9 @@ func New(res *system.Result) Doc {
 
 		Reconfigs:  res.Reconfigs,
 		Exceptions: res.Exceptions,
+
+		AdaptArm:      res.AdaptArm,
+		AdaptSwitches: res.AdaptSwitches,
 
 		Truncated:      res.Truncated,
 		TruncateReason: res.TruncateReason,

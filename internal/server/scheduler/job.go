@@ -52,6 +52,8 @@ type EpochEvent struct {
 	ActiveStreams  int                `json:"active_streams"`
 	Reconfigured   bool               `json:"reconfigured"`
 	SamplerCovered int                `json:"sampler_covered"`
+	Arm            string             `json:"arm,omitempty"`
+	ArmSwitched    bool               `json:"arm_switched,omitempty"`
 	Degraded       bool               `json:"degraded,omitempty"`
 	Counters       telemetry.Snapshot `json:"counters"`
 }

@@ -547,6 +547,8 @@ func (s *Scheduler) simulate(job *Job) ([]byte, error) {
 			ActiveStreams:  ei.ActiveStreams,
 			Reconfigured:   ei.Reconfigured,
 			SamplerCovered: ei.SamplerCovered,
+			Arm:            ei.Arm,
+			ArmSwitched:    ei.ArmSwitched,
 			Degraded:       ei.Degraded,
 			Counters:       ei.Counters,
 		}})

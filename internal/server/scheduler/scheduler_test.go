@@ -412,7 +412,7 @@ func TestPersistWarmRestart(t *testing.T) {
 func TestJobSpecNormalizeAndKey(t *testing.T) {
 	def := JobSpec{Workload: "pr"}.normalize()
 	want := JobSpec{Workload: "pr", Design: "NDPExt", Mem: "hbm", Seed: 1,
-		Accesses: 30000, Scale: 1, Reconfig: "full", FaultSeed: 1}
+		Accesses: 30000, Scale: 1, Reconfig: "full", FaultSeed: 1, BanditSeed: 1}
 	if def != want {
 		t.Errorf("normalize() = %+v, want %+v", def, want)
 	}

@@ -47,6 +47,15 @@ type JobSpec struct {
 	Faults string `json:"faults,omitempty"`
 	// FaultSeed seeds the fault injector (default 1, like ndpsim).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// BanditSeed seeds the NDPExt-MAB design's Thompson sampler
+	// (default 1, like ndpsim; ignored by every other design). Part of
+	// the cache key: different seeds may install different
+	// configurations.
+	BanditSeed uint64 `json:"bandit_seed,omitempty"`
+	// Arms restricts the NDPExt-MAB arm set (comma-separated, e.g.
+	// "paper,greedy"; empty = all four arms). A single name runs that
+	// fixed policy — the fixed-arm baselines of the adaptive sweep.
+	Arms string `json:"arms,omitempty"`
 	// MaxCycles aborts the run deterministically after this many
 	// simulated core cycles (0: server default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
@@ -92,6 +101,9 @@ func (js JobSpec) normalize() JobSpec {
 	}
 	if js.FaultSeed == 0 {
 		js.FaultSeed = 1
+	}
+	if js.BanditSeed == 0 {
+		js.BanditSeed = 1
 	}
 	return js
 }
@@ -145,6 +157,11 @@ func (js JobSpec) build(defMaxWall time.Duration, defMaxCycles int64) (system.Co
 	}
 	cfg.Faults = spec
 	cfg.FaultSeed = js.FaultSeed
+	cfg.BanditSeed = js.BanditSeed
+	cfg.Adapt.Arms = js.Arms
+	if js.Arms != "" && d != system.NDPExtMAB {
+		return system.Config{}, fmt.Errorf("arms applies only to the NDPExt-MAB design")
+	}
 	cfg.MaxWall = defMaxWall
 	if js.MaxWallMS > 0 {
 		cfg.MaxWall = time.Duration(js.MaxWallMS) * time.Millisecond

@@ -17,6 +17,7 @@ import (
 
 	"ndpext/internal/server/scheduler"
 	"ndpext/internal/server/store"
+	"ndpext/internal/system"
 	"ndpext/internal/workloads"
 )
 
@@ -118,9 +119,12 @@ func (a *api) clusterDoc() any {
 	return a.cluster()
 }
 
-// errorDoc is the uniform error body.
+// errorDoc is the uniform error body. ValidDesigns is populated only
+// when the error is an unknown-design rejection, so clients can
+// enumerate what the server accepts without a second request.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error        string   `json:"error"`
+	ValidDesigns []string `json:"valid_designs,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -133,6 +137,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorDoc{Error: err.Error()})
+}
+
+// writeSubmitError maps a submission rejection to a status code. An
+// unknown design is semantically invalid rather than malformed, so it
+// gets 422 with the accepted design list; everything else is a 400.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var ude *system.UnknownDesignError
+	if errors.As(err, &ude) {
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorDoc{Error: ude.Error(), ValidDesigns: ude.Valid})
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // writeQueueFull surfaces backpressure: 429 with the scheduler's
@@ -186,7 +203,7 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		writeSubmitError(w, err)
 		return
 	}
 	code := http.StatusAccepted
@@ -317,7 +334,7 @@ func (a *api) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		writeSubmitError(w, err)
 		return
 	}
 	st := b.Status()

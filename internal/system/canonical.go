@@ -9,7 +9,7 @@ import (
 // whenever the layout below (or the meaning of a serialized field)
 // changes, so stale content-addressed cache entries miss instead of
 // aliasing results from a different simulator semantics.
-const canonicalVersion = "ndpext-config/v1"
+const canonicalVersion = "ndpext-config/v2"
 
 // CanonicalBytes returns a deterministic, versioned serialization of
 // every simulation-affecting field of the configuration. Two configs
@@ -45,6 +45,10 @@ func (c Config) CanonicalBytes() []byte {
 	fmt.Fprintf(&b, "|host=%d/%d/%d/%d/%d",
 		c.HostCores, c.HostLLCBytes, c.HostLLCAssoc, c.HostLLCLat, c.HostNoCLat)
 	fmt.Fprintf(&b, "|static=%g", c.CoreStaticMW)
+	// adapt.Params holds only scalars and strings, so %+v is
+	// deterministic; the bandit seed rides next to it because both only
+	// matter to the NDPExt-MAB design but must always key the cache.
+	fmt.Fprintf(&b, "|adapt=%+v|bseed=%d", c.Adapt, c.BanditSeed)
 	fmt.Fprintf(&b, "|faults=%s|fseed=%d", c.Faults.String(), c.FaultSeed)
 	fmt.Fprintf(&b, "|maxwall=%d|maxcycles=%d", int64(c.MaxWall), c.MaxCycles)
 	fmt.Fprintf(&b, "|seed=%d", c.Seed)

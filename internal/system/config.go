@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"ndpext/internal/adapt"
 	"ndpext/internal/cxl"
 	"ndpext/internal/dram"
 	"ndpext/internal/fault"
@@ -46,6 +47,12 @@ const (
 	// Host is the non-NDP 64-core host processor with a Jigsaw-style
 	// LLC and DDR5 main memory, the Fig. 5 normalization baseline.
 	Host
+	// NDPExtMAB is the adaptive extension (internal/adapt): NDPExt's
+	// machinery, but the epoch configuration is chosen by a seeded
+	// Thompson-sampling bandit over shadow-evaluated candidate policies.
+	// Appended after Host so the earlier designs keep their canonical
+	// serialization values.
+	NDPExtMAB
 )
 
 // String returns the design name used in the paper's figures.
@@ -65,6 +72,8 @@ func (d Design) String() string {
 		return "Static"
 	case Host:
 		return "Host"
+	case NDPExtMAB:
+		return "NDPExt-MAB"
 	default:
 		return fmt.Sprintf("Design(%d)", int(d))
 	}
@@ -76,15 +85,45 @@ func NDPDesigns() []Design {
 	return []Design{StaticInterleave, Jigsaw, Whirlpool, Nexus, NDPExtStatic, NDPExt}
 }
 
+// AllDesigns lists every registered design: the Fig. 5 NDP rows, the
+// host baseline, and the adaptive extension. This is the design
+// universe of ParseDesign and `ndpsim -list-designs`.
+func AllDesigns() []Design {
+	return append(NDPDesigns(), Host, NDPExtMAB)
+}
+
+// DesignNames returns the String names of all registered designs.
+func DesignNames() []string {
+	ds := AllDesigns()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// UnknownDesignError reports a design name that matched nothing,
+// carrying the valid names so callers (the CLI, the serving API's 422
+// response) can list them instead of making users guess.
+type UnknownDesignError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownDesignError) Error() string {
+	return fmt.Sprintf("system: unknown design %q (valid: %s)", e.Name, strings.Join(e.Valid, ", "))
+}
+
 // ParseDesign parses a design by its String name, case-insensitively
-// (the form used by the CLI flags and the serving API).
+// (the form used by the CLI flags and the serving API). An unmatched
+// name yields an *UnknownDesignError listing the valid designs.
 func ParseDesign(s string) (Design, error) {
-	for _, d := range append(NDPDesigns(), Host) {
+	for _, d := range AllDesigns() {
 		if strings.EqualFold(d.String(), s) {
 			return d, nil
 		}
 	}
-	return 0, fmt.Errorf("system: unknown design %q", s)
+	return 0, &UnknownDesignError{Name: s, Valid: DesignNames()}
 }
 
 // ParseReconfigMode parses "full", "partial", or "static".
@@ -176,6 +215,16 @@ type Config struct {
 	// DebugWriter receives reconfiguration traces; nil means os.Stdout.
 	DebugWriter io.Writer
 
+	// Adapt tunes the NDPExt-MAB design's bandit-driven configurator
+	// (arm set, migration model, posterior decay); zero value = the
+	// adapt package defaults. Ignored by every other design.
+	Adapt adapt.Params
+	// BanditSeed seeds the NDPExt-MAB Thompson sampler's RNG substream;
+	// 0 falls back to Seed. Part of CanonicalBytes: two runs with
+	// different bandit seeds may install different configurations and
+	// must never share a cache entry.
+	BanditSeed uint64
+
 	// Faults selects the fault models injected into the memory path
 	// (see internal/fault). Empty (the default) disables injection and
 	// leaves every simulated result bit-identical to a fault-free build.
@@ -220,6 +269,11 @@ type EpochInfo struct {
 	ItemsKept      int // survived reconfiguration in place
 	ItemsDropped   int // invalidated by reconfiguration
 	SamplerCovered int // streams assigned a sampler for the next epoch
+
+	// NDPExt-MAB fields: the live arm chosen for the next epoch and
+	// whether this boundary switched arms (empty/false otherwise).
+	Arm         string
+	ArmSwitched bool
 
 	// Degraded-mode fields (fault injection).
 	Degraded        bool // a vault failure or link degradation was active
@@ -328,6 +382,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxWall < 0 || c.MaxCycles < 0 {
 		return fmt.Errorf("system: watchdog limits must be non-negative")
+	}
+	if c.Design == NDPExtMAB {
+		if err := c.Adapt.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

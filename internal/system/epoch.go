@@ -149,7 +149,7 @@ func defaultCurve(st *stream.Stream) sampler.Curve {
 // partitioned baselines, nothing for static interleave.
 func (s *ndpSim) bootstrap() {
 	switch s.cfg.Design {
-	case NDPExt, NDPExtStatic:
+	case NDPExt, NDPExtStatic, NDPExtMAB:
 		allocs, err := policy.StaticEqual(s.policyConfig(), s.allStreamInputs())
 		if err != nil {
 			panic(err)
@@ -195,7 +195,7 @@ func (s *ndpSim) bootstrap() {
 // profiles reports whether this design uses samplers and epochs at all.
 func (s *ndpSim) profiles() bool {
 	switch s.cfg.Design {
-	case NDPExt, Jigsaw, Whirlpool, Nexus:
+	case NDPExt, NDPExtMAB, Jigsaw, Whirlpool, Nexus:
 		return true
 	default:
 		return false
@@ -394,6 +394,8 @@ func (s *ndpSim) epochBoundary() {
 		return false
 	}
 
+	var epochArm string
+	var epochArmSwitched bool
 	if s.shouldReconfig() && len(ins) > 0 {
 		s.tel.Reconfigs++
 		pcfg := s.policyConfig()
@@ -405,9 +407,45 @@ func (s *ndpSim) epochBoundary() {
 			pcfg.MissLatNS *= s.inj.CXLBWFactor(s.nextEpoch)
 		}
 		if s.sc != nil {
-			allocs, rep, err := policy.Optimize(pcfg, ins)
-			if err != nil {
-				panic(err)
+			var allocs map[stream.ID]streamcache.Allocation
+			var rep policy.Report
+			if s.adapt != nil {
+				// NDPExt-MAB: the bandit picks which arm's allocation to
+				// install, scoring every candidate against this epoch's
+				// curves. The decision runs here, on the event-loop
+				// thread, in both serial and pipelined mode — that is
+				// what keeps the pick sequence byte-identical.
+				live := make(map[stream.ID]streamcache.Allocation, len(ins))
+				var epochAcc uint64
+				for i := range ins {
+					if a, ok := s.sc.Allocation(ins[i].SID); ok {
+						live[ins[i].SID] = a
+					}
+				}
+				for _, n := range totals {
+					epochAcc += n
+				}
+				dec, err := s.adapt.Decide(pcfg, ins, live, epochAcc)
+				if err != nil {
+					panic(err)
+				}
+				allocs = dec.Allocs
+				epochArm, epochArmSwitched = dec.Arm, dec.Switched
+				// Report the installed arm's allocation footprint through
+				// the same counters the paper optimizer fills.
+				for _, a := range allocs {
+					t := a.TotalRows()
+					rep.RowsAllocated += t
+					if len(a.GroupIDs()) > 1 {
+						rep.ReplicatedRows += t
+					}
+				}
+			} else {
+				var err error
+				allocs, rep, err = policy.Optimize(pcfg, ins)
+				if err != nil {
+					panic(err)
+				}
 			}
 			// Streams that decayed out of the history lose their space
 			// explicitly, keeping the installed configuration's total
@@ -452,6 +490,11 @@ func (s *ndpSim) epochBoundary() {
 			rs, err := s.sc.Apply(allocs, s.cfg.ConsistentHash)
 			if err != nil {
 				panic(err)
+			}
+			if s.adapt != nil && epochArmSwitched {
+				// Ground-truth migration cost of the arm switch: the
+				// items the install actually invalidated.
+				s.adapt.NoteApply(rs.ItemsDropped)
 			}
 			s.tel.ReconfigKept += rs.ItemsKept
 			s.tel.ReconfigDropped += rs.ItemsDropped
@@ -535,6 +578,8 @@ func (s *ndpSim) epochBoundary() {
 			ItemsKept:       s.tel.ReconfigKept - keptBefore,
 			ItemsDropped:    s.tel.ReconfigDropped - droppedBefore,
 			SamplerCovered:  covered,
+			Arm:             epochArm,
+			ArmSwitched:     epochArmSwitched,
 			Degraded:        degraded,
 			FailedUnits:     len(failed),
 			RemappedStreams: s.tel.FaultRemappedStreams - remappedBefore,

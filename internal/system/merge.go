@@ -89,6 +89,12 @@ func MergeShardResults(cfg Config, parts []*Result) (*Result, error) {
 		if p.SamplerCovered > out.SamplerCovered {
 			out.SamplerCovered = p.SamplerCovered
 		}
+		// Each shard ran its own bandit over the same arm set; the
+		// switch tally adds, the live arm reports shard 0's view.
+		out.AdaptSwitches += p.AdaptSwitches
+		if out.AdaptArm == "" {
+			out.AdaptArm = p.AdaptArm
+		}
 		if p.Truncated && !out.Truncated {
 			out.Truncated = true
 			out.TruncateReason = p.TruncateReason

@@ -31,6 +31,8 @@ type fingerprint struct {
 	ReplicatedRows  uint64
 	RowsAllocated   uint64
 	SamplerCovered  int
+	AdaptArm        string
+	AdaptSwitches   int
 }
 
 func fp(r *Result) fingerprint {
@@ -41,6 +43,7 @@ func fp(r *Result) fingerprint {
 		Reconfigs: r.Reconfigs, ReconfigKept: r.ReconfigKept, ReconfigDropped: r.ReconfigDropped,
 		Exceptions: r.Exceptions, ReplicatedRows: r.ReplicatedRows, RowsAllocated: r.RowsAllocated,
 		SamplerCovered: r.SamplerCovered,
+		AdaptArm:       r.AdaptArm, AdaptSwitches: r.AdaptSwitches,
 	}
 }
 

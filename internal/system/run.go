@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ndpext/internal/adapt"
 	"ndpext/internal/cache"
 	"ndpext/internal/cxl"
 	"ndpext/internal/dram"
@@ -48,6 +49,12 @@ type Result struct {
 	ReplicatedRows  uint64 // last epoch's replicated rows (NDPExt)
 	RowsAllocated   uint64 // last epoch's total allocation (NDPExt)
 	SamplerCovered  int    // streams covered by samplers, last epoch
+
+	// NDPExt-MAB summary: the arm live at end of run and how many times
+	// the bandit switched arms (zero values for every other design; the
+	// full per-arm posteriors are in Metrics under "adapt.").
+	AdaptArm      string
+	AdaptSwitches int
 
 	// Truncated is set when a watchdog (Config.MaxWall / MaxCycles)
 	// aborted the run early; the counters then cover only the simulated
@@ -359,8 +366,10 @@ type ndpSim struct {
 	tel   telemetry.Counters
 	probe telemetry.Probe
 
-	deps *pathDeps // the serving path's wiring; observe is re-pointed in pipelined mode
+	deps *pathDeps  // the serving path's wiring; observe is re-pointed in pipelined mode
 	pipe *epochPipe // non-nil in pipelined mode: the epoch bookkeeping worker
+
+	adapt *adapt.Controller // non-nil for NDPExtMAB: the bandit configurator
 
 	att [][]float64 // attenuation factors for the policy
 
@@ -436,7 +445,7 @@ func newNDPSim(cfg Config, in simInput) (*ndpSim, error) {
 	}
 	s.deps = deps
 	switch cfg.Design {
-	case NDPExt, NDPExtStatic:
+	case NDPExt, NDPExtStatic, NDPExtMAB:
 		s.sc = streamcache.NewController(cfg.Stream, n, in.table)
 		s.spath = &streamPath{pathDeps: deps, sc: s.sc, table: in.table}
 	case Jigsaw, Whirlpool, Nexus, StaticInterleave:
@@ -457,6 +466,30 @@ func newNDPSim(cfg Config, in simInput) (*ndpSim, error) {
 		for v := 0; v < n; v++ {
 			s.att[u][v] = dramNS / (dramNS + s.net.BaseLatency(u, v, 64).NS())
 		}
+	}
+	if cfg.Design == NDPExtMAB {
+		bseed := cfg.BanditSeed
+		if bseed == 0 {
+			bseed = cfg.Seed
+		}
+		// The shadow evaluator's cost model uses the same latency
+		// sources as the simulator itself (raw DRAM hit, extended-memory
+		// minimum round trip, NoC base latency); the per-access energies
+		// are modeled weights for the reward's tie-break term, not
+		// simulated energy.
+		model := adapt.CostModel{
+			RowBytes:  cfg.rowBytes(),
+			DramHitNS: dramNS,
+			MissNS:    s.ext.MinLatency(64).NS(),
+			NetNS:     func(u, v int) float64 { return s.net.BaseLatency(u, v, 64).NS() },
+			HitPJ:     100,
+			MissPJ:    1500,
+		}
+		ctl, err := adapt.New(cfg.Adapt, bseed, model)
+		if err != nil {
+			return nil, err
+		}
+		s.adapt = ctl
 	}
 	s.epochDur = s.clock.Cycles(cfg.EpochCycles)
 	s.nextEpoch = s.epochDur
@@ -585,6 +618,9 @@ func (s *ndpSim) collectMetrics() *telemetry.Registry {
 		reg.PutUint("fault.degraded_epochs", uint64(s.tel.DegradedEpochs))
 		reg.PutUint("fault.remapped_streams", uint64(s.tel.FaultRemappedStreams))
 	}
+	if s.adapt != nil {
+		s.adapt.ReportTelemetry(reg, "adapt")
+	}
 	return reg
 }
 
@@ -615,6 +651,10 @@ func (s *ndpSim) finishStats() {
 	r.ReplicatedRows = tel.ReplicatedRows
 	r.RowsAllocated = tel.RowsAllocated
 	r.SamplerCovered = tel.SamplerCovered
+	if s.adapt != nil {
+		r.AdaptArm = s.adapt.ActiveArm()
+		r.AdaptSwitches = s.adapt.Switches()
+	}
 
 	if s.sc != nil {
 		if t := reg.Uint("streamcache.slb_hits") + reg.Uint("streamcache.slb_misses"); t > 0 {

@@ -102,7 +102,8 @@ func (s Scale) procs(cores int) int {
 // Generator builds a workload trace for the given core count.
 type Generator func(cores int, seed uint64, sc Scale) (*Trace, error)
 
-// All maps workload names to their generators (the paper's 13 workloads).
+// All maps workload names to their generators: the paper's 13
+// workloads plus the phase-changing adaptive-experiment trace.
 var All = map[string]Generator{
 	"recsys":     Recsys,
 	"mv":         MV,
@@ -117,6 +118,7 @@ var All = map[string]Generator{
 	"cc":         CC,
 	"bc":         BC,
 	"tc":         TC,
+	"phased":     Phased,
 }
 
 // Names returns the workload names in sorted order.

@@ -91,7 +91,9 @@ func HMCConfig(d Design) Config { return system.HMCConfig(d) }
 // Designs lists the NDP designs in the paper's plotting order.
 func Designs() []Design { return system.NDPDesigns() }
 
-// Workloads lists the 13 built-in evaluation workloads.
+// Workloads lists the built-in workloads: the paper's 13 evaluation
+// kernels plus the phase-changing `phased` trace for the adaptive
+// (NDPExt-MAB) experiments.
 func Workloads() []string { return workloads.Names() }
 
 // GenerateTrace builds one of the built-in workloads for a machine with

@@ -37,8 +37,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestWorkloadsListed(t *testing.T) {
-	if got := len(ndpext.Workloads()); got != 13 {
-		t.Fatalf("%d workloads, want 13", got)
+	if got := len(ndpext.Workloads()); got != 14 {
+		t.Fatalf("%d workloads, want the paper's 13 plus phased", got)
 	}
 	if _, err := ndpext.GenerateTrace("not-a-workload", 8, 1); err == nil {
 		t.Fatal("unknown workload accepted")
